@@ -1,0 +1,247 @@
+package repro_test
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus micro-benchmarks of the pipeline stages. The table benchmarks run
+// the Small-scale workloads so `go test -bench=.` finishes quickly; run
+// `go run ./cmd/paper -scale full` for the paper-scale regeneration
+// recorded in EXPERIMENTS.md.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/chol"
+	"repro/internal/exec"
+	"repro/internal/lu"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/paper"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+	"repro/internal/util"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.Table1(io.Discard, paper.Small)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.Table2(io.Discard, paper.Small)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.Table3(io.Discard, paper.Small)
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.Table4(io.Discard, paper.Small)
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.Table5(io.Discard, paper.Small)
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.Table6(io.Discard, paper.Small)
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.Table7(io.Discard, paper.Small)
+	}
+}
+
+func BenchmarkTable8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.Table8(io.Discard, paper.Small)
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.Figure7(io.Discard, paper.Small)
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.Figure3(io.Discard)
+	}
+}
+
+func BenchmarkExtensionTrisolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.ExtensionTrisolve(io.Discard, paper.Small)
+	}
+}
+
+func BenchmarkAblationMAPPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.AblationMAPPolicy(io.Discard, paper.Small)
+	}
+}
+
+func BenchmarkAblationSlotDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.AblationSlotDepth(io.Discard, paper.Small)
+	}
+}
+
+func BenchmarkAblationMergeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		paper.AblationMergeSweep(io.Discard, paper.Small)
+	}
+}
+
+// --- pipeline micro-benchmarks ---
+
+func cholBench(b *testing.B) (*chol.Problem, []int32) {
+	b.Helper()
+	rng := util.NewRNG(1)
+	m := sparse.AddRandomSymLinks(sparse.Grid2D(24, 18, true), 120, rng)
+	m = sparse.SPDValues(m.PermuteSym(sparse.RCM(m)), rng)
+	pr, err := chol.Build(m, chol.Options{Procs: 8, BlockSize: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	assign, err := sched.OwnerComputeAssign(pr.G, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pr, assign
+}
+
+func BenchmarkSymbolicCholesky(b *testing.B) {
+	rng := util.NewRNG(2)
+	m := sparse.AddRandomSymLinks(sparse.Grid2D(40, 40, true), 300, rng)
+	m = m.PermuteSym(sparse.RCM(m))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparse.NewBlockPattern2D(m, 16)
+	}
+}
+
+func BenchmarkStaticSymbolicLU(b *testing.B) {
+	rng := util.NewRNG(3)
+	m := sparse.AddRandomUnsymLinks(sparse.Grid2D(40, 40, true), 500, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparse.NewBlockPattern1D(m, 16)
+	}
+}
+
+func BenchmarkTaskGraphBuildChol(b *testing.B) {
+	rng := util.NewRNG(4)
+	m := sparse.AddRandomSymLinks(sparse.Grid2D(24, 18, true), 120, rng)
+	m = m.PermuteSym(sparse.RCM(m))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chol.Build(m, chol.Options{Procs: 8, BlockSize: 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTaskGraphBuildLU(b *testing.B) {
+	rng := util.NewRNG(5)
+	m := sparse.AddRandomUnsymLinks(sparse.Grid2D(26, 22, true), 500, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lu.Build(m, lu.Options{Procs: 8, BlockSize: 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleRCP(b *testing.B) {
+	pr, assign := cholBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.ScheduleRCP(pr.G, assign, 8, sched.T3D()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleMPO(b *testing.B) {
+	pr, assign := cholBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.ScheduleMPO(pr.G, assign, 8, sched.T3D()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleDTS(b *testing.B) {
+	pr, assign := cholBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.ScheduleDTS(pr.G, assign, 8, sched.T3D(), false, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMAPPlan(b *testing.B) {
+	pr, assign := cholBench(b)
+	s, err := sched.ScheduleMPO(pr.G, assign, 8, sched.T3D())
+	if err != nil {
+		b.Fatal(err)
+	}
+	capacity := s.MinMem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mem.NewPlan(s, capacity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	pr, assign := cholBench(b)
+	s, err := sched.ScheduleMPO(pr.G, assign, 8, sched.T3D())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := mem.NewPlan(s, s.MinMem())
+	if err != nil || !plan.Executable {
+		b.Fatal("plan not executable")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := machine.Simulate(s, plan, sched.T3D(), machine.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConcurrentExec(b *testing.B) {
+	pr, assign := cholBench(b)
+	s, err := sched.ScheduleMPO(pr.G, assign, 8, sched.T3D())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := mem.NewPlan(s, s.TOT())
+	if err != nil || !plan.Executable {
+		b.Fatal("plan not executable")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(s, plan, exec.Config{Kernel: pr.Kernel, Init: pr.InitObject}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

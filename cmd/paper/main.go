@@ -1,0 +1,60 @@
+// Command paper regenerates the tables and figures of the evaluation
+// section of Fu & Yang, PPoPP'97, on the simulated machine.
+//
+// Usage:
+//
+//	paper [-scale small|full] [-exp all|table1|table2|...|table8|figure7]
+//
+// Full scale uses the paper's matrix dimensions (n = 3500..7300) and takes
+// a few minutes; small scale finishes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/paper"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "workload scale: small or full")
+	exp := flag.String("exp", "all", "experiment: all, table1..table8, figure7")
+	flag.Parse()
+
+	sc := paper.Small
+	switch strings.ToLower(*scale) {
+	case "small":
+	case "full":
+		sc = paper.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	run := func(name string, f func()) {
+		if *exp == "all" || *exp == name {
+			f()
+		}
+	}
+	run("table1", func() { paper.Table1(w, sc) })
+	run("table2", func() { paper.Table2(w, sc) })
+	run("table3", func() { paper.Table3(w, sc) })
+	run("table4", func() { paper.Table4(w, sc) })
+	run("table5", func() { paper.Table5(w, sc) })
+	run("table6", func() { paper.Table6(w, sc) })
+	run("table7", func() { paper.Table7(w, sc) })
+	run("table8", func() { paper.Table8(w, sc) })
+	run("ablation", func() {
+		paper.AblationMAPPolicy(w, sc)
+		paper.AblationSlotDepth(w, sc)
+		paper.AblationMergeSweep(w, sc)
+	})
+	run("figure3", func() { paper.Figure3(w) })
+	run("figure7", func() { paper.Figure7(w, sc) })
+	run("trisolve", func() { paper.ExtensionTrisolve(w, sc) })
+	run("fragmentation", func() { paper.ExtensionFragmentation(w, sc) })
+	run("breakdown", func() { paper.ExtensionMemoryBreakdown(w, sc) })
+}

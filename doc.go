@@ -1,0 +1,14 @@
+// Package repro reproduces Fu & Yang, "Space and Time Efficient Execution
+// of Parallel Irregular Computations" (PPoPP 1997): a RAPID-style run-time
+// system executing irregular task graphs on distributed-memory machines
+// under per-processor memory constraints, with active memory management
+// (Memory Allocation Points, address notification over remote memory
+// access, suspended sends, a provably deadlock-free five-state protocol)
+// and the memory-efficient scheduling heuristics RCP, MPO and DTS.
+//
+// The public API lives in the rapid package; the applications (2-D block
+// sparse Cholesky, 1-D column-block sparse LU with partial pivoting) and
+// all substrates are under internal/. The benchmark harness in
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation; see DESIGN.md and EXPERIMENTS.md.
+package repro

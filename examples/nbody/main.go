@@ -1,0 +1,122 @@
+// N-body example: an irregular interaction task graph in the style of the
+// paper's second motivating application class (N-body galaxy simulations).
+//
+// Bodies are grouped into spatial clusters; a timestep computes
+// cluster-cluster interactions whose cost and communication pattern depend
+// on an irregular proximity structure: close pairs get pairwise-accurate
+// expensive tasks, mid-range pairs cheap multipole-style ones, and far
+// pairs do not interact at all. Accumulation tasks for a cluster's force
+// commute, exactly the kind of mixed-granularity commutative parallelism
+// RAPID targets. One timestep is one task graph — the paper's iterative
+// applications re-execute the same schedule every step, so the inspector
+// runs once. The example runs the step under a tight memory budget and
+// compares heuristics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/util"
+	"repro/rapid"
+)
+
+func main() {
+	const (
+		procs    = 4
+		clusters = 32
+	)
+	rng := util.NewRNG(4242)
+
+	// Random cluster positions on a unit square drive the proximity
+	// structure.
+	xs := make([]float64, clusters)
+	ys := make([]float64, clusters)
+	sizes := make([]int64, clusters)
+	for c := 0; c < clusters; c++ {
+		xs[c], ys[c] = rng.Float64(), rng.Float64()
+		sizes[c] = int64(20 + rng.Intn(100)) // bodies per cluster: irregular
+	}
+
+	b := rapid.NewBuilder()
+	pos := make([]rapid.ObjID, clusters)
+	force := make([]rapid.ObjID, clusters)
+	for c := 0; c < clusters; c++ {
+		pos[c] = b.Object(fmt.Sprintf("pos%d", c), sizes[c]*3)
+		force[c] = b.Object(fmt.Sprintf("frc%d", c), sizes[c]*3)
+	}
+
+	// Force initialization.
+	for c := 0; c < clusters; c++ {
+		b.Task(fmt.Sprintf("zero.%d", c), float64(sizes[c]), nil, []rapid.ObjID{force[c]})
+	}
+	// Pairwise interactions within the cutoff radius: near pairs are
+	// expensive direct interactions, mid-range pairs cheap multipole ones.
+	interactions := 0
+	for i := 0; i < clusters; i++ {
+		for j := 0; j < clusters; j++ {
+			if i == j {
+				continue
+			}
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			d2 := dx*dx + dy*dy
+			if d2 > 0.2 {
+				continue // beyond the cutoff: no task at all
+			}
+			cost := float64(sizes[i] * sizes[j])
+			name := fmt.Sprintf("multi.%d-%d", i, j)
+			if d2 < 0.05 {
+				cost *= 16 // direct pairwise
+				name = fmt.Sprintf("near.%d-%d", i, j)
+			}
+			b.CommutativeTask(name, cost,
+				[]rapid.ObjID{pos[j], force[i]}, []rapid.ObjID{force[i]})
+			interactions++
+		}
+	}
+	// Position update from accumulated forces.
+	for c := 0; c < clusters; c++ {
+		b.Task(fmt.Sprintf("step.%d", c), float64(sizes[c]*4),
+			[]rapid.ObjID{force[c], pos[c]}, []rapid.ObjID{pos[c]})
+	}
+	fmt.Printf("%d interaction tasks within the cutoff\n", interactions)
+
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("n-body graph: %d tasks, %d objects, %d edges, depth %d\n",
+		prog.G.NumTasks(), prog.G.NumObjects(), prog.G.NumEdges(), prog.G.Depth())
+
+	fmt.Printf("\n%-10s %10s %10s %12s %10s\n", "heuristic", "MIN_MEM", "TOT", "pred. time", "MAPs@60%")
+	for _, h := range []rapid.Heuristic{rapid.RCP, rapid.MPO, rapid.DTS, rapid.DTSMerge} {
+		free, err := rapid.Compile(prog, rapid.Options{
+			Procs: procs, Heuristic: h, Owners: rapid.OwnersCyclic,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		budget := free.TOT() * 60 / 100
+		plan, err := rapid.Compile(prog, rapid.Options{
+			Procs: procs, Heuristic: h, Owners: rapid.OwnersCyclic, Memory: budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		maps := "inf"
+		if plan.Executable() {
+			maps = fmt.Sprintf("%.2f", plan.AvgMAPs())
+			// Run the protocol for real (structure-only).
+			if _, err := rapid.Execute(prog, plan, rapid.ExecOptions{}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%-10v %10d %10d %12.4g %10s\n", h, free.MinMem(), free.TOT(), free.PredictedTime(), maps)
+	}
+	fmt.Println("\nall executable configurations ran to completion under the five-state protocol")
+	fmt.Println("note: MPO is the only heuristic fitting the 60% budget here — the")
+	fmt.Println("force/position accesses interleave, so the DTS data connection graph")
+	fmt.Println("collapses into one strongly connected component (a single slice) and")
+	fmt.Println("DTS degrades to critical-path ordering, exactly as Section 4.2 warns")
+	fmt.Println("can happen when accesses of two data objects are interleaved.")
+}

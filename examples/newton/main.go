@@ -1,0 +1,161 @@
+// Newton example: parallelizing Newton's method for a sparse nonlinear
+// system — the paper notes "We have also used this system in parallelizing
+// Newton's method to solve nonlinear systems", and this example shows why
+// the inspector/executor split pays off there: the Jacobian's sparsity is
+// invariant across iterations, so the task graph, the schedule and the
+// memory plan are built ONCE, and only the executor runs per iteration
+// with fresh numeric values.
+//
+// The system is a Bratu-style reaction-diffusion residual on a 2-D grid:
+//
+//	F(x) = A·x + c·x³ − b,   J(x) = A + 3c·diag(x²)
+//
+// Each Newton step factors J with the 1-D column-block sparse LU (partial
+// pivoting) under a 60% memory budget and solves J·dx = −F(x).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/lu"
+	"repro/internal/sparse"
+	"repro/internal/util"
+	"repro/rapid"
+)
+
+const c = 0.35 // nonlinearity strength
+
+func main() {
+	const procs = 4
+	rng := util.NewRNG(99)
+
+	// Fixed-pattern operator A: a diagonally dominant (well-conditioned)
+	// grid operator with irregular extra couplings, as a discretized
+	// diffusion term should be.
+	pattern := sparse.AddRandomUnsymLinks(sparse.Grid2D(12, 10, false), 30, rng)
+	pattern = pattern.SymmetrizePattern()
+	a := sparse.SPDValues(pattern, rng)
+	n := a.N
+
+	// A known root x* defines b = A·x* + c·(x*)³.
+	xStar := make([]float64, n)
+	for i := range xStar {
+		xStar[i] = 0.5 * rng.NormFloat64()
+	}
+	b := spmv(a, xStar)
+	for i := range b {
+		b[i] += c * xStar[i] * xStar[i] * xStar[i]
+	}
+
+	// Inspector: build the task graph and compile the schedule ONCE from
+	// the Jacobian pattern (values are irrelevant to the structure).
+	pr, err := lu.Build(jacobian(a, xStar), lu.Options{Procs: procs, BlockSize: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := rapid.FromGraph(pr.G)
+	free, err := rapid.Compile(prog, rapid.Options{Procs: procs, Heuristic: rapid.MPO})
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := free.TOT() * 60 / 100
+	if budget < free.MinMem() {
+		budget = free.MinMem()
+	}
+	plan, err := rapid.Compile(prog, rapid.Options{Procs: procs, Heuristic: rapid.MPO, Memory: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !plan.Executable() {
+		log.Fatal("plan not executable under the budget")
+	}
+	fmt.Printf("system: n=%d nnz=%d; graph %d tasks over %d panels\n", n, a.Nnz(), pr.G.NumTasks(), pr.NB)
+	fmt.Printf("compiled once: %.2f MAPs/proc under %d units (60%% of %d)\n\n",
+		plan.AvgMAPs(), budget, free.TOT())
+
+	// Executor: one concurrent factorization per Newton iteration.
+	x := make([]float64, n) // start from zero
+	fmt.Printf("%-5s %14s\n", "iter", "‖F(x)‖_inf")
+	for it := 0; it < 12; it++ {
+		f := residual(a, b, x)
+		nrm := infNorm(f)
+		fmt.Printf("%-5d %14.3e\n", it, nrm)
+		if nrm < 1e-12 {
+			break
+		}
+		if err := pr.SetMatrix(jacobian(a, x)); err != nil {
+			log.Fatal(err)
+		}
+		report, err := rapid.Execute(prog, plan, rapid.ExecOptions{
+			Kernel: pr.Kernel, Init: pr.InitObject, BufLen: pr.BufLen,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = -f[i]
+		}
+		dx := pr.Solve(report.Objects, rhs)
+		for i := range x {
+			x[i] += dx[i]
+		}
+	}
+	maxErr := 0.0
+	for i := range x {
+		if d := math.Abs(x[i] - xStar[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("\nmax |x − x*| = %.3g\n", maxErr)
+	if maxErr > 1e-8 {
+		log.Fatal("Newton did not converge to the known root")
+	}
+	fmt.Println("converged: same schedule and memory plan reused every iteration")
+}
+
+// jacobian returns A + 3c·diag(x²) with A's pattern (diagonal present).
+func jacobian(a *sparse.Matrix, x []float64) *sparse.Matrix {
+	j := a.Clone()
+	for col := 0; col < j.N; col++ {
+		vals := j.ColVal(col)
+		for k, i := range j.Col(col) {
+			if int(i) == col {
+				vals[k] = a.ColVal(col)[k] + 3*c*x[col]*x[col]
+			}
+		}
+	}
+	return j
+}
+
+// residual returns F(x) = A·x + c·x³ − b.
+func residual(a *sparse.Matrix, b, x []float64) []float64 {
+	f := spmv(a, x)
+	for i := range f {
+		f[i] += c*x[i]*x[i]*x[i] - b[i]
+	}
+	return f
+}
+
+func spmv(a *sparse.Matrix, x []float64) []float64 {
+	y := make([]float64, a.N)
+	for j := 0; j < a.N; j++ {
+		vals := a.ColVal(j)
+		for k, i := range a.Col(j) {
+			y[i] += vals[k] * x[j]
+		}
+	}
+	return y
+}
+
+func infNorm(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,253 @@
+package blas
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/util"
+)
+
+func randMat(rng *util.RNG, m, n int) []float64 {
+	a := make([]float64, m*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+func naiveGemm(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	at := func(i, l int) float64 {
+		if transA {
+			return a[l*lda+i]
+		}
+		return a[i*lda+l]
+	}
+	bt := func(l, j int) float64 {
+		if transB {
+			return b[j*ldb+l]
+		}
+		return b[l*ldb+j]
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += at(i, l) * bt(l, j)
+			}
+			c[i*ldc+j] += alpha * s
+		}
+	}
+}
+
+func TestGemmAllVariants(t *testing.T) {
+	rng := util.NewRNG(1)
+	for _, tA := range []bool{false, true} {
+		for _, tB := range []bool{false, true} {
+			m, n, k := 7, 5, 6
+			var a, b []float64
+			if tA {
+				a = randMat(rng, k, m)
+			} else {
+				a = randMat(rng, m, k)
+			}
+			if tB {
+				b = randMat(rng, n, k)
+			} else {
+				b = randMat(rng, k, n)
+			}
+			lda := len(a) / map[bool]int{true: k, false: m}[tA]
+			ldb := len(b) / map[bool]int{true: n, false: k}[tB]
+			c1 := randMat(rng, m, n)
+			c2 := append([]float64(nil), c1...)
+			Gemm(tA, tB, m, n, k, 1.5, a, lda, b, ldb, c1, n)
+			naiveGemm(tA, tB, m, n, k, 1.5, a, lda, b, ldb, c2, n)
+			if d := MaxAbsDiff(m, n, c1, n, c2, n); d > 1e-12 {
+				t.Fatalf("Gemm(tA=%v,tB=%v) diff %v", tA, tB, d)
+			}
+		}
+	}
+}
+
+func TestGemmSubBlockLeadingDim(t *testing.T) {
+	// Multiply sub-blocks of a larger panel to exercise lda != n.
+	rng := util.NewRNG(2)
+	big := randMat(rng, 8, 8)
+	a := big[2*8+1:] // 3x2 sub-block at (2,1), lda 8
+	b := randMat(rng, 2, 4)
+	c := make([]float64, 3*4)
+	Gemm(false, false, 3, 4, 2, 1, a, 8, b, 4, c, 4)
+	want := make([]float64, 3*4)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			for l := 0; l < 2; l++ {
+				want[i*4+j] += big[(2+i)*8+1+l] * b[l*4+j]
+			}
+		}
+	}
+	if d := MaxAbsDiff(3, 4, c, 4, want, 4); d > 1e-13 {
+		t.Fatalf("sub-block Gemm diff %v", d)
+	}
+}
+
+func TestSyrkMatchesGemm(t *testing.T) {
+	rng := util.NewRNG(3)
+	n, k := 6, 4
+	a := randMat(rng, n, k)
+	c1 := make([]float64, n*n)
+	c2 := make([]float64, n*n)
+	Syrk(n, k, -1, a, k, c1, n)
+	naiveGemm(false, true, n, n, k, -1, a, k, a, k, c2, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(c1[i*n+j]-c2[i*n+j]) > 1e-12 {
+				t.Fatalf("Syrk mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func spdMatrix(rng *util.RNG, n int) []float64 {
+	b := randMat(rng, n, n)
+	a := make([]float64, n*n)
+	Gemm(false, true, n, n, n, 1, b, n, b, n, a, n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] += float64(n)
+	}
+	return a
+}
+
+func TestPotrfReconstructs(t *testing.T) {
+	rng := util.NewRNG(4)
+	n := 12
+	a := spdMatrix(rng, n)
+	l := append([]float64(nil), a...)
+	if err := Potrf(n, l, n); err != nil {
+		t.Fatal(err)
+	}
+	// Zero the strict upper triangle of L, then compute L·Lᵀ.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l[i*n+j] = 0
+		}
+	}
+	rec := make([]float64, n*n)
+	Gemm(false, true, n, n, n, 1, l, n, l, n, rec, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(rec[i*n+j]-a[i*n+j]) > 1e-9 {
+				t.Fatalf("LLᵀ != A at (%d,%d): %v vs %v", i, j, rec[i*n+j], a[i*n+j])
+			}
+		}
+	}
+}
+
+func TestPotrfNotPD(t *testing.T) {
+	a := []float64{1, 2, 2, 1} // indefinite
+	if err := Potrf(2, a, 2); err != ErrNotPD {
+		t.Fatalf("want ErrNotPD, got %v", err)
+	}
+}
+
+func TestGetrfReconstructs(t *testing.T) {
+	rng := util.NewRNG(5)
+	m, n := 9, 6
+	a := randMat(rng, m, n)
+	f := append([]float64(nil), a...)
+	piv := make([]int, n)
+	if err := Getrf(m, n, f, n, piv); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct L·U and compare with P·A.
+	pa := append([]float64(nil), a...)
+	Laswp(n, pa, n, piv)
+	lu := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			kmax := j
+			if i < kmax {
+				kmax = i
+			}
+			for k := 0; k < kmax; k++ {
+				s += f[i*n+k] * f[k*n+j]
+			}
+			if i <= j {
+				s += f[i*n+j] // diagonal of L is 1
+			} else {
+				s += f[i*n+j] * f[j*n+j]
+			}
+			lu[i*n+j] = s
+		}
+	}
+	if d := MaxAbsDiff(m, n, lu, n, pa, n); d > 1e-10 {
+		t.Fatalf("LU != PA, diff %v", d)
+	}
+}
+
+func TestGetrfPivotsAreUsed(t *testing.T) {
+	// First pivot is tiny; partial pivoting must select row 1.
+	a := []float64{1e-20, 1, 1, 1}
+	piv := make([]int, 2)
+	if err := Getrf(2, 2, a, 2, piv); err != nil {
+		t.Fatal(err)
+	}
+	if piv[0] != 1 {
+		t.Fatalf("pivot not selected: %v", piv)
+	}
+}
+
+func TestGetrfSingular(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	piv := make([]int, 2)
+	if err := Getrf(2, 2, a, 2, piv); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestTrsmRightLowerT(t *testing.T) {
+	rng := util.NewRNG(6)
+	m, n := 5, 4
+	l := randMat(rng, n, n)
+	for i := 0; i < n; i++ {
+		l[i*n+i] = 2 + math.Abs(l[i*n+i])
+		for j := i + 1; j < n; j++ {
+			l[i*n+j] = 0
+		}
+	}
+	b := randMat(rng, m, n)
+	x := append([]float64(nil), b...)
+	TrsmRightLowerT(m, n, l, n, x, n, false)
+	// Check X·Lᵀ == B.
+	rec := make([]float64, m*n)
+	Gemm(false, true, m, n, n, 1, x, n, l, n, rec, n)
+	if d := MaxAbsDiff(m, n, rec, n, b, n); d > 1e-10 {
+		t.Fatalf("X·Lᵀ != B, diff %v", d)
+	}
+}
+
+func TestTrsmLeftLowerUnit(t *testing.T) {
+	rng := util.NewRNG(7)
+	m, n := 4, 6
+	l := randMat(rng, m, m)
+	for i := 0; i < m; i++ {
+		l[i*m+i] = 1
+		for j := i + 1; j < m; j++ {
+			l[i*m+j] = 0
+		}
+	}
+	b := randMat(rng, m, n)
+	x := append([]float64(nil), b...)
+	TrsmLeftLowerUnit(m, n, l, m, x, n)
+	rec := make([]float64, m*n)
+	Gemm(false, false, m, n, m, 1, l, m, x, n, rec, n)
+	if d := MaxAbsDiff(m, n, rec, n, b, n); d > 1e-10 {
+		t.Fatalf("L·X != B, diff %v", d)
+	}
+}
+
+func TestFrobNorm(t *testing.T) {
+	a := []float64{3, 4, 0, 0}
+	if v := FrobNorm(2, 2, a, 2); math.Abs(v-5) > 1e-15 {
+		t.Fatalf("FrobNorm = %v, want 5", v)
+	}
+}

@@ -1,0 +1,335 @@
+// Package chol builds the 2-D block sparse Cholesky task graphs of the
+// paper's first evaluation application. The input SPD matrix is partitioned
+// into w×w blocks; the nonzero block pattern of the factor is computed by
+// symbolic factorization and closed under block-level fill (the static
+// overestimation used by RAPID so the dependence structure is fixed before
+// execution). Data objects are the nonzero lower-triangular blocks A[I,J];
+// tasks are the familiar right-looking kernels
+//
+//	Potrf_k          : A[k,k] <- chol(A[k,k])
+//	Scale_ik         : A[i,k] <- A[i,k] · A[k,k]^-T
+//	Update_ijk       : A[i,j] <- A[i,j] - A[i,k]·A[j,k]ᵀ   (commutative)
+//
+// with a 2-D cyclic block-to-processor mapping (Rothberg & Schreiber style)
+// setting object owners, and the owner-compute rule assigning tasks.
+package chol
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// opKind discriminates the numeric kernel of a task.
+type opKind uint8
+
+const (
+	opPotrf opKind = iota
+	opScale
+	opUpdate
+	opSyrk
+)
+
+type taskInfo struct {
+	kind    opKind
+	i, j, k int32 // block coordinates
+}
+
+// Problem is a built Cholesky instance: the task graph, the block objects
+// and the kernel metadata needed to execute it numerically.
+type Problem struct {
+	N  int // matrix order
+	W  int // block size
+	NB int
+	P  int // processors
+	G  *graph.DAG
+
+	// Rows[J] lists block rows I >= J with a present block (post closure).
+	Rows [][]int32
+
+	blockOf map[[2]int32]graph.ObjID
+	coordOf map[graph.ObjID][2]int32 // lazy inverse of blockOf
+	info    []taskInfo
+	dims    []int // scalar dimension of each block row/column
+
+	// A holds the numeric input matrix when numerics are requested.
+	A *sparse.Matrix
+}
+
+// Options configure the build.
+type Options struct {
+	// Procs is the number of processors p; the block grid is pr×pc with
+	// pr·pc = p, pr as close to sqrt(p) as possible.
+	Procs int
+	// BlockSize w.
+	BlockSize int
+}
+
+// procGrid returns pr, pc with pr*pc == p and pr <= pc, pr maximal.
+func procGrid(p int) (int, int) {
+	pr := int(math.Sqrt(float64(p)))
+	for pr > 1 && p%pr != 0 {
+		pr--
+	}
+	return pr, p / pr
+}
+
+// Build constructs the problem from a symmetric-pattern matrix (values
+// optional; needed only for numeric execution).
+func Build(a *sparse.Matrix, opt Options) (*Problem, error) {
+	if opt.Procs <= 0 || opt.BlockSize <= 0 {
+		return nil, fmt.Errorf("chol: invalid options %+v", opt)
+	}
+	if !a.IsSymmetricPattern() {
+		return nil, fmt.Errorf("chol: matrix pattern is not symmetric")
+	}
+	bp := sparse.NewBlockPattern2D(a, opt.BlockSize)
+	pr := &Problem{
+		N: a.N, W: opt.BlockSize, NB: bp.NB, P: opt.Procs,
+		blockOf: make(map[[2]int32]graph.ObjID),
+		A:       a,
+	}
+	pr.dims = make([]int, bp.NB)
+	for b := 0; b < bp.NB; b++ {
+		pr.dims[b] = bp.BlockDim(b)
+	}
+
+	// Block-level closure: if blocks (I,k) and (J,k) are present with
+	// I >= J > k, block (I,J) receives an update and must be present.
+	rowSets := make([]map[int32]bool, bp.NB)
+	for j := 0; j < bp.NB; j++ {
+		rowSets[j] = make(map[int32]bool, len(bp.Rows[j]))
+		for _, r := range bp.Rows[j] {
+			rowSets[j][r] = true
+		}
+	}
+	for k := 0; k < bp.NB; k++ {
+		below := belowDiag(sortedKeys(rowSets[k]), int32(k))
+		for x := 0; x < len(below); x++ {
+			for y := 0; y <= x; y++ {
+				rowSets[below[y]][below[x]] = true // block (I=below[x], J=below[y])
+			}
+		}
+	}
+	pr.Rows = make([][]int32, bp.NB)
+	for j := 0; j < bp.NB; j++ {
+		pr.Rows[j] = sortedKeys(rowSets[j])
+	}
+
+	// Objects with 2-D cyclic owners.
+	gb := graph.NewBuilder()
+	prp, prc := procGrid(opt.Procs)
+	owners := make([]graph.Proc, 0, 1024)
+	for j := 0; j < bp.NB; j++ {
+		for _, i := range pr.Rows[j] {
+			id := gb.Object(blockName(i, int32(j)), int64(pr.dims[i]*pr.dims[j]))
+			pr.blockOf[[2]int32{i, int32(j)}] = id
+			owners = append(owners, graph.Proc((int(i)%prp)*prc+(j%prc)))
+		}
+	}
+
+	// Tasks in right-looking sequential order.
+	for k := int32(0); k < int32(bp.NB); k++ {
+		dk := pr.dims[k]
+		diag := pr.blockOf[[2]int32{k, k}]
+		fk := float64(dk)
+		gb.Task(fmt.Sprintf("potrf(%d)", k), fk*fk*fk/3,
+			[]graph.ObjID{diag}, []graph.ObjID{diag})
+		pr.info = append(pr.info, taskInfo{kind: opPotrf, i: k, j: k, k: k})
+
+		below := belowDiag(pr.Rows[k], k)
+		for _, i := range below {
+			bik := pr.blockOf[[2]int32{i, k}]
+			gb.Task(fmt.Sprintf("scale(%d,%d)", i, k), float64(pr.dims[i])*fk*fk,
+				[]graph.ObjID{diag, bik}, []graph.ObjID{bik})
+			pr.info = append(pr.info, taskInfo{kind: opScale, i: i, j: k, k: k})
+		}
+		for x := 0; x < len(below); x++ {
+			for y := 0; y <= x; y++ {
+				i, j := below[x], below[y]
+				bik := pr.blockOf[[2]int32{i, k}]
+				bjk := pr.blockOf[[2]int32{j, k}]
+				bij := pr.blockOf[[2]int32{i, j}]
+				if i == j {
+					gb.CommutativeTask(fmt.Sprintf("syrk(%d,%d)", i, k),
+						float64(pr.dims[i])*float64(pr.dims[i])*fk,
+						[]graph.ObjID{bik, bij}, []graph.ObjID{bij})
+					pr.info = append(pr.info, taskInfo{kind: opSyrk, i: i, j: j, k: k})
+				} else {
+					gb.CommutativeTask(fmt.Sprintf("update(%d,%d,%d)", i, j, k),
+						2*float64(pr.dims[i])*float64(pr.dims[j])*fk,
+						[]graph.ObjID{bik, bjk, bij}, []graph.ObjID{bij})
+					pr.info = append(pr.info, taskInfo{kind: opUpdate, i: i, j: j, k: k})
+				}
+			}
+		}
+	}
+
+	g, err := gb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("chol: %w", err)
+	}
+	for oi := range owners {
+		g.Objects[oi].Owner = owners[oi]
+	}
+	pr.coordOf = make(map[graph.ObjID][2]int32, len(pr.blockOf))
+	for c, id := range pr.blockOf {
+		pr.coordOf[id] = c
+	}
+	pr.G = g
+	return pr, nil
+}
+
+func blockName(i, j int32) string { return fmt.Sprintf("A[%d,%d]", i, j) }
+
+func sortedKeys(m map[int32]bool) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// insertion sort (short lists)
+	for i := 1; i < len(out); i++ {
+		v := out[i]
+		j := i - 1
+		for j >= 0 && out[j] > v {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = v
+	}
+	return out
+}
+
+func belowDiag(rows []int32, k int32) []int32 {
+	out := make([]int32, 0, len(rows))
+	for _, r := range rows {
+		if r > k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// BlockDim returns the scalar dimension of block row/column b.
+func (pr *Problem) BlockDim(b int) int { return pr.dims[b] }
+
+// BlockObj returns the object ID of block (i, j).
+func (pr *Problem) BlockObj(i, j int) (graph.ObjID, bool) {
+	id, ok := pr.blockOf[[2]int32{int32(i), int32(j)}]
+	return id, ok
+}
+
+// InitObject fills buf (row-major dims[i]×dims[j]) with the values of block
+// (I, J) of A; fill blocks start at zero. Used by executors to initialize
+// permanent objects on their owners.
+func (pr *Problem) InitObject(o graph.ObjID, buf []float64) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if pr.A == nil || pr.A.Val == nil {
+		return
+	}
+	bi, bj := pr.blockCoords(o)
+	w := pr.W
+	r0, c0 := int(bi)*w, int(bj)*w
+	rows, cols := pr.dims[bi], pr.dims[bj]
+	for j := 0; j < cols; j++ {
+		col := pr.A.Col(c0 + j)
+		vals := pr.A.ColVal(c0 + j)
+		for k, i := range col {
+			r := int(i) - r0
+			if r >= 0 && r < rows {
+				if bi == bj && r < j {
+					continue // keep lower triangle only
+				}
+				buf[r*cols+j] = vals[k]
+			}
+		}
+	}
+}
+
+// blockCoords recovers (I, J) for an object. The inverse map is built by
+// Build so that InitObject is safe to call from concurrent executors.
+func (pr *Problem) blockCoords(o graph.ObjID) (int32, int32) {
+	c := pr.coordOf[o]
+	return c[0], c[1]
+}
+
+// Kernel executes task t numerically against the object buffers supplied by
+// get. Buffers are row-major dims[i]×dims[j] blocks.
+func (pr *Problem) Kernel(t graph.TaskID, get func(graph.ObjID) []float64) error {
+	ti := pr.info[t]
+	task := &pr.G.Tasks[t]
+	switch ti.kind {
+	case opPotrf:
+		d := get(task.Writes[0])
+		n := pr.dims[ti.k]
+		return blas.Potrf(n, d, n)
+	case opScale:
+		diag := get(task.Reads[0])
+		b := get(task.Writes[0])
+		m, n := pr.dims[ti.i], pr.dims[ti.k]
+		blas.TrsmRightLowerT(m, n, diag, n, b, n, false)
+		return nil
+	case opSyrk:
+		a := get(task.Reads[0])
+		c := get(task.Writes[0])
+		n, k := pr.dims[ti.i], pr.dims[ti.k]
+		blas.Syrk(n, k, -1, a, k, c, n)
+		return nil
+	case opUpdate:
+		a := get(task.Reads[0]) // A[i,k]
+		b := get(task.Reads[1]) // A[j,k]
+		c := get(task.Writes[0])
+		m, n, k := pr.dims[ti.i], pr.dims[ti.j], pr.dims[ti.k]
+		blas.Gemm(false, true, m, n, k, -1, a, k, b, k, c, n)
+		return nil
+	}
+	return fmt.Errorf("chol: unknown kernel for task %d", t)
+}
+
+// SequentialFactor runs the kernels in a sequential topological order and
+// returns the block buffers, for use as a reference in tests.
+func (pr *Problem) SequentialFactor() (map[graph.ObjID][]float64, error) {
+	bufs := make(map[graph.ObjID][]float64, pr.G.NumObjects())
+	for oi := range pr.G.Objects {
+		b := make([]float64, pr.G.Objects[oi].Size)
+		pr.InitObject(graph.ObjID(oi), b)
+		bufs[graph.ObjID(oi)] = b
+	}
+	order, err := pr.G.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	get := func(o graph.ObjID) []float64 { return bufs[o] }
+	for _, t := range order {
+		if err := pr.Kernel(t, get); err != nil {
+			return nil, fmt.Errorf("chol: task %q: %w", pr.G.Tasks[t].Name, err)
+		}
+	}
+	return bufs, nil
+}
+
+// AssembleL expands block buffers into a dense lower-triangular factor.
+func (pr *Problem) AssembleL(bufs map[graph.ObjID][]float64) []float64 {
+	n := pr.N
+	l := make([]float64, n*n)
+	for c, id := range pr.blockOf {
+		bi, bj := c[0], c[1]
+		rows, cols := pr.dims[bi], pr.dims[bj]
+		buf := bufs[id]
+		for r := 0; r < rows; r++ {
+			for q := 0; q < cols; q++ {
+				gi, gj := int(bi)*pr.W+r, int(bj)*pr.W+q
+				if gj > gi {
+					continue
+				}
+				l[gi*n+gj] = buf[r*cols+q]
+			}
+		}
+	}
+	return l
+}

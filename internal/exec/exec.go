@@ -1,0 +1,398 @@
+// Package exec is the concurrent executor: it runs a scheduled task graph
+// under the active memory management scheme with one goroutine per
+// (virtual) processor, exercising the real five-state protocol of Section
+// 3.3:
+//
+//	REC  wait for the arrival counters of the current task's volatile
+//	     objects (and cross-processor control signals),
+//	EXE  run the task's kernel,
+//	SND  issue the task's data messages; messages whose remote address is
+//	     unknown are enqueued on the suspended-send queue,
+//	MAP  free dead volatile objects, allocate ahead, send address packages
+//	     (blocking while a peer has not consumed the previous package),
+//	END  drain the suspended-send queue.
+//
+// Every blocking state polls RA (read address packages) and CQ (check the
+// suspended queue), exactly as the deadlock-freedom proof requires. The
+// executor is used both as a correctness harness (results must equal a
+// sequential execution; runs under -race; stray Puts into freed buffers
+// panic) and as the numeric engine of the examples.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/proto"
+	"repro/internal/rma"
+	"repro/internal/sched"
+)
+
+// KernelFunc executes a task against its object buffers. get returns the
+// local buffer of any object the task reads or writes.
+type KernelFunc func(t graph.TaskID, get func(graph.ObjID) []float64) error
+
+// InitFunc fills a permanent object's buffer with its initial value.
+type InitFunc func(o graph.ObjID, buf []float64)
+
+// Config controls a run.
+type Config struct {
+	// Kernel runs each task. nil runs the protocol structure-only (no
+	// numeric payloads are allocated or copied).
+	Kernel KernelFunc
+	// Init initializes permanent objects on their owners (numeric mode).
+	Init InitFunc
+	// BufLen overrides the physical buffer length of an object (defaults to
+	// the object's abstract Size). Only consulted in numeric mode.
+	BufLen func(o graph.ObjID) int64
+	// BlockTimeout aborts the run if a processor makes no progress for this
+	// long (a liveness watchdog for tests; 0 means 30s).
+	BlockTimeout time.Duration
+}
+
+// Result reports a completed run.
+type Result struct {
+	// MAPsExecuted is the number of MAPs each processor performed.
+	MAPsExecuted []int
+	// PeakUnits is the per-processor peak memory in use (abstract units).
+	PeakUnits []int64
+	// Perm maps every object to its final buffer on its owner (numeric
+	// mode; nil otherwise).
+	Perm map[graph.ObjID][]float64
+}
+
+type engine struct {
+	s      *sched.Schedule
+	plan   *mem.Plan
+	tables *proto.Tables
+	cfg    Config
+
+	slots   *rma.AddrSlots
+	ctlRecv []atomic.Int32 // per task
+
+	// volatile buffer registries: vola[p] is written only by p's goroutine
+	// before any reader polls it via arrivals — producers reach buffers
+	// only through address packages, never through this map.
+	numeric bool
+
+	abort  atomic.Bool
+	errMu  sync.Mutex
+	runErr error
+}
+
+func (e *engine) fail(err error) {
+	e.errMu.Lock()
+	if e.runErr == nil {
+		e.runErr = err
+	}
+	e.errMu.Unlock()
+	e.abort.Store(true)
+}
+
+// Run executes the schedule under the MAP plan. The plan must be executable
+// (use mem.NewPlan and check Executable first); capacity is taken from it.
+func Run(s *sched.Schedule, plan *mem.Plan, cfg Config) (*Result, error) {
+	if !plan.Executable {
+		return nil, fmt.Errorf("exec: plan is not executable under capacity %d", plan.Capacity)
+	}
+	if cfg.BlockTimeout == 0 {
+		cfg.BlockTimeout = 30 * time.Second
+	}
+	e := &engine{
+		s:       s,
+		plan:    plan,
+		tables:  proto.Derive(s),
+		cfg:     cfg,
+		slots:   rma.NewAddrSlots(s.P),
+		ctlRecv: make([]atomic.Int32, s.G.NumTasks()),
+		numeric: cfg.Kernel != nil,
+	}
+	res := &Result{
+		MAPsExecuted: make([]int, s.P),
+		PeakUnits:    make([]int64, s.P),
+	}
+	permBufs := make([]map[graph.ObjID][]float64, s.P)
+
+	var wg sync.WaitGroup
+	for p := 0; p < s.P; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					e.fail(fmt.Errorf("exec: processor %d panicked: %v", p, r))
+				}
+			}()
+			maps, peak, bufs, err := e.runProc(graph.Proc(p))
+			if err != nil {
+				e.fail(err)
+				return
+			}
+			res.MAPsExecuted[p] = maps
+			res.PeakUnits[p] = peak
+			permBufs[p] = bufs
+		}(p)
+	}
+	wg.Wait()
+	if e.runErr != nil {
+		return nil, e.runErr
+	}
+	if e.numeric {
+		res.Perm = make(map[graph.ObjID][]float64, s.G.NumObjects())
+		for p := 0; p < s.P; p++ {
+			for o, b := range permBufs[p] {
+				res.Perm[o] = b
+			}
+		}
+	}
+	return res, nil
+}
+
+// procState is the per-processor runtime state.
+type procState struct {
+	e    *engine
+	p    graph.Proc
+	mem  *rma.Memory
+	perm map[graph.ObjID][]float64
+	// addr holds remote buffer handles learned through address packages,
+	// keyed by (object, destination processor).
+	addr map[[2]int32]*rma.Buffer
+	// suspended send queue (FIFO).
+	suspended []proto.Send
+	// progress stamps for the watchdog.
+	lastProgress time.Time
+}
+
+func (e *engine) bufLen(o graph.ObjID) int64 {
+	if !e.numeric {
+		return 0
+	}
+	if e.cfg.BufLen != nil {
+		return e.cfg.BufLen(o)
+	}
+	return e.s.G.Objects[o].Size
+}
+
+func (e *engine) runProc(p graph.Proc) (mapsExecuted int, peak int64, permOut map[graph.ObjID][]float64, err error) {
+	ps := &procState{
+		e:    e,
+		p:    p,
+		mem:  rma.NewMemory(e.plan.Capacity),
+		perm: make(map[graph.ObjID][]float64),
+		addr: make(map[[2]int32]*rma.Buffer),
+
+		lastProgress: time.Now(),
+	}
+	s := e.s
+
+	// Allocate and initialize permanent objects.
+	for oi := range s.G.Objects {
+		o := &s.G.Objects[oi]
+		if o.Owner != p {
+			continue
+		}
+		b, aerr := ps.mem.Alloc(graph.ObjID(oi), o.Size, e.bufLen(graph.ObjID(oi)))
+		if aerr != nil {
+			return 0, 0, nil, fmt.Errorf("exec: proc %d permanent allocation: %w", p, aerr)
+		}
+		if e.numeric {
+			if e.cfg.Init != nil {
+				e.cfg.Init(graph.ObjID(oi), b.Data)
+			}
+			ps.perm[graph.ObjID(oi)] = b.Data
+		}
+	}
+	peak = ps.mem.Used()
+
+	order := s.Order[p]
+	maps := e.plan.Procs[p].MAPs
+	mapIdx := 0
+	pos := int32(0)
+	for {
+		// MAP state.
+		if mapIdx < len(maps) && maps[mapIdx].Pos == pos {
+			if err := ps.doMAP(&maps[mapIdx]); err != nil {
+				return 0, 0, nil, err
+			}
+			mapsExecuted++
+			mapIdx++
+			if u := ps.mem.Used(); u > peak {
+				peak = u
+			}
+		}
+		if int(pos) >= len(order) {
+			break
+		}
+		t := order[pos]
+		// REC state.
+		if err := ps.waitReady(t); err != nil {
+			return 0, 0, nil, err
+		}
+		// EXE state.
+		if e.numeric {
+			if kerr := e.cfg.Kernel(t, ps.get); kerr != nil {
+				return 0, 0, nil, fmt.Errorf("exec: proc %d task %q: %w", p, s.G.Tasks[t].Name, kerr)
+			}
+		}
+		// SND state.
+		for _, snd := range e.tables.Sends[t] {
+			if !ps.trySend(snd) {
+				ps.suspended = append(ps.suspended, snd)
+			}
+		}
+		for _, v := range e.tables.CtlSends[t] {
+			e.ctlRecv[v].Add(1)
+		}
+		ps.poll()
+		ps.lastProgress = time.Now()
+		pos++
+	}
+	// END state: drain the suspended queue.
+	for len(ps.suspended) > 0 {
+		if err := ps.blockCheck("END"); err != nil {
+			return 0, 0, nil, err
+		}
+		ps.poll()
+	}
+	return mapsExecuted, peak, ps.perm, nil
+}
+
+// get resolves an object to its local buffer for the kernel.
+func (ps *procState) get(o graph.ObjID) []float64 {
+	if b, ok := ps.mem.Lookup(o); ok {
+		return b.Data
+	}
+	panic(fmt.Sprintf("exec: proc %d kernel touched unallocated object %q", ps.p, ps.e.s.G.Objects[o].Name))
+}
+
+// doMAP performs one memory allocation point.
+func (ps *procState) doMAP(m *mem.MAP) error {
+	g := ps.e.s.G
+	for _, o := range m.Frees {
+		if err := ps.mem.Free(o, g.Objects[o].Size); err != nil {
+			return fmt.Errorf("exec: proc %d MAP free: %w", ps.p, err)
+		}
+	}
+	newBufs := make(map[graph.ObjID]*rma.Buffer, len(m.Allocs))
+	for _, o := range m.Allocs {
+		b, err := ps.mem.Alloc(o, g.Objects[o].Size, ps.e.bufLen(o))
+		if err != nil {
+			return fmt.Errorf("exec: proc %d MAP alloc (plan said it fits): %w", ps.p, err)
+		}
+		// Volatile copies of pure input objects (no producer task ever
+		// sends them) are filled during preprocessing — the runtime's
+		// initial data distribution.
+		if ps.e.numeric && ps.e.cfg.Init != nil && ps.e.tables.Expect[ps.p][o] == 0 {
+			ps.e.cfg.Init(o, b.Data)
+		}
+		newBufs[o] = b
+	}
+	// Assemble and send address packages; block (polling RA/CQ) while a
+	// destination has not consumed our previous package.
+	for dst, objs := range m.Notify {
+		bufs := make([]*rma.Buffer, len(objs))
+		for i, o := range objs {
+			bufs[i] = newBufs[o]
+		}
+		pkg := &rma.AddrPackage{From: ps.p, Buffers: bufs}
+		for !ps.e.slots.TrySend(dst, ps.p, pkg) {
+			if err := ps.blockCheck("MAP"); err != nil {
+				return err
+			}
+			ps.poll()
+		}
+	}
+	ps.lastProgress = time.Now()
+	return nil
+}
+
+// waitReady implements the REC state for task t.
+func (ps *procState) waitReady(t graph.TaskID) error {
+	e := ps.e
+	for {
+		ready := e.ctlRecv[t].Load() >= e.tables.CtlNeed[t]
+		if ready {
+			for _, need := range e.tables.Needs[t] {
+				b, ok := ps.mem.Lookup(need.Obj)
+				if !ok {
+					return fmt.Errorf("exec: proc %d task %q needs unallocated object %q", ps.p, e.s.G.Tasks[t].Name, e.s.G.Objects[need.Obj].Name)
+				}
+				if b.Arrivals() < need.MinArrivals {
+					ready = false
+					break
+				}
+			}
+		}
+		if ready {
+			ps.lastProgress = time.Now()
+			return nil
+		}
+		if err := ps.blockCheck("REC"); err != nil {
+			return err
+		}
+		ps.poll()
+	}
+}
+
+// trySend dispatches one data message if the remote address is known.
+func (ps *procState) trySend(snd proto.Send) bool {
+	b, ok := ps.addr[[2]int32{int32(snd.Obj), int32(snd.Dst)}]
+	if !ok {
+		return false
+	}
+	if ps.e.numeric {
+		src, ok := ps.mem.Lookup(snd.Obj)
+		if !ok {
+			panic(fmt.Sprintf("exec: proc %d sending unallocated object %d", ps.p, snd.Obj))
+		}
+		b.Put(src.Data)
+	} else {
+		b.PutFlagOnly()
+	}
+	return true
+}
+
+// poll is RA followed by CQ, as the protocol requires in every blocking
+// state (and between tasks).
+func (ps *procState) poll() {
+	// RA: read address packages.
+	for _, pkg := range ps.e.slots.Consume(ps.p) {
+		for _, b := range pkg.Buffers {
+			ps.addr[[2]int32{int32(b.Obj), int32(pkg.From)}] = b
+		}
+		ps.lastProgress = time.Now()
+	}
+	// CQ: dispatch suspended messages whose addresses are now known,
+	// preserving FIFO order per (object, destination).
+	if len(ps.suspended) > 0 {
+		blocked := make(map[[2]int32]bool)
+		kept := ps.suspended[:0]
+		for _, snd := range ps.suspended {
+			k := [2]int32{int32(snd.Obj), int32(snd.Dst)}
+			if blocked[k] || !ps.trySend(snd) {
+				blocked[k] = true
+				kept = append(kept, snd)
+				continue
+			}
+			ps.lastProgress = time.Now()
+		}
+		ps.suspended = kept
+	}
+	runtime.Gosched()
+}
+
+// blockCheck aborts on engine failure or watchdog expiry.
+func (ps *procState) blockCheck(state string) error {
+	if ps.e.abort.Load() {
+		return fmt.Errorf("exec: proc %d aborted in %s state", ps.p, state)
+	}
+	if time.Since(ps.lastProgress) > ps.e.cfg.BlockTimeout {
+		return fmt.Errorf("exec: proc %d made no progress for %v in %s state (possible deadlock)", ps.p, ps.e.cfg.BlockTimeout, state)
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package graph
+
+import "fmt"
+
+// Builder constructs a transformed task dependence graph from a sequential
+// stream of task declarations. Dependencies are derived from the read/write
+// sets exactly as a data dependence graph would record them (true, anti,
+// output), and the Build step performs the transformation of Section 2 of
+// the paper: anti and output edges subsumed by true-dependence paths are
+// removed; the remainder are retained as pure precedence edges so the
+// resulting DAG is always safe to execute.
+//
+// Commutative tasks: a maximal consecutive run of tasks declared with
+// Commutative=true that write the same object is treated as a commuting
+// group. Tasks inside the group are not ordered against each other; the
+// group as a whole is ordered against earlier and later accessors of the
+// object. This captures the accumulating update operations of sparse
+// factorizations.
+type Builder struct {
+	tasks   []Task
+	objects []Object
+
+	objNames  map[string]ObjID
+	taskNames map[string]struct{}
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		objNames:  make(map[string]ObjID),
+		taskNames: make(map[string]struct{}),
+	}
+}
+
+// Object declares a data object with the given name and size (memory
+// units) and returns its ID. Declaring the same name twice is an error at
+// Build time if the sizes differ; otherwise the original ID is returned.
+func (b *Builder) Object(name string, size int64) ObjID {
+	if id, ok := b.objNames[name]; ok {
+		return id
+	}
+	id := ObjID(len(b.objects))
+	b.objects = append(b.objects, Object{ID: id, Name: name, Size: size, Owner: None})
+	b.objNames[name] = id
+	return id
+}
+
+// ObjectID returns the ID of a previously declared object name.
+func (b *Builder) ObjectID(name string) (ObjID, bool) {
+	id, ok := b.objNames[name]
+	return id, ok
+}
+
+// Task appends a task to the sequential program. Reads and writes may
+// overlap (read-modify-write).
+func (b *Builder) Task(name string, cost float64, reads, writes []ObjID) TaskID {
+	return b.addTask(name, cost, reads, writes, false)
+}
+
+// CommutativeTask appends a task that commutes with adjacent commutative
+// tasks writing the same objects.
+func (b *Builder) CommutativeTask(name string, cost float64, reads, writes []ObjID) TaskID {
+	return b.addTask(name, cost, reads, writes, true)
+}
+
+func (b *Builder) addTask(name string, cost float64, reads, writes []ObjID, comm bool) TaskID {
+	id := TaskID(len(b.tasks))
+	b.tasks = append(b.tasks, Task{
+		ID:          id,
+		Name:        name,
+		Cost:        cost,
+		Reads:       append([]ObjID(nil), reads...),
+		Writes:      append([]ObjID(nil), writes...),
+		Commutative: comm,
+	})
+	return id
+}
+
+// NumTasks returns the number of tasks declared so far.
+func (b *Builder) NumTasks() int { return len(b.tasks) }
+
+// rawDep is a dependence discovered during the sequential scan.
+type rawDep struct {
+	from, to TaskID
+	obj      ObjID
+	kind     DepKind
+}
+
+// Build derives the DDG, applies the transformation and returns the
+// resulting DAG. The returned graph owns the task and object slices.
+func (b *Builder) Build() (*DAG, error) {
+	nObj := len(b.objects)
+	g := newDAG(b.tasks, b.objects)
+
+	// Per-object scan state.
+	type objState struct {
+		// lastWriters holds the most recent writing group: a single task, or
+		// all members of an open commutative group.
+		lastWriters []TaskID
+		commOpen    bool
+		// readersSince holds tasks that read the object after the last write.
+		readersSince []TaskID
+		// groupPreds / groupAntiPreds hold the writers and readers that
+		// preceded the currently-open commutative group, so that tasks
+		// joining the group later are still ordered after them.
+		groupPreds     []TaskID
+		groupAntiPreds []TaskID
+	}
+	st := make([]objState, nObj)
+
+	var deps []rawDep
+	seen := make(map[[2]TaskID]DepKind)
+	add := func(from, to TaskID, obj ObjID, kind DepKind) {
+		if from == to {
+			return
+		}
+		key := [2]TaskID{from, to}
+		if prev, ok := seen[key]; ok {
+			// True dependence dominates; keep the strongest kind only.
+			if prev == DepTrue || kind != DepTrue {
+				return
+			}
+		}
+		seen[key] = kind
+		deps = append(deps, rawDep{from, to, obj, kind})
+	}
+
+	for ti := range b.tasks {
+		t := &b.tasks[ti]
+		writes := make(map[ObjID]bool, len(t.Writes))
+		for _, o := range t.Writes {
+			writes[o] = true
+		}
+		for _, o := range t.Reads {
+			if writes[o] && t.Commutative {
+				// Read-modify-write inside a commutative group: ordering is
+				// handled by the write scan against the pre-group writers,
+				// not against the other (commuting) group members.
+				continue
+			}
+			s := &st[o]
+			for _, w := range s.lastWriters {
+				add(w, t.ID, o, DepTrue)
+			}
+			if !writes[o] {
+				s.readersSince = append(s.readersSince, t.ID)
+				// A plain read consumes the accumulated value: any open
+				// commutative group on o is closed so that writers declared
+				// later are ordered after this reader, whatever the
+				// reader's own commutativity (it may belong to a group on a
+				// different object).
+				s.commOpen = false
+			}
+		}
+		for _, o := range t.Writes {
+			s := &st[o]
+			if t.Commutative && s.commOpen {
+				// Member of the open commutative group: unordered against the
+				// other members, but still ordered after everything that
+				// preceded the group.
+				for _, w := range s.groupPreds {
+					add(w, t.ID, o, DepTrue)
+				}
+				for _, r := range s.groupAntiPreds {
+					add(r, t.ID, o, DepAnti)
+				}
+				s.lastWriters = append(s.lastWriters, t.ID)
+				continue
+			}
+			// Close out the previous writers/readers.
+			for _, r := range s.readersSince {
+				add(r, t.ID, o, DepAnti)
+			}
+			for _, w := range s.lastWriters {
+				kind := DepOutput
+				if readsObj(t, o) {
+					kind = DepTrue // read-modify-write: value flows
+				}
+				add(w, t.ID, o, kind)
+			}
+			if t.Commutative {
+				// Opening a new group: remember what preceded it.
+				s.groupPreds = append(s.groupPreds[:0], s.lastWriters...)
+				s.groupAntiPreds = append(s.groupAntiPreds[:0], s.readersSince...)
+			}
+			s.readersSince = s.readersSince[:0]
+			s.lastWriters = append(s.lastWriters[:0], t.ID)
+			s.commOpen = t.Commutative
+		}
+	}
+
+	// Insert true edges first so subsumption can consult them.
+	for _, d := range deps {
+		if d.kind == DepTrue {
+			g.AddEdge(Edge{From: d.from, To: d.to, Obj: d.obj, Kind: DepTrue})
+		}
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("graph: true-dependence subgraph is cyclic: %w", err)
+	}
+	topoIdx := make([]int32, len(b.tasks))
+	for i, t := range order {
+		topoIdx[t] = int32(i)
+	}
+
+	// Transformation: drop anti/output edges subsumed by a true-dependence
+	// path; keep the rest as precedence edges.
+	reach := newReachability(g, topoIdx)
+	for _, d := range deps {
+		if d.kind == DepTrue {
+			continue
+		}
+		if reach.hasPath(d.from, d.to) {
+			continue // subsumed
+		}
+		g.AddEdge(Edge{From: d.from, To: d.to, Obj: d.obj, Kind: DepPrec})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func readsObj(t *Task, o ObjID) bool {
+	for _, r := range t.Reads {
+		if r == o {
+			return true
+		}
+	}
+	return false
+}
+
+// reachability answers s->t path queries over the true-dependence subgraph
+// using a DFS pruned by topological index. Queries are expected to be local
+// (producer and consumer close in program order), so the pruned DFS is fast
+// in practice.
+type reachability struct {
+	g       *DAG
+	topoIdx []int32
+	mark    []int32
+	stamp   int32
+	stack   []TaskID
+}
+
+func newReachability(g *DAG, topoIdx []int32) *reachability {
+	return &reachability{g: g, topoIdx: topoIdx, mark: make([]int32, len(g.Tasks))}
+}
+
+func (r *reachability) hasPath(from, to TaskID) bool {
+	if from == to {
+		return true
+	}
+	if r.topoIdx[from] >= r.topoIdx[to] {
+		return false
+	}
+	r.stamp++
+	r.stack = append(r.stack[:0], from)
+	r.mark[from] = r.stamp
+	limit := r.topoIdx[to]
+	for len(r.stack) > 0 {
+		t := r.stack[len(r.stack)-1]
+		r.stack = r.stack[:len(r.stack)-1]
+		for _, e := range r.g.out[t] {
+			if e.Kind != DepTrue {
+				continue
+			}
+			if e.To == to {
+				return true
+			}
+			if r.topoIdx[e.To] >= limit || r.mark[e.To] == r.stamp {
+				continue
+			}
+			r.mark[e.To] = r.stamp
+			r.stack = append(r.stack, e.To)
+		}
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+// Package graph implements the task-parallelism model of Fu & Yang
+// (PPoPP'97): directed acyclic task graphs with mixed granularities over a
+// set of distinct data objects. It provides
+//
+//   - construction of data dependence graphs (DDG) from a sequential task
+//     stream with read/write sets (true, anti and output dependencies),
+//   - the transformation to a true-dependence-only DAG (anti/output edges
+//     that are subsumed by true-dependence paths are dropped, the rest are
+//     kept as pure precedence edges),
+//   - commutative task groups (e.g. the accumulating update tasks of sparse
+//     factorizations) which are left mutually unordered,
+//   - critical-path metrics (top and bottom levels) parameterized by a
+//     communication cost function,
+//   - topological sorting, strongly-connected components (for the DTS data
+//     connection graph) and the dependence-completeness check used by the
+//     paper's data-consistency argument.
+package graph
+
+import (
+	"fmt"
+)
+
+// TaskID identifies a task within a DAG.
+type TaskID = int32
+
+// ObjID identifies a data object within a DAG.
+type ObjID = int32
+
+// Proc identifies a (virtual) processor.
+type Proc = int32
+
+// None marks an absent task/object/processor.
+const None int32 = -1
+
+// DepKind classifies a dependence edge.
+type DepKind uint8
+
+const (
+	// DepTrue is a flow (read-after-write) dependence; the edge carries the
+	// labelled data object from producer to consumer.
+	DepTrue DepKind = iota
+	// DepAnti is a write-after-read dependence.
+	DepAnti
+	// DepOutput is a write-after-write dependence.
+	DepOutput
+	// DepPrec is a pure precedence edge retained after transformation for an
+	// anti/output dependence that could not be subsumed.
+	DepPrec
+)
+
+func (k DepKind) String() string {
+	switch k {
+	case DepTrue:
+		return "true"
+	case DepAnti:
+		return "anti"
+	case DepOutput:
+		return "output"
+	case DepPrec:
+		return "prec"
+	}
+	return "?"
+}
+
+// Edge is a dependence edge. For DepTrue edges Obj is the data object whose
+// value flows along the edge; for other kinds Obj records the conflicting
+// object (informational).
+type Edge struct {
+	From, To TaskID
+	Obj      ObjID
+	Kind     DepKind
+}
+
+// Object is a distinct data object. Size is in abstract memory units (the
+// applications use the number of float64 entries of a block). Owner is the
+// processor that holds the object permanently; it is graph.None until a
+// mapping assigns it.
+type Object struct {
+	ID    ObjID
+	Name  string
+	Size  int64
+	Owner Proc
+}
+
+// Task is a unit of computation reading and writing subsets of the data
+// objects. Cost is in abstract work units (the applications use flops).
+// Commutative tasks writing the same object in a consecutive program-order
+// run are left mutually unordered by the DDG builder.
+type Task struct {
+	ID          TaskID
+	Name        string
+	Cost        float64
+	Reads       []ObjID
+	Writes      []ObjID
+	Commutative bool
+}
+
+// DAG is a transformed task dependence graph: acyclic, with true-dependence
+// edges labelled by data objects plus optional pure precedence edges.
+type DAG struct {
+	Tasks   []Task
+	Objects []Object
+
+	out [][]Edge
+	in  [][]Edge
+
+	nEdges int
+}
+
+// NumTasks returns the number of tasks.
+func (g *DAG) NumTasks() int { return len(g.Tasks) }
+
+// NumObjects returns the number of data objects.
+func (g *DAG) NumObjects() int { return len(g.Objects) }
+
+// NumEdges returns the number of dependence edges.
+func (g *DAG) NumEdges() int { return g.nEdges }
+
+// Out returns the out-edges of task t. The slice must not be modified.
+func (g *DAG) Out(t TaskID) []Edge { return g.out[t] }
+
+// In returns the in-edges of task t. The slice must not be modified.
+func (g *DAG) In(t TaskID) []Edge { return g.in[t] }
+
+// AddEdge inserts a dependence edge. It does not deduplicate; use the
+// Builder for that.
+func (g *DAG) AddEdge(e Edge) {
+	g.out[e.From] = append(g.out[e.From], e)
+	g.in[e.To] = append(g.in[e.To], e)
+	g.nEdges++
+}
+
+// newDAG allocates a DAG with the given tasks and objects and no edges.
+func newDAG(tasks []Task, objects []Object) *DAG {
+	return &DAG{
+		Tasks:   tasks,
+		Objects: objects,
+		out:     make([][]Edge, len(tasks)),
+		in:      make([][]Edge, len(tasks)),
+	}
+}
+
+// TopoSort returns a topological order of the tasks, or an error if the
+// graph contains a cycle.
+func (g *DAG) TopoSort() ([]TaskID, error) {
+	n := len(g.Tasks)
+	indeg := make([]int32, n)
+	for t := 0; t < n; t++ {
+		for range g.in[t] {
+			indeg[t]++
+		}
+	}
+	order := make([]TaskID, 0, n)
+	queue := make([]TaskID, 0, n)
+	for t := 0; t < n; t++ {
+		if indeg[t] == 0 {
+			queue = append(queue, TaskID(t))
+		}
+	}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		order = append(order, t)
+		for _, e := range g.out[t] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d tasks ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: edge endpoints in range, object
+// references in range, acyclicity.
+func (g *DAG) Validate() error {
+	n := int32(len(g.Tasks))
+	m := int32(len(g.Objects))
+	for ti := range g.Tasks {
+		t := &g.Tasks[ti]
+		if t.ID != TaskID(ti) {
+			return fmt.Errorf("graph: task %d has ID %d", ti, t.ID)
+		}
+		for _, o := range t.Reads {
+			if o < 0 || o >= m {
+				return fmt.Errorf("graph: task %q reads out-of-range object %d", t.Name, o)
+			}
+		}
+		for _, o := range t.Writes {
+			if o < 0 || o >= m {
+				return fmt.Errorf("graph: task %q writes out-of-range object %d", t.Name, o)
+			}
+		}
+	}
+	for ti := range g.out {
+		for _, e := range g.out[ti] {
+			if e.From != TaskID(ti) {
+				return fmt.Errorf("graph: edge %v stored under task %d", e, ti)
+			}
+			if e.To < 0 || e.To >= n {
+				return fmt.Errorf("graph: edge %v has out-of-range head", e)
+			}
+			if e.Kind == DepTrue && (e.Obj < 0 || e.Obj >= m) {
+				return fmt.Errorf("graph: true edge %v has no object", e)
+			}
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Accessors returns, for every object, the IDs of the tasks that read it and
+// the tasks that write it, in task-ID order.
+func (g *DAG) Accessors() (readers, writers [][]TaskID) {
+	readers = make([][]TaskID, len(g.Objects))
+	writers = make([][]TaskID, len(g.Objects))
+	for ti := range g.Tasks {
+		t := &g.Tasks[ti]
+		for _, o := range t.Reads {
+			readers[o] = append(readers[o], t.ID)
+		}
+		for _, o := range t.Writes {
+			writers[o] = append(writers[o], t.ID)
+		}
+	}
+	return readers, writers
+}

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/util"
+)
+
+// genProgram builds a random sequential program from a seed: tasks with
+// random read/write sets over a small object pool, some commutative.
+func genProgram(seed uint64, nTasks, nObjs int) *DAG {
+	rng := util.NewRNG(seed)
+	b := NewBuilder()
+	objs := make([]ObjID, nObjs)
+	for i := range objs {
+		objs[i] = b.Object(qName("o", i), int64(1+rng.Intn(5)))
+	}
+	for t := 0; t < nTasks; t++ {
+		nr := rng.Intn(3)
+		var reads []ObjID
+		for i := 0; i < nr; i++ {
+			reads = append(reads, objs[rng.Intn(nObjs)])
+		}
+		w := objs[rng.Intn(nObjs)]
+		if rng.Intn(4) == 0 {
+			// Commutative read-modify-write accumulation.
+			b.CommutativeTask(qName("c", t), float64(1+rng.Intn(9)), append(reads, w), []ObjID{w})
+		} else {
+			b.Task(qName("t", t), float64(1+rng.Intn(9)), reads, []ObjID{w})
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func qName(p string, i int) string {
+	return p + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10))
+}
+
+// TestQuickBuilderAlwaysDependenceComplete: whatever the access pattern,
+// the transformed graph must order every conflicting pair (the property
+// Theorem 1's data-consistency argument needs).
+func TestQuickBuilderAlwaysDependenceComplete(t *testing.T) {
+	f := func(seed uint64, a, b uint8) bool {
+		nTasks := 2 + int(a)%40
+		nObjs := 1 + int(b)%10
+		g := genProgram(seed, nTasks, nObjs)
+		if err := g.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		if err := g.CheckDependenceComplete(); err != nil {
+			t.Logf("completeness: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReadersSeeLastWriter: for every non-commutative reader, there is
+// a true edge from the most recent preceding writer of each object it
+// reads (value flow is never lost by the transformation).
+func TestQuickReadersSeeLastWriter(t *testing.T) {
+	f := func(seed uint64, a, b uint8) bool {
+		nTasks := 2 + int(a)%30
+		nObjs := 1 + int(b)%8
+		rng := util.NewRNG(seed)
+		bld := NewBuilder()
+		objs := make([]ObjID, nObjs)
+		for i := range objs {
+			objs[i] = bld.Object(qName("o", i), 1)
+		}
+		lastWriter := make(map[ObjID]TaskID)
+		type expect struct{ from, to TaskID }
+		var expects []expect
+		for ti := 0; ti < nTasks; ti++ {
+			var reads []ObjID
+			for i := 0; i < rng.Intn(3); i++ {
+				reads = append(reads, objs[rng.Intn(nObjs)])
+			}
+			w := objs[rng.Intn(nObjs)]
+			id := bld.Task(qName("t", ti), 1, reads, []ObjID{w})
+			for _, r := range reads {
+				if lw, ok := lastWriter[r]; ok && lw != id {
+					expects = append(expects, expect{lw, id})
+				}
+			}
+			lastWriter[w] = id
+		}
+		g, err := bld.Build()
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		for _, e := range expects {
+			found := false
+			for _, edge := range g.Out(e.from) {
+				if edge.To == e.to && edge.Kind == DepTrue {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Logf("missing true edge %d->%d", e.from, e.to)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTopoOrderRespectsEdges: every topological sort emitted is a
+// linear extension.
+func TestQuickTopoOrderRespectsEdges(t *testing.T) {
+	f := func(seed uint64, a, b uint8) bool {
+		g := genProgram(seed, 2+int(a)%50, 1+int(b)%12)
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, g.NumTasks())
+		for i, v := range order {
+			pos[v] = i
+		}
+		for ti := 0; ti < g.NumTasks(); ti++ {
+			for _, e := range g.Out(TaskID(ti)) {
+				if pos[e.From] >= pos[e.To] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLevelsMonotone: bottom levels decrease along edges and are at
+// least the task cost; top levels increase along edges.
+func TestQuickLevelsMonotone(t *testing.T) {
+	f := func(seed uint64, a uint8) bool {
+		g := genProgram(seed, 2+int(a)%40, 6)
+		bl := g.BottomLevels(UnitComm)
+		tl := g.TopLevels(UnitComm)
+		for ti := 0; ti < g.NumTasks(); ti++ {
+			if bl[ti] < g.Tasks[ti].Cost {
+				return false
+			}
+			for _, e := range g.Out(TaskID(ti)) {
+				if bl[e.From] < g.Tasks[e.From].Cost+bl[e.To] {
+					return false
+				}
+				if tl[e.To] < tl[e.From]+g.Tasks[e.From].Cost {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

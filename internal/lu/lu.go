@@ -1,0 +1,297 @@
+// Package lu builds the 1-D column-block sparse LU task graphs of the
+// paper's second evaluation application: sparse Gaussian elimination with
+// partial pivoting, parallelized with the static symbolic factorization of
+// Fu & Yang (SC'96) so the dependence structure is fixed before numeric
+// execution, and a 1-D column-block cyclic mapping that keeps pivoting and
+// row swaps local to the panel owner.
+//
+// Data objects are column panels; tasks are
+//
+//	Factor_k   : factor panel k (LU with partial pivoting on the trailing
+//	             rows); the pivot sequence is stored with the panel
+//	Update_kj  : apply panel k's pivots, the unit-lower triangular solve
+//	             and the Schur update to panel j (j > k, structurally
+//	             coupled); non-commutative — updates to a panel are applied
+//	             in ascending k order
+//
+// Panel sizes (memory units) come from the structural symbolic analysis;
+// numeric buffers are dense n×w panels plus a pivot strip, intended for
+// validation-scale problems.
+package lu
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+type opKind uint8
+
+const (
+	opFactor opKind = iota
+	opUpdate
+)
+
+type taskInfo struct {
+	kind opKind
+	k, j int32
+}
+
+// Problem is a built LU instance.
+type Problem struct {
+	N  int
+	W  int
+	NB int
+	P  int
+	G  *graph.DAG
+	BP *sparse.BlockPattern1D
+
+	panelObj []graph.ObjID
+	info     []taskInfo
+	// heights[k] is the structural column height of panel k (scalar rows on
+	// and below the diagonal of the factor), used for flop estimates.
+	heights []int64
+
+	A *sparse.Matrix
+}
+
+// Options configure the build.
+type Options struct {
+	Procs     int
+	BlockSize int
+}
+
+// Build constructs the problem. The matrix may be unsymmetric; values are
+// optional and needed only for numeric execution.
+func Build(a *sparse.Matrix, opt Options) (*Problem, error) {
+	if opt.Procs <= 0 || opt.BlockSize <= 0 {
+		return nil, fmt.Errorf("lu: invalid options %+v", opt)
+	}
+	bp := sparse.NewBlockPattern1D(a, opt.BlockSize)
+	pr := &Problem{N: a.N, W: opt.BlockSize, NB: bp.NB, P: opt.Procs, BP: bp, A: a}
+
+	// Structural heights from the AᵀA-bound block pattern (the same bound
+	// that defines the panel interaction structure).
+	bp2 := sparse.NewBlockPattern2D(a.AtAPattern(), opt.BlockSize)
+	pr.heights = make([]int64, bp.NB)
+	for k := 0; k < bp.NB; k++ {
+		var h int64
+		for _, r := range bp2.Rows[k] {
+			h += int64(bp2.BlockDim(int(r)))
+		}
+		pr.heights[k] = h
+	}
+
+	gb := graph.NewBuilder()
+	pr.panelObj = make([]graph.ObjID, bp.NB)
+	owners := make([]graph.Proc, bp.NB)
+	for k := 0; k < bp.NB; k++ {
+		pr.panelObj[k] = gb.Object(fmt.Sprintf("P[%d]", k), bp.PanelNnz[k])
+		owners[k] = graph.Proc(k % opt.Procs)
+	}
+
+	// Sequential elimination order. Updates into a panel are ordered by
+	// ascending k through the read-modify-write chain (non-commutative).
+	for k := int32(0); k < int32(bp.NB); k++ {
+		wk := float64(bp.BlockDim(int(k)))
+		hk := float64(pr.heights[k])
+		pk := pr.panelObj[k]
+		gb.Task(fmt.Sprintf("factor(%d)", k), hk*wk*wk,
+			[]graph.ObjID{pk}, []graph.ObjID{pk})
+		pr.info = append(pr.info, taskInfo{kind: opFactor, k: k, j: k})
+		for _, j := range bp.Succ[k] {
+			wj := float64(bp.BlockDim(int(j)))
+			pj := pr.panelObj[j]
+			gb.Task(fmt.Sprintf("update(%d,%d)", k, j), 2*hk*wk*wj,
+				[]graph.ObjID{pk, pj}, []graph.ObjID{pj})
+			pr.info = append(pr.info, taskInfo{kind: opUpdate, k: k, j: j})
+		}
+	}
+	g, err := gb.Build()
+	if err != nil {
+		return nil, fmt.Errorf("lu: %w", err)
+	}
+	for k := 0; k < bp.NB; k++ {
+		g.Objects[pr.panelObj[k]].Owner = owners[k]
+	}
+	pr.G = g
+	return pr, nil
+}
+
+// SetMatrix swaps in new numeric values for an iterative computation (e.g.
+// a Newton iteration): the pattern must be the one the problem was built
+// with, so the task graph, schedule and memory plan stay valid — the
+// inspector runs once, the executor every iteration.
+func (pr *Problem) SetMatrix(a *sparse.Matrix) error {
+	if a.N != pr.N || a.Nnz() != pr.A.Nnz() {
+		return fmt.Errorf("lu: SetMatrix pattern mismatch (n %d vs %d, nnz %d vs %d)",
+			a.N, pr.N, a.Nnz(), pr.A.Nnz())
+	}
+	pr.A = a
+	return nil
+}
+
+// PanelObj returns the object ID of panel k.
+func (pr *Problem) PanelObj(k int) graph.ObjID { return pr.panelObj[k] }
+
+// BufLen returns the numeric buffer length of an object: a dense n×w panel
+// plus w pivot slots. (The abstract Size used for memory accounting is the
+// structural nonzero count.)
+func (pr *Problem) BufLen(o graph.ObjID) int64 {
+	k := int(o) // panels were created in order, so ObjID == panel index
+	w := pr.BP.BlockDim(k)
+	return int64(pr.N*w + w)
+}
+
+// colStart returns the first scalar column of panel k.
+func (pr *Problem) colStart(k int) int { return k * pr.W }
+
+// InitObject fills a panel buffer with the values of the corresponding
+// columns of A (dense n×w panel, pivot strip zeroed).
+func (pr *Problem) InitObject(o graph.ObjID, buf []float64) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if pr.A == nil || pr.A.Val == nil {
+		return
+	}
+	k := int(o)
+	w := pr.BP.BlockDim(k)
+	c0 := pr.colStart(k)
+	for j := 0; j < w; j++ {
+		col := pr.A.Col(c0 + j)
+		vals := pr.A.ColVal(c0 + j)
+		for idx, i := range col {
+			buf[int(i)*w+j] = vals[idx]
+		}
+	}
+}
+
+// panelParts splits a panel buffer into the dense n×w matrix and the pivot
+// strip (pivots stored as float64 row indices relative to the panel's
+// diagonal row).
+func (pr *Problem) panelParts(k int, buf []float64) (mat []float64, piv []float64, w int) {
+	w = pr.BP.BlockDim(k)
+	return buf[:pr.N*w], buf[pr.N*w : pr.N*w+w], w
+}
+
+// Kernel executes task t numerically.
+func (pr *Problem) Kernel(t graph.TaskID, get func(graph.ObjID) []float64) error {
+	ti := pr.info[t]
+	switch ti.kind {
+	case opFactor:
+		k := int(ti.k)
+		buf := get(pr.panelObj[k])
+		mat, pivF, w := pr.panelParts(k, buf)
+		r0 := pr.colStart(k)
+		m := pr.N - r0
+		piv := make([]int, w)
+		if err := blas.Getrf(m, w, mat[r0*w:], w, piv); err != nil {
+			return fmt.Errorf("lu: factor(%d): %w", k, err)
+		}
+		for j := 0; j < w; j++ {
+			pivF[j] = float64(piv[j])
+		}
+		return nil
+	case opUpdate:
+		k, j := int(ti.k), int(ti.j)
+		bufK := get(pr.panelObj[k])
+		bufJ := get(pr.panelObj[j])
+		matK, pivF, wk := pr.panelParts(k, bufK)
+		matJ, _, wj := pr.panelParts(j, bufJ)
+		r0 := pr.colStart(k)
+		m := pr.N - r0
+		piv := make([]int, wk)
+		for q := 0; q < wk; q++ {
+			piv[q] = int(pivF[q])
+		}
+		// Apply panel k's row interchanges to panel j's trailing rows.
+		blas.Laswp(wj, matJ[r0*wj:], wj, piv)
+		// U block: solve L_kk (unit lower) * U = B on the wk pivot rows.
+		blas.TrsmLeftLowerUnit(wk, wj, matK[r0*wk:], wk, matJ[r0*wj:], wj)
+		// Schur complement on the rows below panel k.
+		rows := m - wk
+		if rows > 0 {
+			blas.Gemm(false, false, rows, wj, wk, -1,
+				matK[(r0+wk)*wk:], wk,
+				matJ[r0*wj:], wj,
+				matJ[(r0+wk)*wj:], wj)
+		}
+		return nil
+	}
+	return fmt.Errorf("lu: unknown kernel for task %d", t)
+}
+
+// SequentialFactor runs the kernels in topological order, returning the
+// panel buffers (reference for tests and for the solver below).
+func (pr *Problem) SequentialFactor() (map[graph.ObjID][]float64, error) {
+	bufs := make(map[graph.ObjID][]float64, pr.G.NumObjects())
+	for oi := range pr.G.Objects {
+		b := make([]float64, pr.BufLen(graph.ObjID(oi)))
+		pr.InitObject(graph.ObjID(oi), b)
+		bufs[graph.ObjID(oi)] = b
+	}
+	order, err := pr.G.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	get := func(o graph.ObjID) []float64 { return bufs[o] }
+	for _, t := range order {
+		if err := pr.Kernel(t, get); err != nil {
+			return nil, err
+		}
+	}
+	return bufs, nil
+}
+
+// Solve uses factored panel buffers to solve A·x = b (in place on a copy of
+// b), applying the per-panel pivot sequences, the unit-lower forward solve
+// and the upper back substitution.
+func (pr *Problem) Solve(bufs map[graph.ObjID][]float64, b []float64) []float64 {
+	n := pr.N
+	x := append([]float64(nil), b...)
+	// Forward: for each panel k, apply its pivots to x (rows r0..n-1), then
+	// eliminate with the unit-lower columns.
+	for k := 0; k < pr.NB; k++ {
+		mat, pivF, w := pr.panelParts(k, bufs[pr.panelObj[k]])
+		r0 := pr.colStart(k)
+		// Pivots are recorded relative to the factored submatrix, which
+		// starts at row r0.
+		for q := 0; q < w; q++ {
+			p, pq := r0+q, r0+int(pivF[q])
+			x[p], x[pq] = x[pq], x[p]
+		}
+		for q := 0; q < w; q++ {
+			gj := r0 + q
+			v := x[gj]
+			if v == 0 {
+				continue
+			}
+			for i := gj + 1; i < n; i++ {
+				x[i] -= mat[i*w+q] * v
+			}
+		}
+	}
+	// Backward: upper triangular solve using the U parts of the panels.
+	for gj := n - 1; gj >= 0; gj-- {
+		k := gj / pr.W
+		mat, _, w := pr.panelParts(k, bufs[pr.panelObj[k]])
+		q := gj - pr.colStart(k)
+		x[gj] /= mat[gj*w+q]
+		v := x[gj]
+		if v == 0 {
+			continue
+		}
+		// Subtract column gj of U from rows above: U entries live in the
+		// panels of each column; iterate rows i < gj via this column.
+		for i := 0; i < gj; i++ {
+			x[i] -= mat[i*w+q] * v
+		}
+	}
+	return x
+}
+
+// Heights exposes the structural panel heights (for cost reporting).
+func (pr *Problem) Heights() []int64 { return pr.heights }

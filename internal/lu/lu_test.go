@@ -1,0 +1,156 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/util"
+)
+
+func testMatrix(t *testing.T, nx, ny, links int, seed uint64) *sparse.Matrix {
+	t.Helper()
+	rng := util.NewRNG(seed)
+	m := sparse.AddRandomUnsymLinks(sparse.Grid2D(nx, ny, false), links, rng)
+	return sparse.UnsymValues(m, rng)
+}
+
+func TestBuildStructure(t *testing.T) {
+	a := testMatrix(t, 6, 5, 8, 1)
+	pr, err := Build(a, Options{Procs: 4, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.G.CheckDependenceComplete(); err != nil {
+		t.Fatal(err)
+	}
+	if pr.G.NumObjects() != pr.NB {
+		t.Fatalf("objects %d != panels %d", pr.G.NumObjects(), pr.NB)
+	}
+	// 1-D cyclic owners.
+	for k := 0; k < pr.NB; k++ {
+		if pr.G.Objects[pr.PanelObj(k)].Owner != int32(k%4) {
+			t.Fatalf("panel %d owner wrong", k)
+		}
+	}
+}
+
+func TestSolveResidual(t *testing.T) {
+	for _, bs := range []int{3, 5, 7} {
+		a := testMatrix(t, 6, 6, 10, uint64(bs))
+		pr, err := Build(a, Options{Procs: 3, BlockSize: bs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs, err := pr.SequentialFactor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := a.N
+		rng := util.NewRNG(99)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		// b = A·xTrue.
+		b := make([]float64, n)
+		for j := 0; j < n; j++ {
+			vals := a.ColVal(j)
+			for k, i := range a.Col(j) {
+				b[i] += vals[k] * xTrue[j]
+			}
+		}
+		x := pr.Solve(bufs, b)
+		maxErr, maxX := 0.0, 0.0
+		for i := range x {
+			if d := math.Abs(x[i] - xTrue[i]); d > maxErr {
+				maxErr = d
+			}
+			if v := math.Abs(xTrue[i]); v > maxX {
+				maxX = v
+			}
+		}
+		if maxErr/maxX > 1e-8 {
+			t.Fatalf("bs=%d: relative solve error %v", bs, maxErr/maxX)
+		}
+	}
+}
+
+func TestUpdatesAreOrderedChains(t *testing.T) {
+	a := testMatrix(t, 5, 5, 6, 2)
+	pr, err := Build(a, Options{Procs: 2, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Updates into a panel must form a chain: every update task except the
+	// panel's first has an incoming true edge from another task writing the
+	// same panel.
+	writers := make(map[int32][]int32) // panel -> task IDs in program order
+	for ti := range pr.G.Tasks {
+		inf := pr.info[ti]
+		writers[inf.j] = append(writers[inf.j], int32(ti))
+	}
+	for panel, ws := range writers {
+		for i := 1; i < len(ws); i++ {
+			found := false
+			for _, e := range pr.G.In(ws[i]) {
+				if e.From == ws[i-1] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("panel %d: writer %d not chained to %d", panel, ws[i], ws[i-1])
+			}
+		}
+	}
+}
+
+func TestPanelSizesAndHeights(t *testing.T) {
+	a := testMatrix(t, 6, 4, 5, 3)
+	pr, err := Build(a, Options{Procs: 2, BlockSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < pr.NB; k++ {
+		if pr.G.Objects[pr.PanelObj(k)].Size <= 0 {
+			t.Fatalf("panel %d size non-positive", k)
+		}
+		if pr.BufLen(pr.PanelObj(k)) != int64(pr.N*pr.BP.BlockDim(k)+pr.BP.BlockDim(k)) {
+			t.Fatalf("panel %d buffer length wrong", k)
+		}
+	}
+	h := pr.Heights()
+	for k := range h {
+		if h[k] < int64(pr.BP.BlockDim(k)) {
+			t.Fatalf("height of panel %d below its own width", k)
+		}
+	}
+}
+
+func TestPivotingActuallyHappens(t *testing.T) {
+	a := testMatrix(t, 6, 6, 12, 4)
+	pr, err := Build(a, Options{Procs: 2, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs, err := pr.SequentialFactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	swaps := 0
+	for k := 0; k < pr.NB; k++ {
+		_, pivF, w := pr.panelParts(k, bufs[pr.PanelObj(k)])
+		for q := 0; q < w; q++ {
+			if int(pivF[q]) != q {
+				swaps++
+			}
+		}
+	}
+	if swaps == 0 {
+		t.Fatalf("no row interchanges occurred; pivoting untested")
+	}
+}

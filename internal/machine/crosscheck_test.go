@@ -1,0 +1,91 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/util"
+)
+
+// TestSimulatorAndExecutorAgree cross-validates the two engines: for the
+// same schedule and MAP plan, the discrete-event simulator and the real
+// concurrent executor must perform the same number of MAPs per processor
+// and both must complete (they share the protocol, so divergence would
+// mean one of them implements it wrong).
+func TestSimulatorAndExecutorAgree(t *testing.T) {
+	rng := util.NewRNG(909)
+	for trial := 0; trial < 20; trial++ {
+		p := 2 + rng.Intn(4)
+		g := randomOwnerComputeDAG(rng, 30+rng.Intn(50), 8+rng.Intn(12), p)
+		assign, err := sched.OwnerComputeAssign(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := []sched.Heuristic{sched.RCP, sched.MPO, sched.DTS}[trial%3]
+		s, err := sched.ScheduleWith(h, g, assign, p, sched.T3D(), 1<<40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := mem.NewPlan(s, s.MinMem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pl.Executable {
+			pl, err = mem.NewPlan(s, s.TOT())
+			if err != nil || !pl.Executable {
+				t.Fatal("TOT plan must be executable")
+			}
+		}
+		simRes, err := Simulate(s, pl, sched.T3D(), Options{})
+		if err != nil {
+			t.Fatalf("trial %d sim: %v", trial, err)
+		}
+		exRes, err := exec.Run(s, pl, exec.Config{})
+		if err != nil {
+			t.Fatalf("trial %d exec: %v", trial, err)
+		}
+		total := 0
+		for q := 0; q < p; q++ {
+			total += exRes.MAPsExecuted[q]
+		}
+		if simRes.AvgMAPs != float64(total)/float64(p) {
+			t.Fatalf("trial %d: simulator AvgMAPs %v != executor %v",
+				trial, simRes.AvgMAPs, float64(total)/float64(p))
+		}
+		if simRes.ParallelTime <= 0 {
+			t.Fatalf("trial %d: non-positive parallel time", trial)
+		}
+	}
+}
+
+// TestSimulatorDeterminism: identical inputs must give identical results
+// (the event queue is fully ordered by (time, seq)).
+func TestSimulatorDeterminism(t *testing.T) {
+	g := sched.Figure2DAG()
+	assign, err := sched.OwnerComputeAssign(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.ScheduleMPO(g, assign, 2, sched.T3D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := mem.NewPlan(s, s.MinMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *Result
+	for i := 0; i < 5; i++ {
+		res, err := Simulate(s, pl, sched.T3D(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && (res.ParallelTime != prev.ParallelTime ||
+			res.Messages != prev.Messages || res.AddrPackages != prev.AddrPackages) {
+			t.Fatalf("run %d differs: %+v vs %+v", i, res, prev)
+		}
+		prev = res
+	}
+}

@@ -1,0 +1,419 @@
+// Package machine is the discrete-event simulator of a distributed-memory
+// message-passing machine with remote memory access, standing in for the
+// paper's Cray-T3D (see DESIGN.md §2). It executes the same five-state
+// protocol as the concurrent executor — the MAP plan, address packages
+// through single-slot buffers, suspended sends, arrival-threshold
+// receives — but against a virtual clock with the published cost constants
+// (103 MFLOPS per node, 2.7 µs message overhead, 128 MB/s bandwidth), so
+// the paper's timing tables can be regenerated deterministically.
+package machine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/proto"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Options configure a simulation.
+type Options struct {
+	// Baseline simulates the original RAPID executor: the whole volatile
+	// space is allocated up front, all addresses are exchanged during
+	// preprocessing and memory management costs nothing. Use with a
+	// full-capacity plan to obtain the "100% memory, no managing overhead"
+	// comparison base of Tables 2 and 3.
+	Baseline bool
+	// SlotDepth is the number of in-flight address packages each
+	// (sender, receiver) pair may have (default 1 — the paper's
+	// "no address buffering" decision; larger values are an ablation).
+	SlotDepth int
+	// Trace, if non-nil, records task and MAP spans.
+	Trace *trace.Recorder
+}
+
+// Result reports a completed simulation.
+type Result struct {
+	// ParallelTime is the completion time of the last task (seconds).
+	ParallelTime float64
+	// AvgMAPs is the average number of MAPs executed per processor.
+	AvgMAPs float64
+	// Messages is the number of data messages delivered.
+	Messages int
+	// AddrPackages is the number of address packages delivered.
+	AddrPackages int
+}
+
+// event kinds
+const (
+	evWake int8 = iota // re-examine processor state
+	evTaskDone
+	evMAPDone
+	evMsg // data message arrival: increments arrivals[dst][obj]
+	evCtl // control signal arrival: increments ctl[task]
+)
+
+type event struct {
+	t    float64
+	seq  int64 // tie-break for determinism
+	kind int8
+	proc graph.Proc  // evWake/evTaskDone/evMAPDone/evMsg
+	obj  graph.ObjID // evMsg
+	task graph.TaskID
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// proc states
+const (
+	stAdvance    int8 = iota // ready to make progress
+	stMAPBusy                // charging MAP cost
+	stMAPBlocked             // waiting for an address slot
+	stBusy                   // executing a task
+	stRECBlocked             // waiting for data/control arrivals
+	stENDBlocked             // draining suspended sends
+	stDone
+)
+
+type procSim struct {
+	state    int8
+	pos      int32
+	mapIdx   int
+	pendPkgs []graph.Proc // destinations still awaiting our address package (current MAP)
+	pkgObjs  map[graph.Proc][]graph.ObjID
+	susp     []proto.Send
+	maps     int
+	curTask  graph.TaskID
+}
+
+type sim struct {
+	s      *sched.Schedule
+	plan   *mem.Plan
+	model  sched.CostModel
+	opt    Options
+	tables *proto.Tables
+
+	q   eventQueue
+	seq int64
+
+	procs    []procSim
+	arrivals []map[graph.ObjID]int32 // per proc
+	ctl      []int32                 // per task
+	// addrKnown[producerProc] maps (obj, consumer) -> true once the
+	// producer has the consumer's buffer address.
+	addrKnown []map[[2]int32]bool
+	// slots[dst][src] holds the in-flight address packages from src to dst
+	// (FIFO, capacity = SlotDepth).
+	slots     [][]slotFIFO
+	slotDepth int
+
+	lastTaskFinish float64
+	messages       int
+	addrPkgs       int
+}
+
+func (m *sim) push(t float64, kind int8, p graph.Proc, o graph.ObjID, task graph.TaskID) {
+	m.seq++
+	heap.Push(&m.q, event{t: t, seq: m.seq, kind: kind, proc: p, obj: o, task: task})
+}
+
+// Simulate runs the schedule under the plan and cost model.
+func Simulate(s *sched.Schedule, plan *mem.Plan, model sched.CostModel, opt Options) (*Result, error) {
+	if !plan.Executable {
+		return nil, fmt.Errorf("machine: plan is not executable under capacity %d", plan.Capacity)
+	}
+	depth := opt.SlotDepth
+	if depth < 1 {
+		depth = 1
+	}
+	m := &sim{
+		s: s, plan: plan, model: model, opt: opt,
+		tables:    proto.Derive(s),
+		procs:     make([]procSim, s.P),
+		arrivals:  make([]map[graph.ObjID]int32, s.P),
+		ctl:       make([]int32, s.G.NumTasks()),
+		addrKnown: make([]map[[2]int32]bool, s.P),
+		slots:     make([][]slotFIFO, s.P),
+		slotDepth: depth,
+	}
+	for p := 0; p < s.P; p++ {
+		m.arrivals[p] = make(map[graph.ObjID]int32)
+		m.addrKnown[p] = make(map[[2]int32]bool)
+		m.slots[p] = make([]slotFIFO, s.P)
+		m.push(0, evWake, graph.Proc(p), 0, 0)
+	}
+	if opt.Baseline {
+		// All addresses exchanged during preprocessing.
+		for p := range m.addrKnown {
+			m.addrKnown[p] = nil // nil means "everything known"
+		}
+	}
+
+	for m.q.Len() > 0 {
+		ev := heap.Pop(&m.q).(event)
+		switch ev.kind {
+		case evMsg:
+			m.arrivals[ev.proc][ev.obj]++
+			m.messages++
+			m.step(ev.proc, ev.t)
+		case evCtl:
+			m.ctl[ev.task]++
+			m.step(m.s.Assign[ev.task], ev.t)
+		case evTaskDone:
+			m.taskDone(ev.proc, ev.t)
+		case evMAPDone:
+			m.procs[ev.proc].state = stAdvance
+			m.step(ev.proc, ev.t)
+		case evWake:
+			m.step(ev.proc, ev.t)
+		}
+	}
+	for p := range m.procs {
+		if m.procs[p].state != stDone {
+			return nil, fmt.Errorf("machine: deadlock: processor %d stuck in state %d at pos %d",
+				p, m.procs[p].state, m.procs[p].pos)
+		}
+	}
+	totalMAPs := 0
+	for p := range m.procs {
+		totalMAPs += m.procs[p].maps
+	}
+	return &Result{
+		ParallelTime: m.lastTaskFinish,
+		AvgMAPs:      float64(totalMAPs) / float64(s.P),
+		Messages:     m.messages,
+		AddrPackages: m.addrPkgs,
+	}, nil
+}
+
+// slotFIFO is the queue of in-flight address packages for one
+// (receiver, sender) pair.
+type slotFIFO struct {
+	times []float64
+	pkgs  [][]graph.ObjID
+}
+
+// ra consumes address packages pending at producer proc p (arrived by now),
+// freeing the senders' slots and waking them.
+func (m *sim) ra(p graph.Proc, now float64) {
+	if m.addrKnown[p] == nil {
+		return // baseline: everything known
+	}
+	for src := 0; src < m.s.P; src++ {
+		q := &m.slots[p][src]
+		freed := false
+		for len(q.times) > 0 && q.times[0] <= now {
+			for _, o := range q.pkgs[0] {
+				m.addrKnown[p][[2]int32{int32(o), int32(src)}] = true
+			}
+			q.times = q.times[1:]
+			q.pkgs = q.pkgs[1:]
+			m.addrPkgs++
+			freed = true
+		}
+		if freed {
+			// The consumer (src of the package) may be blocked waiting for
+			// a free slot; wake it.
+			m.push(now, evWake, graph.Proc(src), 0, 0)
+		}
+	}
+}
+
+// cq dispatches suspended sends whose addresses are now known, FIFO per
+// (object, destination).
+func (m *sim) cq(p graph.Proc, now float64) {
+	ps := &m.procs[p]
+	if len(ps.susp) == 0 {
+		return
+	}
+	blocked := make(map[[2]int32]bool)
+	kept := ps.susp[:0]
+	for _, snd := range ps.susp {
+		k := [2]int32{int32(snd.Obj), int32(snd.Dst)}
+		if blocked[k] || !m.addrIsKnown(p, snd) {
+			blocked[k] = true
+			kept = append(kept, snd)
+			continue
+		}
+		m.deliver(p, snd, now)
+	}
+	ps.susp = kept
+}
+
+func (m *sim) addrIsKnown(p graph.Proc, snd proto.Send) bool {
+	if m.addrKnown[p] == nil {
+		return true
+	}
+	return m.addrKnown[p][[2]int32{int32(snd.Obj), int32(snd.Dst)}]
+}
+
+func (m *sim) deliver(p graph.Proc, snd proto.Send, now float64) {
+	m.push(now+m.model.CommTime(m.s.G.Objects[snd.Obj].Size), evMsg, snd.Dst, snd.Obj, 0)
+}
+
+// step advances processor p as far as it can at time now.
+func (m *sim) step(p graph.Proc, now float64) {
+	ps := &m.procs[p]
+	// Busy processors do not poll: RA/CQ run at task/MAP boundaries and in
+	// blocking states, exactly as in the protocol.
+	if ps.state == stDone || ps.state == stMAPBusy || ps.state == stBusy {
+		return
+	}
+	m.ra(p, now)
+	m.cq(p, now)
+
+	order := m.s.Order[p]
+	maps := m.plan.Procs[p].MAPs
+	for {
+		// Pending address packages from the current MAP?
+		if len(ps.pendPkgs) > 0 {
+			if !m.sendPkgs(p, now) {
+				ps.state = stMAPBlocked
+				return
+			}
+		}
+		// MAP at this position?
+		if ps.mapIdx < len(maps) && maps[ps.mapIdx].Pos == ps.pos {
+			mp := &maps[ps.mapIdx]
+			ps.mapIdx++
+			ps.maps++
+			// Queue this MAP's address packages (sent after the MAP work).
+			if !m.opt.Baseline {
+				for dst := range mp.Notify {
+					ps.pendPkgs = append(ps.pendPkgs, dst)
+				}
+				sortProcs(ps.pendPkgs)
+			}
+			ps.curMAPNotify(m, mp)
+			cost := 0.0
+			if !m.opt.Baseline {
+				cost = m.model.MAPOverhead + m.model.MAPPerObject*float64(len(mp.Frees)+len(mp.Allocs))
+			}
+			if cost > 0 {
+				ps.state = stMAPBusy
+				m.opt.Trace.Add(trace.Span{Proc: int32(p), Kind: trace.MAP, Name: "MAP", Start: now, End: now + cost})
+				m.push(now+cost, evMAPDone, p, 0, 0)
+				return
+			}
+			continue
+		}
+		if int(ps.pos) >= len(order) {
+			// END state.
+			if len(ps.susp) > 0 {
+				ps.state = stENDBlocked
+				return
+			}
+			ps.state = stDone
+			return
+		}
+		// REC state for the next task.
+		t := order[ps.pos]
+		if !m.taskReady(p, t) {
+			ps.state = stRECBlocked
+			return
+		}
+		// EXE.
+		dur := m.model.TaskTime(&m.s.G.Tasks[t])
+		ps.state = stBusy
+		ps.curTask = t
+		m.opt.Trace.Add(trace.Span{Proc: int32(p), Kind: trace.Task, Name: m.s.G.Tasks[t].Name, Start: now, End: now + dur})
+		m.push(now+dur, evTaskDone, p, 0, 0)
+		return
+	}
+}
+
+// curMAPNotify stores the notify object lists into the slot bookkeeping for
+// later sending (slots are occupied when actually sent).
+func (ps *procSim) curMAPNotify(m *sim, mp *mem.MAP) {
+	if m.opt.Baseline {
+		return
+	}
+	// Remember the package contents per destination for sendPkgs.
+	if ps.pkgObjs == nil {
+		ps.pkgObjs = make(map[graph.Proc][]graph.ObjID)
+	}
+	for dst, objs := range mp.Notify {
+		ps.pkgObjs[dst] = append(ps.pkgObjs[dst], objs...)
+	}
+}
+
+// sendPkgs attempts to deposit all pending address packages; it reports
+// whether every package went out.
+func (m *sim) sendPkgs(p graph.Proc, now float64) bool {
+	ps := &m.procs[p]
+	remaining := ps.pendPkgs[:0]
+	for _, dst := range ps.pendPkgs {
+		q := &m.slots[dst][p]
+		if len(q.times) >= m.slotDepth {
+			remaining = append(remaining, dst)
+			continue
+		}
+		q.times = append(q.times, now+m.model.AddrLatency)
+		q.pkgs = append(q.pkgs, ps.pkgObjs[dst])
+		delete(ps.pkgObjs, dst)
+		// Wake the destination when the package lands so its RA can run.
+		m.push(now+m.model.AddrLatency, evWake, dst, 0, 0)
+	}
+	ps.pendPkgs = remaining
+	return len(remaining) == 0
+}
+
+func (m *sim) taskReady(p graph.Proc, t graph.TaskID) bool {
+	if m.ctl[t] < m.tables.CtlNeed[t] {
+		return false
+	}
+	for _, need := range m.tables.Needs[t] {
+		if m.arrivals[p][need.Obj] < need.MinArrivals {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *sim) taskDone(p graph.Proc, now float64) {
+	ps := &m.procs[p]
+	t := ps.curTask
+	if now > m.lastTaskFinish {
+		m.lastTaskFinish = now
+	}
+	// SND state.
+	for _, snd := range m.tables.Sends[t] {
+		if m.addrIsKnown(p, snd) {
+			m.deliver(p, snd, now)
+		} else {
+			ps.susp = append(ps.susp, snd)
+		}
+	}
+	for _, v := range m.tables.CtlSends[t] {
+		m.push(now+m.model.Latency, evCtl, 0, 0, v)
+	}
+	ps.pos++
+	ps.state = stAdvance
+	m.step(p, now)
+}
+
+func sortProcs(a []graph.Proc) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,116 @@
+package mem
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rma"
+	"repro/internal/sched"
+)
+
+// ArenaReplay replays a plan's allocation/deallocation trace against
+// address-based first-fit arenas (rma.Arena) instead of the counting
+// allocator the plan was validated with. It reports whether every
+// allocation found a contiguous block, and the worst external
+// fragmentation observed (free units unusable for the failing or largest
+// request). The paper's MIN_MEM arithmetic assumes compactable space; this
+// measures how far a real allocator — the "special memory allocator" the
+// conclusion calls for — is from that assumption.
+type ArenaReplayResult struct {
+	OK bool
+	// FailProc/FailObj identify the first allocation that found no
+	// contiguous block (valid when !OK).
+	FailProc graph.Proc
+	FailObj  graph.ObjID
+	// MaxFreeBlocks is the largest number of free-list fragments seen.
+	MaxFreeBlocks int
+}
+
+// ArenaReplay runs the replay for every processor of the plan.
+func ArenaReplay(pl *Plan) ArenaReplayResult {
+	res := ArenaReplayResult{OK: true}
+	s := pl.Schedule
+	for p := 0; p < s.P; p++ {
+		if !pl.Procs[p].Executable {
+			return ArenaReplayResult{OK: false, FailProc: graph.Proc(p), FailObj: -1}
+		}
+		a := rma.NewArena(pl.Capacity)
+		addrOf := make(map[graph.ObjID]int64)
+		// Permanent objects first, as the executor allocates them.
+		for oi := range s.G.Objects {
+			o := &s.G.Objects[oi]
+			if o.Owner != graph.Proc(p) {
+				continue
+			}
+			addr, ok := a.Alloc(o.Size)
+			if !ok {
+				return ArenaReplayResult{OK: false, FailProc: graph.Proc(p), FailObj: graph.ObjID(oi), MaxFreeBlocks: res.MaxFreeBlocks}
+			}
+			addrOf[graph.ObjID(oi)] = addr
+		}
+		for _, m := range pl.Procs[p].MAPs {
+			for _, o := range m.Frees {
+				a.Free(addrOf[o])
+				delete(addrOf, o)
+			}
+			for _, o := range m.Allocs {
+				addr, ok := a.Alloc(s.G.Objects[o].Size)
+				if !ok {
+					return ArenaReplayResult{OK: false, FailProc: graph.Proc(p), FailObj: o, MaxFreeBlocks: res.MaxFreeBlocks}
+				}
+				addrOf[o] = addr
+			}
+			if fb := a.FreeBlocks(); fb > res.MaxFreeBlocks {
+				res.MaxFreeBlocks = fb
+			}
+		}
+	}
+	return res
+}
+
+// Floors computes the tightest executable capacity of a schedule under the
+// counting allocator (the paper's model) and under address-based
+// allocation (counting-feasible plan whose arena replay also succeeds).
+// The gap is the fragmentation premium. Both are found by binary search
+// between 1 and TOT.
+func Floors(s *sched.Schedule, opt Options) (counting, address int64, err error) {
+	tot := s.TOT()
+	search := func(pred func(capacity int64) (bool, error)) (int64, error) {
+		lo, hi := int64(1), tot
+		for lo < hi {
+			mid := (lo + hi) / 2
+			ok, err := pred(mid)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo, nil
+	}
+	counting, err = search(func(capacity int64) (bool, error) {
+		pl, err := NewPlanOpts(s, capacity, opt)
+		if err != nil {
+			return false, err
+		}
+		return pl.Executable, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	address, err = search(func(capacity int64) (bool, error) {
+		pl, err := NewPlanOpts(s, capacity, opt)
+		if err != nil {
+			return false, err
+		}
+		if !pl.Executable {
+			return false, nil
+		}
+		return ArenaReplay(pl).OK, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return counting, address, nil
+}

@@ -1,0 +1,268 @@
+// Package mem implements the active memory management planning of Section
+// 3: given a static schedule and a per-processor memory capacity, it
+// computes where the Memory Allocation Points (MAPs) fall, which volatile
+// objects each MAP deallocates (dead-point information from a static
+// liveness analysis of the schedule) and allocates (greedy allocate-ahead
+// until the next task's objects no longer fit), and the address packages
+// each MAP must send to the processors that will deposit data into the
+// newly allocated space via remote memory access.
+//
+// The plan is deterministic: in the paper MAPs are "inserted dynamically
+// based on memory space availability", but for a fixed schedule and
+// capacity the dynamic insertion always lands at the same positions, so
+// both the discrete-event simulator and the concurrent executor share this
+// planner.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// MAP is one memory allocation point on a processor. It executes
+// immediately before the task at position Pos of the processor's order
+// (Pos == 0 is the mandatory MAP at the beginning of the schedule).
+type MAP struct {
+	Pos int32
+	// Frees are the volatile objects dead at this point (last use < Pos).
+	Frees []graph.ObjID
+	// Allocs are the volatile objects allocated here, covering tasks
+	// Pos..CoverEnd-1.
+	Allocs []graph.ObjID
+	// CoverEnd is the position of the first task NOT covered by this MAP
+	// (i.e. the next MAP's position, or the order length for the last MAP).
+	CoverEnd int32
+	// Notify maps a destination processor to the objects among Allocs whose
+	// addresses that processor needs (because it executes producer tasks
+	// that will RMA-deposit those objects here).
+	Notify map[graph.Proc][]graph.ObjID
+}
+
+// ProcPlan is the MAP plan of one processor.
+type ProcPlan struct {
+	MAPs []MAP
+	// Peak is the highest memory-in-use (permanent + allocated volatile)
+	// reached while following the plan.
+	Peak int64
+	// Executable is false if some allocation could not be satisfied even
+	// right before its first using task.
+	Executable bool
+	// FailPos is the order position whose allocation failed (valid only if
+	// !Executable).
+	FailPos int32
+}
+
+// Plan is the full machine-wide MAP plan.
+type Plan struct {
+	Schedule *sched.Schedule
+	Capacity int64
+	Procs    []ProcPlan
+	// Executable is the conjunction over processors.
+	Executable bool
+}
+
+// AvgMAPs returns the average number of MAPs per processor (the paper's
+// "#MAPs" columns). Processors with empty schedules still count their
+// mandatory initial MAP.
+func (pl *Plan) AvgMAPs() float64 {
+	total := 0
+	for i := range pl.Procs {
+		total += len(pl.Procs[i].MAPs)
+	}
+	return float64(total) / float64(len(pl.Procs))
+}
+
+// TotalMAPs returns the machine-wide MAP count.
+func (pl *Plan) TotalMAPs() int {
+	total := 0
+	for i := range pl.Procs {
+		total += len(pl.Procs[i].MAPs)
+	}
+	return total
+}
+
+// MaxPeak returns the maximum per-processor peak memory of the plan.
+func (pl *Plan) MaxPeak() int64 {
+	var peak int64
+	for i := range pl.Procs {
+		if pl.Procs[i].Peak > peak {
+			peak = pl.Procs[i].Peak
+		}
+	}
+	return peak
+}
+
+// remoteProducers returns, for processor p, a map from volatile object to
+// the set of processors that execute producer tasks whose output is
+// RMA-deposited into p's copy of the object.
+func remoteProducers(s *sched.Schedule, p graph.Proc) map[graph.ObjID]map[graph.Proc]bool {
+	res := make(map[graph.ObjID]map[graph.Proc]bool)
+	for _, t := range s.Order[p] {
+		for _, e := range s.G.In(t) {
+			if e.Kind != graph.DepTrue {
+				continue
+			}
+			q := s.Assign[e.From]
+			if q == p {
+				continue
+			}
+			if s.G.Objects[e.Obj].Owner == p {
+				// The object is permanent here; its address is known from
+				// the start (permanent addresses are exchanged once during
+				// preprocessing, as in the original RAPID).
+				continue
+			}
+			m, ok := res[e.Obj]
+			if !ok {
+				m = make(map[graph.Proc]bool)
+				res[e.Obj] = m
+			}
+			m[q] = true
+		}
+	}
+	return res
+}
+
+// Options tune the planner (ablation studies).
+type Options struct {
+	// JustInTime disables the paper's greedy allocate-ahead: each MAP
+	// allocates only the volatile objects of its own task, deferring later
+	// allocations to later MAPs. This lowers the space held for
+	// not-yet-needed objects (tighter budgets become executable) at the
+	// price of more MAPs and later address notification (less data
+	// presending).
+	JustInTime bool
+}
+
+// NewPlan computes the MAP plan for the schedule under the given
+// per-processor capacity (in the same units as object sizes), with the
+// paper's greedy allocate-ahead policy.
+func NewPlan(s *sched.Schedule, capacity int64) (*Plan, error) {
+	return NewPlanOpts(s, capacity, Options{})
+}
+
+// NewPlanOpts is NewPlan with planner options.
+func NewPlanOpts(s *sched.Schedule, capacity int64, opt Options) (*Plan, error) {
+	if err := validateOwnerCompute(s); err != nil {
+		return nil, err
+	}
+	perm := s.PermSize()
+	lifetimes := s.VolatileLifetimes()
+	pl := &Plan{Schedule: s, Capacity: capacity, Procs: make([]ProcPlan, s.P), Executable: true}
+
+	for p := 0; p < s.P; p++ {
+		pp := &pl.Procs[p]
+		pp.Executable = true
+		order := s.Order[p]
+		lt := lifetimes[p]
+		producers := remoteProducers(s, graph.Proc(p))
+
+		if perm[p] > capacity {
+			pp.Executable = false
+			pp.FailPos = 0
+			pl.Executable = false
+			pp.Peak = perm[p]
+			continue
+		}
+
+		// lastUse sorted by position for dead-point scanning.
+		type life struct {
+			obj         graph.ObjID
+			first, last int32
+		}
+		lives := make([]life, 0, len(lt))
+		for o, r := range lt {
+			lives = append(lives, life{o, r[0], r[1]})
+		}
+		// volatile objects needed (first) by each task position.
+		needAt := make([][]graph.ObjID, len(order)+1)
+		for _, l := range lives {
+			needAt[l.first] = append(needAt[l.first], l.obj)
+		}
+
+		inUse := perm[p]
+		peak := perm[p]
+		allocated := make(map[graph.ObjID]bool, len(lives))
+		freed := make(map[graph.ObjID]bool, len(lives))
+
+		pos := int32(0)
+		for {
+			m := MAP{Pos: pos, Notify: make(map[graph.Proc][]graph.ObjID)}
+			// Deallocate dead volatiles: allocated, not yet freed, last use
+			// before pos.
+			for _, l := range lives {
+				if allocated[l.obj] && !freed[l.obj] && l.last < pos {
+					freed[l.obj] = true
+					inUse -= s.G.Objects[l.obj].Size
+					m.Frees = append(m.Frees, l.obj)
+				}
+			}
+			// Allocate ahead following the execution chain.
+			k := pos
+			for int(k) < len(order) {
+				var need int64
+				for _, o := range needAt[k] {
+					if !allocated[o] {
+						need += s.G.Objects[o].Size
+					}
+				}
+				if opt.JustInTime && k > pos && need > 0 {
+					break // defer the next allocation to its own MAP
+				}
+				if inUse+need > capacity {
+					break
+				}
+				for _, o := range needAt[k] {
+					if allocated[o] {
+						continue
+					}
+					allocated[o] = true
+					inUse += s.G.Objects[o].Size
+					m.Allocs = append(m.Allocs, o)
+					for q := range producers[o] {
+						m.Notify[q] = append(m.Notify[q], o)
+					}
+				}
+				k++
+			}
+			if inUse > peak {
+				peak = inUse
+			}
+			if k == pos && int(pos) < len(order) {
+				// Even the immediately next task cannot be satisfied: the
+				// schedule is non-executable under this capacity.
+				pp.Executable = false
+				pp.FailPos = pos
+				pl.Executable = false
+				m.CoverEnd = pos
+				pp.MAPs = append(pp.MAPs, m)
+				break
+			}
+			m.CoverEnd = k
+			pp.MAPs = append(pp.MAPs, m)
+			if int(k) >= len(order) {
+				break
+			}
+			pos = k
+		}
+		pp.Peak = peak
+	}
+	return pl, nil
+}
+
+// validateOwnerCompute checks the precondition of the active memory
+// management scheme: every task writes only objects owned by its processor,
+// so volatile objects are read-only remote copies deposited by RMA.
+func validateOwnerCompute(s *sched.Schedule) error {
+	for t := 0; t < s.G.NumTasks(); t++ {
+		for _, o := range s.G.Tasks[t].Writes {
+			if s.G.Objects[o].Owner != s.Assign[t] {
+				return fmt.Errorf("mem: task %q on processor %d writes object %q owned by %d (owner-compute violated)",
+					s.G.Tasks[t].Name, s.Assign[t], s.G.Objects[o].Name, s.G.Objects[o].Owner)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+// Package proto derives the static communication tables of the RAPID-style
+// execution protocol from a schedule: which completed task sends which data
+// object to which processors (send points), how many deposits a consumer
+// must observe before a given version of a volatile object is available
+// (arrival thresholds), and the control signals implementing retained
+// cross-processor precedence (anti/output) edges.
+//
+// The tables encode the paper's name-based consistency criterion: each
+// volatile object has ONE buffer per consumer processor; successive
+// versions are deposited into the same buffer, and the dependence
+// completeness of the transformed graph guarantees a version is never
+// overwritten before its readers have finished (Theorem 1's data
+// consistency half). Versions are deduplicated so that only the last writer
+// before each remote read generation actually sends.
+package proto
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// Send is one data message a task issues after completing: object Obj to
+// processor Dst, carrying version sequence number Seq (1-based) among all
+// versions of Obj that Dst receives.
+type Send struct {
+	Obj graph.ObjID
+	Dst graph.Proc
+	Seq int32
+}
+
+// Need is one data requirement of a task: the arrival counter of volatile
+// object Obj on the task's processor must be at least MinArrivals.
+type Need struct {
+	Obj         graph.ObjID
+	MinArrivals int32
+}
+
+// Tables holds the derived protocol state for a schedule.
+type Tables struct {
+	// Sends[t] lists the data messages task t issues on completion.
+	Sends [][]Send
+	// Needs[t] lists the volatile-object arrival thresholds gating task t.
+	Needs [][]Need
+	// CtlNeed[t] is the number of cross-processor control signals task t
+	// must receive (retained precedence edges).
+	CtlNeed []int32
+	// CtlSends[t] lists the tasks that t signals on completion.
+	CtlSends [][]graph.TaskID
+	// Expect[p] maps each volatile object of processor p to the total
+	// number of versions p will receive (for sizing and sanity checks).
+	Expect []map[graph.ObjID]int32
+}
+
+// Derive computes the protocol tables for a schedule.
+func Derive(s *sched.Schedule) *Tables {
+	n := s.G.NumTasks()
+	t := &Tables{
+		Sends:    make([][]Send, n),
+		Needs:    make([][]Need, n),
+		CtlNeed:  make([]int32, n),
+		CtlSends: make([][]graph.TaskID, n),
+		Expect:   make([]map[graph.ObjID]int32, s.P),
+	}
+	for p := range t.Expect {
+		t.Expect[p] = make(map[graph.ObjID]int32)
+	}
+
+	// For each (object, consumer proc): the set of "version points" — for
+	// every remote reader v, the producer u*(v) with the largest schedule
+	// position among v's true in-edges for that object. Only those
+	// producers send; all are on the object's owner so their positions
+	// totally order the versions.
+	type key struct {
+		obj graph.ObjID
+		dst graph.Proc
+	}
+	versionProducers := make(map[key]map[graph.TaskID]bool)
+	readerStar := make(map[[2]int32]graph.TaskID) // (task, obj) -> u*
+
+	for v := 0; v < n; v++ {
+		vp := s.Assign[v]
+		var perObj map[graph.ObjID]graph.TaskID
+		for _, e := range s.G.In(graph.TaskID(v)) {
+			if e.Kind != graph.DepTrue {
+				if s.Assign[e.From] != vp {
+					t.CtlNeed[v]++
+					t.CtlSends[e.From] = append(t.CtlSends[e.From], graph.TaskID(v))
+				}
+				continue
+			}
+			if s.Assign[e.From] == vp {
+				continue
+			}
+			if perObj == nil {
+				perObj = make(map[graph.ObjID]graph.TaskID)
+			}
+			if prev, ok := perObj[e.Obj]; !ok || s.Pos[e.From] > s.Pos[prev] {
+				perObj[e.Obj] = e.From
+			}
+		}
+		for o, u := range perObj {
+			k := key{o, vp}
+			m, ok := versionProducers[k]
+			if !ok {
+				m = make(map[graph.TaskID]bool)
+				versionProducers[k] = m
+			}
+			m[u] = true
+			readerStar[[2]int32{int32(v), int32(o)}] = u
+		}
+	}
+
+	// Assign sequence numbers per (obj, dst) by producer schedule position.
+	seqOf := make(map[[3]int32]int32) // (producer, obj, dst) -> seq
+	for k, prods := range versionProducers {
+		us := make([]graph.TaskID, 0, len(prods))
+		for u := range prods {
+			us = append(us, u)
+		}
+		sort.Slice(us, func(a, b int) bool { return s.Pos[us[a]] < s.Pos[us[b]] })
+		for i, u := range us {
+			seq := int32(i + 1)
+			seqOf[[3]int32{int32(u), int32(k.obj), int32(k.dst)}] = seq
+			t.Sends[u] = append(t.Sends[u], Send{Obj: k.obj, Dst: k.dst, Seq: seq})
+		}
+		t.Expect[k.dst][k.obj] = int32(len(us))
+	}
+
+	// Reader thresholds.
+	for v := 0; v < n; v++ {
+		vp := s.Assign[v]
+		seen := make(map[graph.ObjID]bool)
+		for _, e := range s.G.In(graph.TaskID(v)) {
+			if e.Kind != graph.DepTrue || s.Assign[e.From] == vp || seen[e.Obj] {
+				continue
+			}
+			seen[e.Obj] = true
+			u := readerStar[[2]int32{int32(v), int32(e.Obj)}]
+			seq := seqOf[[3]int32{int32(u), int32(e.Obj), int32(vp)}]
+			t.Needs[v] = append(t.Needs[v], Need{Obj: e.Obj, MinArrivals: seq})
+		}
+	}
+	// Deterministic ordering for reproducible executions.
+	for v := 0; v < n; v++ {
+		sort.Slice(t.Needs[v], func(a, b int) bool { return t.Needs[v][a].Obj < t.Needs[v][b].Obj })
+		sort.Slice(t.Sends[v], func(a, b int) bool {
+			sa, sb := t.Sends[v][a], t.Sends[v][b]
+			if sa.Dst != sb.Dst {
+				return sa.Dst < sb.Dst
+			}
+			return sa.Obj < sb.Obj
+		})
+	}
+	return t
+}

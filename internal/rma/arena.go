@@ -1,0 +1,136 @@
+package rma
+
+import "sort"
+
+// Arena is an address-based first-fit allocator with free-block coalescing
+// over a contiguous region of abstract memory units. The counting
+// allocator in Memory assumes perfectly compactable space — the assumption
+// behind the paper's MIN_MEM arithmetic; Arena models the real allocator
+// the paper's conclusion calls for ("space freed ... usually contains many
+// small pieces and is hard to be re-utilized. To address this
+// fragmentation problem, it is necessary to develop a special memory
+// allocator") so the fragmentation premium can be measured.
+type Arena struct {
+	capacity int64
+	// free holds disjoint free blocks sorted by address.
+	free []arenaBlock
+	// allocated maps address -> size for validation.
+	allocated map[int64]int64
+	used      int64
+}
+
+type arenaBlock struct{ addr, size int64 }
+
+// NewArena returns an empty arena of the given capacity.
+func NewArena(capacity int64) *Arena {
+	return &Arena{
+		capacity:  capacity,
+		free:      []arenaBlock{{0, capacity}},
+		allocated: make(map[int64]int64),
+	}
+}
+
+// Used returns the units currently allocated.
+func (a *Arena) Used() int64 { return a.used }
+
+// LargestFree returns the size of the largest free block.
+func (a *Arena) LargestFree() int64 {
+	var m int64
+	for _, b := range a.free {
+		if b.size > m {
+			m = b.size
+		}
+	}
+	return m
+}
+
+// FreeBlocks returns the number of free-list fragments.
+func (a *Arena) FreeBlocks() int { return len(a.free) }
+
+// Alloc reserves size contiguous units, first-fit, and returns the address.
+// ok is false when no free block is large enough — which can happen even
+// when total free space suffices (external fragmentation).
+func (a *Arena) Alloc(size int64) (addr int64, ok bool) {
+	if size <= 0 {
+		return 0, false
+	}
+	for i := range a.free {
+		if a.free[i].size < size {
+			continue
+		}
+		addr = a.free[i].addr
+		a.free[i].addr += size
+		a.free[i].size -= size
+		if a.free[i].size == 0 {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		}
+		a.allocated[addr] = size
+		a.used += size
+		return addr, true
+	}
+	return 0, false
+}
+
+// Free releases the block at addr, coalescing with free neighbours. It
+// panics on a bad address or size mismatch (allocator invariants are
+// protocol invariants here).
+func (a *Arena) Free(addr int64) {
+	size, ok := a.allocated[addr]
+	if !ok {
+		panic("rma: Arena.Free of unallocated address")
+	}
+	delete(a.allocated, addr)
+	a.used -= size
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr > addr })
+	// Try to merge with the predecessor and/or successor.
+	mergedPrev := false
+	if i > 0 && a.free[i-1].addr+a.free[i-1].size == addr {
+		a.free[i-1].size += size
+		mergedPrev = true
+	}
+	if i < len(a.free) && addr+size == a.free[i].addr {
+		if mergedPrev {
+			a.free[i-1].size += a.free[i].size
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		} else {
+			a.free[i].addr = addr
+			a.free[i].size += size
+		}
+		return
+	}
+	if !mergedPrev {
+		a.free = append(a.free, arenaBlock{})
+		copy(a.free[i+1:], a.free[i:])
+		a.free[i] = arenaBlock{addr, size}
+	}
+}
+
+// checkInvariants validates the free list (used by tests).
+func (a *Arena) checkInvariants() error {
+	var prevEnd int64 = -1
+	var freeTotal int64
+	for _, b := range a.free {
+		if b.size <= 0 {
+			return errBadArena("empty free block")
+		}
+		if b.addr <= prevEnd-1 {
+			return errBadArena("unsorted or overlapping free blocks")
+		}
+		if b.addr == prevEnd {
+			return errBadArena("uncoalesced adjacent free blocks")
+		}
+		prevEnd = b.addr + b.size
+		freeTotal += b.size
+	}
+	if prevEnd > a.capacity {
+		return errBadArena("free block beyond capacity")
+	}
+	if freeTotal+a.used != a.capacity {
+		return errBadArena("accounting mismatch")
+	}
+	return nil
+}
+
+type errBadArena string
+
+func (e errBadArena) Error() string { return "rma: arena invariant violated: " + string(e) }

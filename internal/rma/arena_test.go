@@ -1,0 +1,129 @@
+package rma
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/util"
+)
+
+func TestArenaBasic(t *testing.T) {
+	a := NewArena(100)
+	x, ok := a.Alloc(40)
+	if !ok || x != 0 {
+		t.Fatalf("first alloc at %d ok=%v", x, ok)
+	}
+	y, ok := a.Alloc(60)
+	if !ok || y != 40 {
+		t.Fatalf("second alloc at %d ok=%v", y, ok)
+	}
+	if _, ok := a.Alloc(1); ok {
+		t.Fatalf("alloc beyond capacity succeeded")
+	}
+	a.Free(x)
+	if a.Used() != 60 {
+		t.Fatalf("used %d", a.Used())
+	}
+	z, ok := a.Alloc(40)
+	if !ok || z != 0 {
+		t.Fatalf("freed space not reused: %d ok=%v", z, ok)
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaExternalFragmentation(t *testing.T) {
+	a := NewArena(100)
+	var addrs []int64
+	for i := 0; i < 10; i++ {
+		x, ok := a.Alloc(10)
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		addrs = append(addrs, x)
+	}
+	// Free every other block: 50 units free but largest block is 10.
+	for i := 0; i < 10; i += 2 {
+		a.Free(addrs[i])
+	}
+	if a.Used() != 50 {
+		t.Fatalf("used %d", a.Used())
+	}
+	if a.LargestFree() != 10 || a.FreeBlocks() != 5 {
+		t.Fatalf("largest %d blocks %d", a.LargestFree(), a.FreeBlocks())
+	}
+	if _, ok := a.Alloc(20); ok {
+		t.Fatalf("fragmented alloc of 20 should fail despite 50 free")
+	}
+	// Freeing the neighbours coalesces.
+	a.Free(addrs[1])
+	if a.LargestFree() < 30 {
+		t.Fatalf("coalescing failed: largest %d", a.LargestFree())
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaCoalesceBothSides(t *testing.T) {
+	a := NewArena(30)
+	x, _ := a.Alloc(10)
+	y, _ := a.Alloc(10)
+	z, _ := a.Alloc(10)
+	a.Free(x)
+	a.Free(z)
+	a.Free(y) // merges with both neighbours
+	if a.FreeBlocks() != 1 || a.LargestFree() != 30 {
+		t.Fatalf("full coalesce failed: %d blocks largest %d", a.FreeBlocks(), a.LargestFree())
+	}
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaFreePanics(t *testing.T) {
+	a := NewArena(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("bad free did not panic")
+		}
+	}()
+	a.Free(3)
+}
+
+func TestArenaQuickInvariants(t *testing.T) {
+	f := func(seed uint64, ops []uint8) bool {
+		rng := util.NewRNG(seed)
+		a := NewArena(1000)
+		var live []int64
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				size := int64(1 + rng.Intn(100))
+				if addr, ok := a.Alloc(size); ok {
+					live = append(live, addr)
+				}
+			} else {
+				i := rng.Intn(len(live))
+				a.Free(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			if err := a.checkInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		for _, addr := range live {
+			a.Free(addr)
+		}
+		if a.Used() != 0 || a.FreeBlocks() != 1 || a.LargestFree() != 1000 {
+			t.Logf("final state: used %d blocks %d largest %d", a.Used(), a.FreeBlocks(), a.LargestFree())
+			return false
+		}
+		return a.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package rma emulates the remote-memory-access substrate the paper's
+// run-time system is built on (SHMEM_PUT on the Cray-T3D): a processor can
+// deposit data directly into another processor's memory, but only at an
+// address it has been told in advance. The emulation preserves the
+// properties the protocol design depends on:
+//
+//   - Put targets a buffer handle previously exported by the receiver; there
+//     is no handshake and no receiver-side copy. Arrival is observable only
+//     through a completion counter the receiver polls (the deposit-then-flag
+//     idiom of real RMA codes).
+//   - Address packages travel through a single-slot buffer per
+//     (sender, receiver) pair: a new package cannot be sent until the
+//     receiver has consumed the previous one (Section 3.2's "no address
+//     buffering" decision).
+//   - Freeing a buffer while a Put could still target it is a protocol bug;
+//     the emulation panics on a Put into a freed buffer, turning the paper's
+//     data-consistency theorem into a checkable runtime assertion.
+//
+// Memory capacity accounting uses the abstract object sizes (units); the
+// backing float64 buffers may have a different physical length (e.g. dense
+// panels for structurally sparse objects).
+package rma
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Buffer is an exported memory region on some processor. The receiver
+// polls Arrivals; producers Put into it.
+type Buffer struct {
+	Obj      graph.ObjID
+	Data     []float64
+	arrivals atomic.Int32
+	freed    atomic.Bool
+}
+
+// Arrivals returns the number of completed deposits (acquire semantics).
+func (b *Buffer) Arrivals() int32 { return b.arrivals.Load() }
+
+// Put copies data into the buffer and increments the arrival counter with
+// release semantics. Putting into a freed buffer panics: it means the
+// protocol invalidated an address that was still in use.
+func (b *Buffer) Put(data []float64) {
+	if b.freed.Load() {
+		panic(fmt.Sprintf("rma: Put into freed buffer for object %d (address consistency violated)", b.Obj))
+	}
+	if b.Data != nil {
+		copy(b.Data, data)
+	}
+	b.arrivals.Add(1)
+}
+
+// PutFlagOnly increments the arrival counter without copying (used when the
+// executor runs structure-only, with no numeric payloads).
+func (b *Buffer) PutFlagOnly() {
+	if b.freed.Load() {
+		panic(fmt.Sprintf("rma: Put into freed buffer for object %d (address consistency violated)", b.Obj))
+	}
+	b.arrivals.Add(1)
+}
+
+// AddrPackage is one address-notification message: the exported buffers a
+// consumer tells a producer about.
+type AddrPackage struct {
+	From    graph.Proc
+	Buffers []*Buffer
+}
+
+// Memory is one processor's capacity-accounted arena. Allocation and
+// freeing are performed only by the owner processor's goroutine; buffers
+// are handed to remote producers through address packages.
+type Memory struct {
+	capacity int64
+	used     int64
+	bufs     map[graph.ObjID]*Buffer
+}
+
+// NewMemory returns an arena with the given capacity in abstract units.
+func NewMemory(capacity int64) *Memory {
+	return &Memory{capacity: capacity, bufs: make(map[graph.ObjID]*Buffer)}
+}
+
+// Used returns the units currently allocated.
+func (m *Memory) Used() int64 { return m.used }
+
+// Alloc reserves size units for object o and returns its buffer with a
+// backing slice of bufLen float64s (bufLen 0 gives a flag-only buffer).
+func (m *Memory) Alloc(o graph.ObjID, size, bufLen int64) (*Buffer, error) {
+	if _, dup := m.bufs[o]; dup {
+		return nil, fmt.Errorf("rma: object %d already allocated (volatile objects are allocated once)", o)
+	}
+	if m.used+size > m.capacity {
+		return nil, fmt.Errorf("rma: out of memory: %d + %d > %d", m.used, size, m.capacity)
+	}
+	m.used += size
+	var data []float64
+	if bufLen > 0 {
+		data = make([]float64, bufLen)
+	}
+	b := &Buffer{Obj: o, Data: data}
+	m.bufs[o] = b
+	return b, nil
+}
+
+// Free releases object o's buffer and marks it dead so that stray Puts are
+// detected.
+func (m *Memory) Free(o graph.ObjID, size int64) error {
+	b, ok := m.bufs[o]
+	if !ok {
+		return fmt.Errorf("rma: freeing unallocated object %d", o)
+	}
+	b.freed.Store(true)
+	delete(m.bufs, o)
+	m.used -= size
+	return nil
+}
+
+// Lookup returns the live buffer of object o, if any.
+func (m *Memory) Lookup(o graph.ObjID) (*Buffer, bool) {
+	b, ok := m.bufs[o]
+	return b, ok
+}
+
+// AddrSlots is the mesh of single-slot address buffers: slot (dst, src)
+// holds at most one in-flight package from src to dst.
+type AddrSlots struct {
+	p     int
+	slots []atomic.Pointer[AddrPackage]
+}
+
+// NewAddrSlots returns the slot mesh for p processors.
+func NewAddrSlots(p int) *AddrSlots {
+	return &AddrSlots{p: p, slots: make([]atomic.Pointer[AddrPackage], p*p)}
+}
+
+// TrySend attempts to deposit a package from src into dst's slot. It
+// reports false if the previous package has not been consumed yet.
+func (a *AddrSlots) TrySend(dst, src graph.Proc, pkg *AddrPackage) bool {
+	return a.slots[int(dst)*a.p+int(src)].CompareAndSwap(nil, pkg)
+}
+
+// Consume removes and returns all pending packages addressed to dst (the RA
+// operation). It returns nil when nothing is pending.
+func (a *AddrSlots) Consume(dst graph.Proc) []*AddrPackage {
+	var out []*AddrPackage
+	base := int(dst) * a.p
+	for src := 0; src < a.p; src++ {
+		if pkg := a.slots[base+src].Swap(nil); pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package rma
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestMemoryCapacityAccounting(t *testing.T) {
+	m := NewMemory(10)
+	b1, err := Alloc2(m, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 6 {
+		t.Fatalf("used %d", m.Used())
+	}
+	if _, err := Alloc2(m, 2, 5); err == nil {
+		t.Fatalf("over-capacity allocation succeeded")
+	}
+	if _, err := Alloc2(m, 1, 1); err == nil {
+		t.Fatalf("duplicate allocation succeeded")
+	}
+	if err := m.Free(1, 6); err != nil {
+		t.Fatal(err)
+	}
+	if m.Used() != 0 {
+		t.Fatalf("used %d after free", m.Used())
+	}
+	if err := m.Free(1, 6); err == nil {
+		t.Fatalf("double free succeeded")
+	}
+	_ = b1
+	if _, ok := m.Lookup(1); ok {
+		t.Fatalf("freed buffer still visible")
+	}
+}
+
+// Alloc2 is a test helper with a buffer length equal to size.
+func Alloc2(m *Memory, o graph.ObjID, size int64) (*Buffer, error) {
+	return m.Alloc(o, size, size)
+}
+
+func TestPutAndArrivals(t *testing.T) {
+	m := NewMemory(100)
+	b, err := Alloc2(m, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Arrivals() != 0 {
+		t.Fatalf("fresh buffer has arrivals")
+	}
+	b.Put([]float64{1, 2, 3, 4})
+	if b.Arrivals() != 1 {
+		t.Fatalf("arrivals %d", b.Arrivals())
+	}
+	if b.Data[2] != 3 {
+		t.Fatalf("data not deposited")
+	}
+	b.Put([]float64{5, 6, 7, 8})
+	if b.Arrivals() != 2 || b.Data[0] != 5 {
+		t.Fatalf("second deposit wrong")
+	}
+	b.PutFlagOnly()
+	if b.Arrivals() != 3 {
+		t.Fatalf("flag-only deposit not counted")
+	}
+}
+
+func TestPutAfterFreePanics(t *testing.T) {
+	m := NewMemory(100)
+	b, err := Alloc2(m, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Put into freed buffer did not panic")
+		}
+	}()
+	b.Put([]float64{1, 2})
+}
+
+func TestAddrSlotsSingleSlot(t *testing.T) {
+	s := NewAddrSlots(3)
+	pkg1 := &AddrPackage{From: 1}
+	pkg2 := &AddrPackage{From: 1}
+	if !s.TrySend(0, 1, pkg1) {
+		t.Fatalf("first send failed")
+	}
+	if s.TrySend(0, 1, pkg2) {
+		t.Fatalf("second send into occupied slot succeeded")
+	}
+	// A different source pair is independent.
+	if !s.TrySend(0, 2, &AddrPackage{From: 2}) {
+		t.Fatalf("independent slot blocked")
+	}
+	got := s.Consume(0)
+	if len(got) != 2 {
+		t.Fatalf("consumed %d packages, want 2", len(got))
+	}
+	if !s.TrySend(0, 1, pkg2) {
+		t.Fatalf("slot not freed by Consume")
+	}
+	if pkgs := s.Consume(1); pkgs != nil {
+		t.Fatalf("empty consume returned %v", pkgs)
+	}
+}
+
+func TestAddrSlotsConcurrent(t *testing.T) {
+	const n = 500
+	s := NewAddrSlots(2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	sent := 0
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if s.TrySend(0, 1, &AddrPackage{From: 1}) {
+				i++
+				sent++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	received := 0
+	go func() {
+		defer wg.Done()
+		for received < n {
+			got := len(s.Consume(0))
+			received += got
+			if got == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	if sent != n || received != n {
+		t.Fatalf("sent %d received %d", sent, received)
+	}
+}

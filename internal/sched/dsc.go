@@ -1,0 +1,264 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// DSCOwners implements the paper's other stage-1 option: locality-driven
+// clustering in the spirit of DSC (Yang & Gerasoulis [21]), simplified to
+// a list-based edge-zeroing pass, followed by load-balanced mapping of the
+// clusters to processors. To preserve the owner-compute invariant (all
+// writers of an object on one processor), clustering operates on
+// owner-compute units — one unit per written object, carrying all its
+// writer tasks — and merges units when placing a unit on the cluster of
+// its dominant predecessor reduces its estimated start time.
+//
+// Object owners are set from the final unit placement; objects that are
+// never written follow the unit of their first reader.
+func DSCOwners(g *graph.DAG, p int, model CostModel) *graph.DAG {
+	// Units: one per written object; tasks writing nothing join the unit of
+	// their first read's writer (rare) or unit 0.
+	nObj := g.NumObjects()
+	unitOf := make([]int32, g.NumTasks())
+	objUnit := make([]int32, nObj)
+	for i := range objUnit {
+		objUnit[i] = -1
+	}
+	nUnits := int32(0)
+	for ti := range g.Tasks {
+		t := &g.Tasks[ti]
+		if len(t.Writes) == 0 {
+			unitOf[ti] = -1 // resolved below
+			continue
+		}
+		o := t.Writes[0]
+		if objUnit[o] == -1 {
+			objUnit[o] = nUnits
+			nUnits++
+		}
+		u := objUnit[o]
+		unitOf[ti] = u
+		for _, w := range t.Writes[1:] {
+			if objUnit[w] == -1 {
+				objUnit[w] = u
+			}
+		}
+	}
+	if nUnits == 0 {
+		nUnits = 1
+	}
+	for ti := range g.Tasks {
+		if unitOf[ti] != -1 {
+			continue
+		}
+		u := int32(0)
+		for _, e := range g.In(graph.TaskID(ti)) {
+			if unitOf[e.From] >= 0 {
+				u = unitOf[e.From]
+				break
+			}
+		}
+		unitOf[ti] = u
+	}
+
+	// Unit graph: aggregating tasks into units can create cycles between
+	// units even though the task graph is acyclic, so collapse unit-level
+	// strongly connected components first (mutually dependent units are
+	// colocated) and cluster the condensation, which is a DAG.
+	rawAdj := make([][]int32, nUnits)
+	seenEdge := make(map[[2]int32]bool)
+	for ti := range g.Tasks {
+		for _, e := range g.Out(graph.TaskID(ti)) {
+			uf, ut := unitOf[e.From], unitOf[e.To]
+			if uf == ut || seenEdge[[2]int32{uf, ut}] {
+				continue
+			}
+			seenEdge[[2]int32{uf, ut}] = true
+			rawAdj[uf] = append(rawAdj[uf], ut)
+		}
+	}
+	comp, nCompInt := graph.SCC(rawAdj)
+	nComp := int32(nCompInt)
+	compOfUnit := func(u int32) int32 { return comp[u] }
+
+	work := make([]float64, nComp)
+	adj := make([]map[int32]float64, nComp)
+	indeg := make([]int32, nComp)
+	for ti := range g.Tasks {
+		work[compOfUnit(unitOf[ti])] += g.Tasks[ti].Cost
+		for _, e := range g.Out(graph.TaskID(ti)) {
+			uf, ut := compOfUnit(unitOf[e.From]), compOfUnit(unitOf[e.To])
+			if uf == ut {
+				continue
+			}
+			if adj[uf] == nil {
+				adj[uf] = make(map[int32]float64)
+			}
+			c := 0.0
+			if e.Kind == graph.DepTrue {
+				c = model.CommTime(g.Objects[e.Obj].Size)
+			}
+			if _, seen := adj[uf][ut]; !seen {
+				indeg[ut]++
+			}
+			if c > adj[uf][ut] {
+				adj[uf][ut] = c
+			}
+		}
+	}
+	nUnits = nComp // cluster at component granularity below
+
+	// List-based edge zeroing over the unit DAG in topological order:
+	// place each unit on the cluster of the predecessor contributing its
+	// latest arrival if that lowers its start estimate, else open a new
+	// cluster.
+	clusterOf := make([]int32, nUnits)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	clusterReady := []float64{}
+	finish := make([]float64, nUnits)
+
+	// Kahn order.
+	queue := make([]int32, 0, nUnits)
+	indegCopy := append([]int32(nil), indeg...)
+	for u := int32(0); u < nUnits; u++ {
+		if indegCopy[u] == 0 {
+			queue = append(queue, u)
+		}
+	}
+	preds := make([]map[int32]float64, nUnits)
+	for u := int32(0); u < nUnits; u++ {
+		for v, c := range adj[u] {
+			if preds[v] == nil {
+				preds[v] = make(map[int32]float64)
+			}
+			preds[v][u] = c
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		// Arrival time per predecessor cluster choice.
+		bestCluster := int32(-1)
+		bestStart := 0.0
+		// Option A: new cluster — start when all messages have arrived.
+		startNew := 0.0
+		var domPred int32 = -1
+		domArrival := -1.0
+		for pu, c := range preds[u] {
+			arr := finish[pu] + c
+			if arr > startNew {
+				startNew = arr
+			}
+			if arr > domArrival {
+				domArrival = arr
+				domPred = pu
+			}
+		}
+		bestCluster, bestStart = -1, startNew
+		// Option B: join the dominant predecessor's cluster (zero its edge).
+		if domPred >= 0 {
+			c := clusterOf[domPred]
+			start := clusterReady[c]
+			for pu, cc := range preds[u] {
+				arr := finish[pu]
+				if clusterOf[pu] != c {
+					arr += cc
+				}
+				if arr > start {
+					start = arr
+				}
+			}
+			if start <= bestStart {
+				bestCluster, bestStart = c, start
+			}
+		}
+		if bestCluster == -1 {
+			bestCluster = int32(len(clusterReady))
+			clusterReady = append(clusterReady, 0)
+		}
+		clusterOf[u] = bestCluster
+		finish[u] = bestStart + work[u]/maxf(model.ComputeRate, 1)
+		if model.ComputeRate <= 0 {
+			finish[u] = bestStart + work[u]
+		}
+		clusterReady[bestCluster] = finish[u]
+
+		for v := range adj[u] {
+			indegCopy[v]--
+			if indegCopy[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+
+	// LPT map clusters to processors by total work.
+	nClusters := len(clusterReady)
+	cwork := make([]float64, nClusters)
+	for u := int32(0); u < nUnits; u++ {
+		cwork[clusterOf[u]] += work[u]
+	}
+	order := make([]int, nClusters)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if cwork[order[a]] != cwork[order[b]] {
+			return cwork[order[a]] > cwork[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	procOf := make([]graph.Proc, nClusters)
+	load := make([]float64, p)
+	for _, c := range order {
+		best := 0
+		for q := 1; q < p; q++ {
+			if load[q] < load[best] {
+				best = q
+			}
+		}
+		procOf[c] = graph.Proc(best)
+		load[best] += cwork[c]
+	}
+
+	// Object owners from unit placement.
+	for o := 0; o < nObj; o++ {
+		if objUnit[o] >= 0 {
+			g.Objects[o].Owner = procOf[clusterOf[compOfUnit(objUnit[o])]]
+		}
+	}
+	next := 0
+	for o := 0; o < nObj; o++ {
+		if objUnit[o] == -1 {
+			// Never-written object: co-locate with its first reader's unit.
+			placed := false
+			for ti := range g.Tasks {
+				for _, r := range g.Tasks[ti].Reads {
+					if r == graph.ObjID(o) {
+						g.Objects[o].Owner = procOf[clusterOf[compOfUnit(unitOf[ti])]]
+						placed = true
+						break
+					}
+				}
+				if placed {
+					break
+				}
+			}
+			if !placed {
+				g.Objects[o].Owner = graph.Proc(next % p)
+				next++
+			}
+		}
+	}
+	return g
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/util"
+)
+
+// chainGraph builds k independent chains of length l: the classic case
+// where locality-driven clustering must zero the chain edges (one chain =
+// one cluster), while cyclic owners would communicate on every edge.
+func chainGraph(t *testing.T, k, l int) *graph.DAG {
+	t.Helper()
+	b := graph.NewBuilder()
+	for c := 0; c < k; c++ {
+		var prev graph.ObjID = -1
+		for s := 0; s < l; s++ {
+			o := b.Object(chName("o", c, s), 100)
+			var reads []graph.ObjID
+			if prev >= 0 {
+				reads = []graph.ObjID{prev}
+			}
+			b.Task(chName("t", c, s), 50, reads, []graph.ObjID{o})
+			prev = o
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func chName(p string, a, b int) string {
+	return p + string(rune('A'+a)) + string(rune('a'+b%26)) + string(rune('0'+b/26))
+}
+
+func crossProcEdges(g *graph.DAG, assign []graph.Proc) int {
+	n := 0
+	for ti := 0; ti < g.NumTasks(); ti++ {
+		for _, e := range g.Out(graph.TaskID(ti)) {
+			if e.Kind == graph.DepTrue && assign[e.From] != assign[e.To] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestDSCZerosChainEdges(t *testing.T) {
+	g := chainGraph(t, 4, 10)
+	DSCOwners(g, 4, Unit())
+	assign, err := OwnerComputeAssign(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := crossProcEdges(g, assign); got != 0 {
+		t.Fatalf("DSC left %d cross-processor chain edges", got)
+	}
+	// And the load must still be spread: all four processors used.
+	used := map[graph.Proc]bool{}
+	for _, p := range assign {
+		used[p] = true
+	}
+	if len(used) != 4 {
+		t.Fatalf("only %d processors used", len(used))
+	}
+}
+
+func TestDSCBeatsCyclicOnChains(t *testing.T) {
+	model := Unit()
+	g1 := chainGraph(t, 6, 8)
+	DSCOwners(g1, 3, model)
+	a1, err := OwnerComputeAssign(g1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := ScheduleRCP(g1, a1, 3, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := chainGraph(t, 6, 8)
+	CyclicOwners(g2, 3)
+	a2, err := OwnerComputeAssign(g2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ScheduleRCP(g2, a2, 3, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Makespan > s2.Makespan {
+		t.Fatalf("DSC makespan %v worse than cyclic %v", s1.Makespan, s2.Makespan)
+	}
+}
+
+func TestDSCValidOnRandomGraphs(t *testing.T) {
+	rng := util.NewRNG(17)
+	for trial := 0; trial < 25; trial++ {
+		p := 2 + rng.Intn(4)
+		g := randomOwnerComputeDAG(rng, 20+rng.Intn(50), 5+rng.Intn(15), p)
+		DSCOwners(g, p, T3D())
+		assign, err := OwnerComputeAssign(g, p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, h := range []Heuristic{RCP, MPO, DTS} {
+			s, err := ScheduleWith(h, g, assign, p, T3D(), 0)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, h, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("trial %d %v: %v", trial, h, err)
+			}
+		}
+		// Every owner must be in range.
+		for oi := range g.Objects {
+			own := g.Objects[oi].Owner
+			if own < 0 || int(own) >= p {
+				t.Fatalf("trial %d: object %d owner %d out of range", trial, oi, own)
+			}
+		}
+	}
+}
+
+func TestDSCCommutativeWritersColocated(t *testing.T) {
+	// Accumulation graphs: all writers of an object must land together so
+	// owner-compute holds.
+	b := graph.NewBuilder()
+	acc := b.Object("acc", 10)
+	b.Task("init", 1, nil, []graph.ObjID{acc})
+	for i := 0; i < 6; i++ {
+		in := b.Object(chName("i", 0, i), 5)
+		b.Task(chName("p", 0, i), 10, nil, []graph.ObjID{in})
+		b.CommutativeTask(chName("u", 0, i), 5, []graph.ObjID{in, acc}, []graph.ObjID{acc})
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	DSCOwners(g, 3, Unit())
+	if _, err := OwnerComputeAssign(g, 3); err != nil {
+		t.Fatalf("owner-compute violated after DSC: %v", err)
+	}
+}

@@ -1,0 +1,270 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// assocObjects returns the data nodes a task is associated with in the data
+// connection graph (Section 4.2): the objects it uses but does not modify,
+// or, if it has none (e.g. it only modifies objects), the objects it
+// modifies.
+func assocObjects(t *graph.Task) []graph.ObjID {
+	writes := make(map[graph.ObjID]bool, len(t.Writes))
+	for _, o := range t.Writes {
+		writes[o] = true
+	}
+	var assoc []graph.ObjID
+	seen := map[graph.ObjID]bool{}
+	for _, o := range t.Reads {
+		if !writes[o] && !seen[o] {
+			seen[o] = true
+			assoc = append(assoc, o)
+		}
+	}
+	if len(assoc) == 0 {
+		for _, o := range t.Writes {
+			if !seen[o] {
+				seen[o] = true
+				assoc = append(assoc, o)
+			}
+		}
+	}
+	return assoc
+}
+
+// BuildDCG constructs the data connection graph of the DAG: one node per
+// data object, doubly-directed edges among the objects associated with a
+// common task, and an edge d_i -> d_j for every task dependence edge
+// (Tx, Ty) with Tx associated with d_i and Ty associated with d_j. It
+// returns the adjacency list and the per-task association lists.
+func BuildDCG(g *graph.DAG) (adj [][]int32, assoc [][]graph.ObjID) {
+	m := g.NumObjects()
+	adj = make([][]int32, m)
+	assoc = make([][]graph.ObjID, g.NumTasks())
+	addEdge := func(a, b graph.ObjID) {
+		if a == b {
+			return
+		}
+		adj[a] = append(adj[a], int32(b))
+	}
+	for ti := range g.Tasks {
+		as := assocObjects(&g.Tasks[ti])
+		assoc[ti] = as
+		// Strongly connect multi-associated data nodes.
+		for i := 0; i < len(as); i++ {
+			for j := i + 1; j < len(as); j++ {
+				addEdge(as[i], as[j])
+				addEdge(as[j], as[i])
+			}
+		}
+	}
+	for ti := range g.Tasks {
+		for _, e := range g.Out(graph.TaskID(ti)) {
+			for _, di := range assoc[e.From] {
+				for _, dj := range assoc[e.To] {
+					addEdge(di, dj)
+				}
+			}
+		}
+	}
+	return adj, assoc
+}
+
+// Slices computes the DTS slices: strongly connected components of the DCG
+// in a topological order of the condensation. It returns sliceOf[task] and
+// the number of slices. Tasks associated with multiple objects always land
+// in a single slice because their data nodes are strongly connected.
+func Slices(g *graph.DAG) (sliceOf []int32, nSlices int, err error) {
+	adj, assoc := BuildDCG(g)
+	comp, nc := graph.SCC(adj)
+	// Tarjan indices are reverse-topological; flip them.
+	sliceOf = make([]int32, g.NumTasks())
+	for ti := range sliceOf {
+		as := assoc[ti]
+		if len(as) == 0 {
+			return nil, 0, fmt.Errorf("sched: task %q accesses no objects", g.Tasks[ti].Name)
+		}
+		s := int32(nc) - 1 - comp[as[0]]
+		for _, o := range as[1:] {
+			if s2 := int32(nc) - 1 - comp[o]; s2 != s {
+				return nil, 0, fmt.Errorf("sched: task %q spans slices %d and %d", g.Tasks[ti].Name, s, s2)
+			}
+		}
+		sliceOf[ti] = s
+	}
+	return sliceOf, nc, nil
+}
+
+// SliceVolatileNeed computes H(R, L) for every slice (Definition 7): the
+// maximum over processors of the total size of distinct volatile objects
+// used by the slice's tasks on that processor.
+func SliceVolatileNeed(g *graph.DAG, assign []graph.Proc, p int, sliceOf []int32, nSlices int) []int64 {
+	type key struct {
+		slice int32
+		proc  graph.Proc
+		obj   graph.ObjID
+	}
+	seen := make(map[key]bool)
+	perProc := make([][]int64, nSlices)
+	for s := range perProc {
+		perProc[s] = make([]int64, p)
+	}
+	for ti := range g.Tasks {
+		t := &g.Tasks[ti]
+		s := sliceOf[ti]
+		q := assign[ti]
+		for _, lists := range [2][]graph.ObjID{t.Reads, t.Writes} {
+			for _, o := range lists {
+				if g.Objects[o].Owner == q {
+					continue
+				}
+				k := key{s, q, o}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				perProc[s][q] += g.Objects[o].Size
+			}
+		}
+	}
+	h := make([]int64, nSlices)
+	for s := 0; s < nSlices; s++ {
+		for q := 0; q < p; q++ {
+			if perProc[s][q] > h[s] {
+				h[s] = perProc[s][q]
+			}
+		}
+	}
+	return h
+}
+
+// MergeSlices implements the greedy slice-merging of Figure 6: consecutive
+// slices are merged while the sum of their volatile requirements stays
+// within availVolatile (AVAIL_MEM expressed as the per-processor volatile
+// budget). It returns the new slice index for each original slice and the
+// new slice count.
+func MergeSlices(h []int64, availVolatile int64) (newIdx []int32, nNew int) {
+	newIdx = make([]int32, len(h))
+	if len(h) == 0 {
+		return newIdx, 0
+	}
+	cur := int32(0)
+	spaceReq := h[0]
+	newIdx[0] = 0
+	for i := 1; i < len(h); i++ {
+		if spaceReq+h[i] <= availVolatile {
+			newIdx[i] = cur
+			spaceReq += h[i]
+		} else {
+			cur++
+			newIdx[i] = cur
+			spaceReq = h[i]
+		}
+	}
+	return newIdx, int(cur) + 1
+}
+
+// dtsPolicy schedules slice by slice: on each processor, a ready task is
+// eligible only if no unscheduled task on the same processor belongs to an
+// earlier slice. Within a slice, critical-path priority orders tasks.
+type dtsPolicy struct {
+	sliceOf []int32
+	bl      []float64
+	// unsched[p][s] counts unscheduled tasks of slice s on processor p;
+	// minSlice[p] is the smallest s with unsched[p][s] > 0.
+	unsched  [][]int32
+	minSlice []int32
+	nSlices  int
+}
+
+func newDTSPolicy(g *graph.DAG, assign []graph.Proc, p int, sliceOf []int32, nSlices int, bl []float64) *dtsPolicy {
+	d := &dtsPolicy{
+		sliceOf:  sliceOf,
+		bl:       bl,
+		unsched:  make([][]int32, p),
+		minSlice: make([]int32, p),
+		nSlices:  nSlices,
+	}
+	for q := 0; q < p; q++ {
+		d.unsched[q] = make([]int32, nSlices)
+	}
+	for ti := range g.Tasks {
+		d.unsched[assign[ti]][sliceOf[ti]]++
+	}
+	for q := 0; q < p; q++ {
+		d.advance(graph.Proc(q))
+	}
+	return d
+}
+
+func (d *dtsPolicy) advance(p graph.Proc) {
+	for int(d.minSlice[p]) < d.nSlices && d.unsched[p][d.minSlice[p]] == 0 {
+		d.minSlice[p]++
+	}
+}
+
+func (d *dtsPolicy) keys(t graph.TaskID) (float64, float64) {
+	// Slice-major (ascending) so that the heap top always carries the
+	// smallest ready slice; an ineligible top therefore implies no
+	// eligible ready task on the processor.
+	return float64(d.sliceOf[t]), -d.bl[t]
+}
+
+func (d *dtsPolicy) eligible(t graph.TaskID, p graph.Proc) bool {
+	return d.sliceOf[t] == d.minSlice[p]
+}
+
+func (d *dtsPolicy) inserted(graph.TaskID, graph.Proc) {}
+
+func (d *dtsPolicy) scheduled(t graph.TaskID, p graph.Proc) {
+	d.unsched[p][d.sliceOf[t]]--
+	d.advance(p)
+}
+
+// ScheduleDTS produces the data-access directed time-slicing schedule of
+// Section 4.2. If merge is true, consecutive slices are first merged under
+// the per-processor volatile budget availVolatile (Figure 6); otherwise
+// availVolatile is ignored.
+func ScheduleDTS(g *graph.DAG, assign []graph.Proc, p int, model CostModel, merge bool, availVolatile int64) (*Schedule, error) {
+	sliceOf, nSlices, err := Slices(g)
+	if err != nil {
+		return nil, err
+	}
+	h := DTS
+	if merge {
+		hv := SliceVolatileNeed(g, assign, p, sliceOf, nSlices)
+		newIdx, nNew := MergeSlices(hv, availVolatile)
+		for ti := range sliceOf {
+			sliceOf[ti] = newIdx[sliceOf[ti]]
+		}
+		nSlices = nNew
+		h = DTSMerge
+	}
+	bl := g.BottomLevels(model.EdgeComm(g, assign))
+	pol := newDTSPolicy(g, assign, p, sliceOf, nSlices, bl)
+	s, err := runList(g, assign, p, model, pol, h)
+	if err != nil {
+		return nil, err
+	}
+	s.Slices = sliceOf
+	s.NumSlices = nSlices
+	return s, nil
+}
+
+// Schedule dispatches to the requested heuristic. availVolatile is only
+// used by DTSMerge.
+func ScheduleWith(h Heuristic, g *graph.DAG, assign []graph.Proc, p int, model CostModel, availVolatile int64) (*Schedule, error) {
+	switch h {
+	case RCP:
+		return ScheduleRCP(g, assign, p, model)
+	case MPO:
+		return ScheduleMPO(g, assign, p, model)
+	case DTS:
+		return ScheduleDTS(g, assign, p, model, false, 0)
+	case DTSMerge:
+		return ScheduleDTS(g, assign, p, model, true, availVolatile)
+	}
+	return nil, fmt.Errorf("sched: unknown heuristic %d", h)
+}

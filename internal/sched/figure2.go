@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Figure2DAG builds a 20-task, 11-object DAG in the style of the paper's
+// Figure 2 worked example. The exact figure is not recoverable from the
+// text (it is an image), so this is a documented reconstruction that keeps
+// every property the text states: tasks named T[i,j] read d_i and update
+// d_j (T[j] only updates d_j); data objects are mapped cyclically,
+// owner(d_i) = (i-1) mod p with p = 2, so PERM(P0) = {d1,d3,d5,d7,d9,d11}
+// and PERM(P1) = {d2,d4,d6,d8,d10}; with owner-compute task assignment the
+// volatile sets are VOLA(P0) = {d8} and VOLA(P1) = {d1,d3,d5,d7}; and the
+// orderings trade memory for time the way the paper's example does
+// (MIN_MEM 9 under RCP vs 7 under MPO/DTS, mirroring the 9/8/7 progression,
+// with schedule length growing from RCP through MPO to DTS).
+//
+// Objects are of unit size; every task costs one unit; every message costs
+// one unit (use the Unit cost model).
+func Figure2DAG() *graph.DAG {
+	b := graph.NewBuilder()
+	d := make([]graph.ObjID, 12) // 1-based like the paper
+	for i := 1; i <= 11; i++ {
+		d[i] = b.Object(fmt.Sprintf("d%d", i), 1)
+	}
+	w := func(j int) { b.Task(fmt.Sprintf("T[%d]", j), 1, nil, []graph.ObjID{d[j]}) }
+	rw := func(j int) {
+		b.Task(fmt.Sprintf("T[%d]*", j), 1, []graph.ObjID{d[j]}, []graph.ObjID{d[j]})
+	}
+	t := func(i, j int) {
+		b.Task(fmt.Sprintf("T[%d,%d]", i, j), 1, []graph.ObjID{d[i]}, []graph.ObjID{d[j]})
+	}
+
+	// P0 produces the four objects that become volatile copies on P1.
+	w(1) // T[1]
+	w(3) // T[3]
+	w(5) // T[5]
+	w(7) // T[7]
+	// P1's main elimination chain T[2] -> T[1,2] -> T[2,4] -> ... carries
+	// the critical path, so RCP starts the first reader of each volatile
+	// object early (long bottom level) while their second readers (the
+	// T[.,10] accumulation chain) have short bottom levels and run last —
+	// keeping all four volatile objects alive at once. MPO and DTS instead
+	// schedule both readers of a volatile object back to back.
+	w(2)     // T[2]
+	t(1, 2)  // T[1,2]
+	t(2, 4)  // T[2,4]
+	t(3, 4)  // T[3,4]
+	t(5, 4)  // T[5,4]
+	t(7, 4)  // T[7,4]
+	t(4, 6)  // T[4,6]
+	t(6, 8)  // T[6,8]
+	t(7, 8)  // T[7,8]
+	rw(8)    // T[8]
+	t(1, 10) // T[1,10]
+	t(3, 10) // T[3,10]
+	t(5, 10) // T[5,10]
+	t(7, 10) // T[7,10]
+	// P0 tail consuming d8 (its only volatile object).
+	t(8, 9)  // T[8,9]
+	t(9, 11) // T[9,11]
+
+	g, err := b.Build()
+	if err != nil {
+		panic("sched: Figure2DAG must build: " + err.Error())
+	}
+	// owner(d_i) = (i-1) mod 2.
+	for i := 1; i <= 11; i++ {
+		g.Objects[d[i]].Owner = graph.Proc((i - 1) % 2)
+	}
+	return g
+}

@@ -1,0 +1,102 @@
+package sched
+
+import "repro/internal/graph"
+
+// taskHeap is a binary min-heap of tasks keyed by a lexicographic
+// (k1, k2, id) triple; schedulers negate "higher is better" priorities so
+// the heap top is the best candidate. Updatable by task id.
+type taskHeap struct {
+	ids []graph.TaskID
+	k1  []float64
+	k2  []float64
+	pos map[graph.TaskID]int
+}
+
+func newTaskHeap() *taskHeap {
+	return &taskHeap{pos: make(map[graph.TaskID]int)}
+}
+
+func (h *taskHeap) Len() int { return len(h.ids) }
+
+func (h *taskHeap) Top() graph.TaskID { return h.ids[0] }
+
+func (h *taskHeap) Push(id graph.TaskID, k1, k2 float64) {
+	h.ids = append(h.ids, id)
+	h.k1 = append(h.k1, k1)
+	h.k2 = append(h.k2, k2)
+	h.pos[id] = len(h.ids) - 1
+	h.up(len(h.ids) - 1)
+}
+
+func (h *taskHeap) Pop() graph.TaskID {
+	id := h.ids[0]
+	n := len(h.ids) - 1
+	h.swap(0, n)
+	h.ids = h.ids[:n]
+	h.k1 = h.k1[:n]
+	h.k2 = h.k2[:n]
+	delete(h.pos, id)
+	if n > 0 {
+		h.down(0)
+	}
+	return id
+}
+
+// Update changes the keys of id if present.
+func (h *taskHeap) Update(id graph.TaskID, k1, k2 float64) {
+	i, ok := h.pos[id]
+	if !ok {
+		return
+	}
+	h.k1[i], h.k2[i] = k1, k2
+	h.up(i)
+	h.down(h.pos[id])
+}
+
+func (h *taskHeap) less(i, j int) bool {
+	if h.k1[i] != h.k1[j] {
+		return h.k1[i] < h.k1[j]
+	}
+	if h.k2[i] != h.k2[j] {
+		return h.k2[i] < h.k2[j]
+	}
+	return h.ids[i] < h.ids[j]
+}
+
+func (h *taskHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.k1[i], h.k1[j] = h.k1[j], h.k1[i]
+	h.k2[i], h.k2[j] = h.k2[j], h.k2[i]
+	h.pos[h.ids[i]] = i
+	h.pos[h.ids[j]] = j
+}
+
+func (h *taskHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *taskHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.less(l, s) {
+			s = l
+		}
+		if r < n && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		h.swap(i, s)
+		i = s
+	}
+}

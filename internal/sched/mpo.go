@@ -1,0 +1,99 @@
+package sched
+
+import "repro/internal/graph"
+
+// mpoPolicy implements the memory-priority guided ordering of Figure 4.
+// The memory priority of a ready task is the fraction of the objects it
+// needs that are already allocated on its processor (permanent objects are
+// always allocated; volatile objects become allocated when a previously
+// scheduled task on the same processor first used them). Critical-path
+// priority breaks ties. As the paper notes, only the priorities of tasks
+// affected by the newly scheduled task need refreshing: the engine is told
+// to re-sink exactly the ready tasks that use a just-allocated object.
+type mpoPolicy struct {
+	g      *graph.DAG
+	assign []graph.Proc
+	bl     []float64
+	// allocated[p] is the set of volatile objects already allocated on p
+	// during the scheduling simulation.
+	allocated []map[graph.ObjID]bool
+	// waiting[p][o] lists ready tasks on p whose priority depends on the
+	// (currently unallocated) volatile object o.
+	waiting []map[graph.ObjID][]graph.TaskID
+	refresh func(t graph.TaskID, p graph.Proc)
+}
+
+func newMPOPolicy(g *graph.DAG, assign []graph.Proc, p int, bl []float64) *mpoPolicy {
+	alloc := make([]map[graph.ObjID]bool, p)
+	waiting := make([]map[graph.ObjID][]graph.TaskID, p)
+	for i := range alloc {
+		alloc[i] = make(map[graph.ObjID]bool)
+		waiting[i] = make(map[graph.ObjID][]graph.TaskID)
+	}
+	return &mpoPolicy{g: g, assign: assign, bl: bl, allocated: alloc, waiting: waiting}
+}
+
+func (m *mpoPolicy) setRefresh(f func(t graph.TaskID, p graph.Proc)) { m.refresh = f }
+
+func (m *mpoPolicy) forObjects(t graph.TaskID, f func(o graph.ObjID)) {
+	task := &m.g.Tasks[t]
+	seen := make(map[graph.ObjID]bool, len(task.Reads)+len(task.Writes))
+	for _, lists := range [2][]graph.ObjID{task.Reads, task.Writes} {
+		for _, o := range lists {
+			if !seen[o] {
+				seen[o] = true
+				f(o)
+			}
+		}
+	}
+}
+
+func (m *mpoPolicy) keys(t graph.TaskID) (float64, float64) {
+	p := m.assign[t]
+	total, have := 0, 0
+	m.forObjects(t, func(o graph.ObjID) {
+		total++
+		if m.g.Objects[o].Owner == p || m.allocated[p][o] {
+			have++
+		}
+	})
+	prio := 1.0
+	if total > 0 {
+		prio = float64(have) / float64(total)
+	}
+	return -prio, -m.bl[t]
+}
+
+func (m *mpoPolicy) eligible(graph.TaskID, graph.Proc) bool { return true }
+
+func (m *mpoPolicy) inserted(t graph.TaskID, p graph.Proc) {
+	m.forObjects(t, func(o graph.ObjID) {
+		if m.g.Objects[o].Owner != p && !m.allocated[p][o] {
+			m.waiting[p][o] = append(m.waiting[p][o], t)
+		}
+	})
+}
+
+func (m *mpoPolicy) scheduled(t graph.TaskID, p graph.Proc) {
+	// Allocate all volatile objects the task uses that are not allocated
+	// yet on its processor (line 4 of Figure 4), then refresh the ready
+	// tasks whose memory priority just improved.
+	m.forObjects(t, func(o graph.ObjID) {
+		if m.g.Objects[o].Owner == p || m.allocated[p][o] {
+			return
+		}
+		m.allocated[p][o] = true
+		for _, w := range m.waiting[p][o] {
+			if w != t {
+				m.refresh(w, p)
+			}
+		}
+		delete(m.waiting[p], o)
+	})
+}
+
+// ScheduleMPO produces the memory-priority guided ordering of Section 4.1.
+func ScheduleMPO(g *graph.DAG, assign []graph.Proc, p int, model CostModel) (*Schedule, error) {
+	bl := g.BottomLevels(model.EdgeComm(g, assign))
+	return runList(g, assign, p, model, newMPOPolicy(g, assign, p, bl), MPO)
+}

@@ -1,0 +1,18 @@
+package sched
+
+import "repro/internal/graph"
+
+// rcpPolicy orders ready tasks by critical-path (bottom-level) priority.
+type rcpPolicy struct{ bl []float64 }
+
+func (p *rcpPolicy) keys(t graph.TaskID) (float64, float64) { return -p.bl[t], 0 }
+func (p *rcpPolicy) eligible(graph.TaskID, graph.Proc) bool { return true }
+func (p *rcpPolicy) inserted(graph.TaskID, graph.Proc)      {}
+func (p *rcpPolicy) scheduled(graph.TaskID, graph.Proc)     {}
+
+// ScheduleRCP produces the time-efficient baseline schedule: ready critical
+// path ordering on each processor under the given assignment.
+func ScheduleRCP(g *graph.DAG, assign []graph.Proc, p int, model CostModel) (*Schedule, error) {
+	bl := g.BottomLevels(model.EdgeComm(g, assign))
+	return runList(g, assign, p, model, &rcpPolicy{bl: bl}, RCP)
+}

@@ -1,0 +1,277 @@
+// Package sched implements the scheduling layer of the paper: owner-compute
+// clustering and load-balanced mapping, and the three task-ordering
+// heuristics evaluated in Section 5 — RCP (critical-path ordering, the
+// time-efficient baseline), MPO (memory-priority guided ordering) and DTS
+// (data-access directed time slicing, with optional slice merging under a
+// known memory budget). It also evaluates schedules: the MEM_REQ / MIN_MEM
+// quantities of Definitions 4-6, the no-recycling total TOT used by the
+// paper's memory-constraint percentages, and a predicted makespan.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Heuristic names a task-ordering algorithm.
+type Heuristic uint8
+
+const (
+	// RCP is critical-path list scheduling (Yang & Gerasoulis [20]).
+	RCP Heuristic = iota
+	// MPO is memory-priority guided ordering (Section 4.1).
+	MPO
+	// DTS is data-access directed time slicing (Section 4.2).
+	DTS
+	// DTSMerge is DTS followed by slice merging under AVAIL_MEM (Figure 6).
+	DTSMerge
+)
+
+func (h Heuristic) String() string {
+	switch h {
+	case RCP:
+		return "RCP"
+	case MPO:
+		return "MPO"
+	case DTS:
+		return "DTS"
+	case DTSMerge:
+		return "DTS+merge"
+	}
+	return "?"
+}
+
+// Schedule is a static schedule: an assignment of every task to a processor
+// and an execution order on each processor, together with the object
+// ownership map that induced it.
+type Schedule struct {
+	G *graph.DAG
+	P int
+	// Assign[t] is the processor of task t.
+	Assign []graph.Proc
+	// Order[p] lists the tasks of processor p in execution order.
+	Order [][]graph.TaskID
+	// Pos[t] is the position of task t within Order[Assign[t]].
+	Pos []int32
+	// Makespan is the parallel time predicted by the ordering simulation
+	// (no memory-management overhead).
+	Makespan float64
+	// Heuristic records which ordering produced the schedule.
+	Heuristic Heuristic
+	// Slices, for DTS schedules, maps each task to its slice index
+	// (nil otherwise).
+	Slices []int32
+	// NumSlices is the number of slices for DTS schedules (post merging).
+	NumSlices int
+}
+
+// finalize fills Pos and validates that every task appears exactly once.
+func (s *Schedule) finalize() error {
+	n := s.G.NumTasks()
+	s.Pos = make([]int32, n)
+	for i := range s.Pos {
+		s.Pos[i] = -1
+	}
+	count := 0
+	for p := 0; p < s.P; p++ {
+		for i, t := range s.Order[p] {
+			if s.Assign[t] != graph.Proc(p) {
+				return fmt.Errorf("sched: task %d ordered on proc %d but assigned to %d", t, p, s.Assign[t])
+			}
+			if s.Pos[t] != -1 {
+				return fmt.Errorf("sched: task %d appears twice", t)
+			}
+			s.Pos[t] = int32(i)
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("sched: %d of %d tasks ordered", count, n)
+	}
+	return nil
+}
+
+// Validate checks that the per-processor orders respect all dependence
+// edges: for every edge u->v, u is ordered before v if on the same
+// processor, and there is no cycle in the induced execution constraints.
+func (s *Schedule) Validate() error {
+	for t := 0; t < s.G.NumTasks(); t++ {
+		for _, e := range s.G.Out(graph.TaskID(t)) {
+			if s.Assign[e.From] == s.Assign[e.To] && s.Pos[e.From] >= s.Pos[e.To] {
+				return fmt.Errorf("sched: edge %d->%d violated on proc %d", e.From, e.To, s.Assign[e.From])
+			}
+		}
+	}
+	// Cross-processor cycles: the execution order must be a linear extension
+	// of the DAG plus the per-proc chains; check by topological sort over
+	// the union.
+	n := s.G.NumTasks()
+	indeg := make([]int32, n)
+	extra := make([][]graph.TaskID, n)
+	for p := 0; p < s.P; p++ {
+		for i := 1; i < len(s.Order[p]); i++ {
+			u, v := s.Order[p][i-1], s.Order[p][i]
+			extra[u] = append(extra[u], v)
+			indeg[v]++
+		}
+	}
+	for t := 0; t < n; t++ {
+		for range s.G.In(graph.TaskID(t)) {
+			indeg[t]++
+		}
+	}
+	queue := make([]graph.TaskID, 0, n)
+	for t := 0; t < n; t++ {
+		if indeg[t] == 0 {
+			queue = append(queue, graph.TaskID(t))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		relax := func(v graph.TaskID) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+		for _, e := range s.G.Out(u) {
+			relax(e.To)
+		}
+		for _, v := range extra[u] {
+			relax(v)
+		}
+	}
+	if seen != n {
+		return fmt.Errorf("sched: execution constraints contain a cycle")
+	}
+	return nil
+}
+
+// PermSize returns the total size of permanent objects on each processor
+// (every object is permanent on its owner and stays allocated throughout).
+func (s *Schedule) PermSize() []int64 {
+	perm := make([]int64, s.P)
+	for i := range s.G.Objects {
+		o := &s.G.Objects[i]
+		if o.Owner >= 0 {
+			perm[o.Owner] += o.Size
+		}
+	}
+	return perm
+}
+
+// VolatileObjects returns, for each processor, the set of volatile objects
+// it touches: objects read or written by its tasks but owned elsewhere,
+// keyed by object ID mapped to size.
+func (s *Schedule) VolatileObjects() []map[graph.ObjID]int64 {
+	vol := make([]map[graph.ObjID]int64, s.P)
+	for p := range vol {
+		vol[p] = make(map[graph.ObjID]int64)
+	}
+	for t := 0; t < s.G.NumTasks(); t++ {
+		p := s.Assign[t]
+		task := &s.G.Tasks[t]
+		for _, lists := range [2][]graph.ObjID{task.Reads, task.Writes} {
+			for _, o := range lists {
+				if s.G.Objects[o].Owner != p {
+					vol[p][o] = s.G.Objects[o].Size
+				}
+			}
+		}
+	}
+	return vol
+}
+
+// TOT returns the paper's "total memory space needed for a given task
+// schedule without any space recycling": on each processor the permanent
+// space plus the space of every volatile object it touches; TOT is the
+// maximum over processors.
+func (s *Schedule) TOT() int64 {
+	perm := s.PermSize()
+	vol := s.VolatileObjects()
+	var tot int64
+	for p := 0; p < s.P; p++ {
+		sum := perm[p]
+		for _, sz := range vol[p] {
+			sum += sz
+		}
+		if sum > tot {
+			tot = sum
+		}
+	}
+	return tot
+}
+
+// VolatileLifetimes computes, for each processor, the first-use and
+// last-use positions of each volatile object in that processor's order
+// (Definition 4 alive range). Returned as maps object -> [2]int32{first,
+// last}.
+func (s *Schedule) VolatileLifetimes() []map[graph.ObjID][2]int32 {
+	lt := make([]map[graph.ObjID][2]int32, s.P)
+	for p := range lt {
+		lt[p] = make(map[graph.ObjID][2]int32)
+	}
+	for p := 0; p < s.P; p++ {
+		for i, t := range s.Order[p] {
+			task := &s.G.Tasks[t]
+			touch := func(o graph.ObjID) {
+				if s.G.Objects[o].Owner == graph.Proc(p) {
+					return
+				}
+				if r, ok := lt[p][o]; ok {
+					r[1] = int32(i)
+					lt[p][o] = r
+				} else {
+					lt[p][o] = [2]int32{int32(i), int32(i)}
+				}
+			}
+			for _, o := range task.Reads {
+				touch(o)
+			}
+			for _, o := range task.Writes {
+				touch(o)
+			}
+		}
+	}
+	return lt
+}
+
+// MinMem computes MIN_MEM (Definition 5): the maximum over processors and
+// tasks of the memory requirement assuming volatile objects are freed
+// immediately after their last use and allocated at their first use, with
+// lifetimes able to share space only when disjoint.
+func (s *Schedule) MinMem() int64 {
+	perm := s.PermSize()
+	lt := s.VolatileLifetimes()
+	var minMem int64
+	for p := 0; p < s.P; p++ {
+		// Sweep the order accumulating alive volatile sizes.
+		allocAt := make(map[int32]int64) // position -> size allocated
+		freeAfter := make(map[int32]int64)
+		for o, r := range lt[p] {
+			allocAt[r[0]] += s.G.Objects[o].Size
+			freeAfter[r[1]] += s.G.Objects[o].Size
+		}
+		var alive int64
+		for i := range s.Order[p] {
+			alive += allocAt[int32(i)]
+			if req := perm[p] + alive; req > minMem {
+				minMem = req
+			}
+			alive -= freeAfter[int32(i)]
+		}
+		if len(s.Order[p]) == 0 && perm[p] > minMem {
+			minMem = perm[p]
+		}
+	}
+	return minMem
+}
+
+// PerProcPeak returns, for algorithm comparisons like Figure 7, the peak
+// per-processor space requirement of the schedule under immediate-free
+// semantics (i.e. the per-processor MIN_MEM), as S_p^A.
+func (s *Schedule) PerProcPeak() int64 { return s.MinMem() }

@@ -1,0 +1,154 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes the matrix in MatrixMarket coordinate format
+// ("%%MatrixMarket matrix coordinate real general", 1-based indices).
+// Pattern-only matrices are written with the "pattern" field.
+func (m *Matrix) WriteMatrixMarket(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	field := "real"
+	if m.Val == nil {
+		field = "pattern"
+	}
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate %s general\n", field); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.N, m.N, m.Nnz()); err != nil {
+		return err
+	}
+	for j := 0; j < m.N; j++ {
+		vals := m.ColVal(j)
+		for k, i := range m.Col(j) {
+			if vals != nil {
+				if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, vals[k]); err != nil {
+					return err
+				}
+			} else {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", i+1, j+1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file (real, integer or
+// pattern field; general or symmetric symmetry — symmetric input is
+// expanded to the full pattern). Only square matrices are accepted.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket input")
+	}
+	headline := strings.Fields(strings.ToLower(sc.Text()))
+	if len(headline) < 5 || headline[0] != "%%matrixmarket" || headline[1] != "matrix" || headline[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", sc.Text())
+	}
+	field := headline[3]
+	symmetry := headline[4]
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported field %q", field)
+	}
+	switch symmetry {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported symmetry %q", symmetry)
+	}
+
+	// Size line (skipping comments).
+	var n, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &n, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if n != cols {
+		return nil, fmt.Errorf("sparse: only square matrices supported (%dx%d)", n, cols)
+	}
+
+	type entry struct {
+		c coord
+		v float64
+	}
+	entries := make([]entry, 0, nnz*2)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad row index %q", fields[0])
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad column index %q", fields[1])
+		}
+		if i < 1 || i > n || j < 1 || j > n {
+			return nil, fmt.Errorf("sparse: index (%d,%d) out of range", i, j)
+		}
+		v := 1.0
+		if field != "pattern" {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("sparse: missing value in %q", line)
+			}
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value %q", fields[2])
+			}
+		}
+		entries = append(entries, entry{coord{int32(i - 1), int32(j - 1)}, v})
+		if symmetry == "symmetric" && i != j {
+			entries = append(entries, entry{coord{int32(j - 1), int32(i - 1)}, v})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Sort and assemble (duplicates are summed, per MM convention).
+	coords := make([]coord, len(entries))
+	for k, e := range entries {
+		coords[k] = e.c
+	}
+	m := FromCoords(n, coords)
+	if field != "pattern" {
+		m.Val = make([]float64, m.Nnz())
+		for _, e := range entries {
+			// Binary search the slot.
+			lo := int(m.ColPtr[e.c.c])
+			hi := int(m.ColPtr[e.c.c+1])
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if m.RowIdx[mid] < e.c.r {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			m.Val[lo] += e.v
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,140 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/util"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := util.NewRNG(5)
+	m := SPDValues(AddRandomSymLinks(Grid2D(5, 4, true), 7, rng), rng)
+	var buf bytes.Buffer
+	if err := m.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != m.N || got.Nnz() != m.Nnz() {
+		t.Fatalf("shape changed: %dx%d nnz %d", got.N, got.N, got.Nnz())
+	}
+	for k := range m.RowIdx {
+		if got.RowIdx[k] != m.RowIdx[k] || got.Val[k] != m.Val[k] {
+			t.Fatalf("entry %d differs", k)
+		}
+	}
+}
+
+func TestMatrixMarketPatternRoundTrip(t *testing.T) {
+	m := Grid2D(4, 4, false)
+	var buf bytes.Buffer
+	if err := m.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pattern") {
+		t.Fatalf("pattern field missing")
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nnz() != m.Nnz() {
+		t.Fatalf("nnz changed")
+	}
+}
+
+func TestMatrixMarketSymmetricExpansion(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+3 2 -1.0
+3 3 2.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nnz() != 6 {
+		t.Fatalf("nnz %d, want 6 after expansion", m.Nnz())
+	}
+	if !m.IsSymmetricPattern() {
+		t.Fatalf("not symmetric after expansion")
+	}
+	if !m.HasEntry(0, 1) || !m.HasEntry(1, 0) {
+		t.Fatalf("mirror entry missing")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 5\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n9 1 5\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMatrixMarketDuplicatesSummed(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 3
+1 1 1.5
+1 1 2.5
+2 2 1.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nnz() != 2 {
+		t.Fatalf("nnz %d, want 2", m.Nnz())
+	}
+	d := m.ToDense()
+	if d[0] != 4.0 {
+		t.Fatalf("duplicate not summed: %v", d[0])
+	}
+}
+
+func TestAtAPatternProperties(t *testing.T) {
+	rng := util.NewRNG(6)
+	m := AddRandomUnsymLinks(Grid2D(5, 5, false), 15, rng)
+	ata := m.AtAPattern()
+	if !ata.IsSymmetricPattern() {
+		t.Fatalf("AᵀA pattern not symmetric")
+	}
+	// Every structural entry of AᵀA: exists row r with entries in both
+	// columns; verify against a dense check.
+	n := m.N
+	dense := make([][]bool, n)
+	rows := m.TransposePattern()
+	for i := range dense {
+		dense[i] = make([]bool, n)
+		dense[i][i] = true
+	}
+	for i := 0; i < n; i++ {
+		rs := rows.Col(i)
+		for _, a := range rs {
+			for _, b := range rs {
+				dense[a][b] = true
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if ata.HasEntry(i, j) != dense[i][j] {
+				t.Fatalf("AᵀA mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package trace records execution spans from the simulator (task
+// executions, MAP activity) and renders ASCII Gantt charts like the paper's
+// Figure 2(b)/(c) schedule illustrations.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a span.
+type Kind uint8
+
+const (
+	// Task is a task execution span.
+	Task Kind = iota
+	// MAP is a memory-allocation-point span.
+	MAP
+)
+
+// Span is one recorded interval on a processor.
+type Span struct {
+	Proc       int32
+	Kind       Kind
+	Name       string
+	Start, End float64
+}
+
+// Recorder accumulates spans.
+type Recorder struct {
+	Spans []Span
+}
+
+// Add records a span.
+func (r *Recorder) Add(s Span) {
+	if r == nil {
+		return
+	}
+	r.Spans = append(r.Spans, s)
+}
+
+// Makespan returns the latest end time recorded.
+func (r *Recorder) Makespan() float64 {
+	m := 0.0
+	for _, s := range r.Spans {
+		if s.End > m {
+			m = s.End
+		}
+	}
+	return m
+}
+
+// Gantt renders an ASCII Gantt chart with the given number of columns.
+// Each processor gets one row; task spans are drawn with the first letter
+// of their name, MAPs with '#', idle time with '.'.
+func (r *Recorder) Gantt(cols int) string {
+	if len(r.Spans) == 0 {
+		return "(empty trace)\n"
+	}
+	makespan := r.Makespan()
+	if makespan <= 0 {
+		makespan = 1
+	}
+	maxProc := int32(0)
+	for _, s := range r.Spans {
+		if s.Proc > maxProc {
+			maxProc = s.Proc
+		}
+	}
+	rows := make([][]byte, maxProc+1)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", cols))
+	}
+	sorted := append([]Span(nil), r.Spans...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	for _, s := range sorted {
+		c0 := int(s.Start / makespan * float64(cols))
+		c1 := int(s.End / makespan * float64(cols))
+		if c1 <= c0 {
+			c1 = c0 + 1
+		}
+		if c1 > cols {
+			c1 = cols
+		}
+		ch := byte('#')
+		if s.Kind == Task {
+			ch = '*'
+			if len(s.Name) > 0 {
+				ch = s.Name[0]
+			}
+		}
+		for c := c0; c < c1; c++ {
+			rows[s.Proc][c] = ch
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %.6g\n", makespan)
+	for p, row := range rows {
+		fmt.Fprintf(&b, "P%-2d |%s|\n", p, row)
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttBasic(t *testing.T) {
+	r := &Recorder{}
+	r.Add(Span{Proc: 0, Kind: Task, Name: "alpha", Start: 0, End: 5})
+	r.Add(Span{Proc: 1, Kind: MAP, Name: "MAP", Start: 0, End: 1})
+	r.Add(Span{Proc: 1, Kind: Task, Name: "beta", Start: 1, End: 10})
+	if r.Makespan() != 10 {
+		t.Fatalf("makespan %v", r.Makespan())
+	}
+	g := r.Gantt(20)
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines, got %d:\n%s", len(lines), g)
+	}
+	if !strings.Contains(lines[1], "a") {
+		t.Fatalf("task letter missing on P0 row: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "#") || !strings.Contains(lines[2], "b") {
+		t.Fatalf("MAP or task missing on P1 row: %q", lines[2])
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	r := &Recorder{}
+	if !strings.Contains(r.Gantt(10), "empty") {
+		t.Fatalf("empty trace not reported")
+	}
+}
+
+func TestNilRecorderAddSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(Span{}) // must not panic
+}
+
+func TestGanttClampsShortSpans(t *testing.T) {
+	r := &Recorder{}
+	r.Add(Span{Proc: 0, Kind: Task, Name: "y", Start: 0, End: 1 - 1e-9})
+	r.Add(Span{Proc: 0, Kind: Task, Name: "x", Start: 1 - 1e-9, End: 1})
+	g := r.Gantt(10)
+	if !strings.Contains(g, "x") {
+		t.Fatalf("zero-width span not drawn:\n%s", g)
+	}
+}

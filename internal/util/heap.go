@@ -1,0 +1,114 @@
+package util
+
+// Float64Heap is a binary min-heap of (id, key float64) pairs with an index
+// so that keys can be decreased or entries removed by id. It backs the list
+// schedulers and the discrete-event simulator, where ids are task or event
+// identifiers.
+type Float64Heap struct {
+	ids  []int32
+	keys []float64
+	pos  map[int32]int
+}
+
+// NewFloat64Heap returns an empty heap with capacity hint n.
+func NewFloat64Heap(n int) *Float64Heap {
+	return &Float64Heap{
+		ids:  make([]int32, 0, n),
+		keys: make([]float64, 0, n),
+		pos:  make(map[int32]int, n),
+	}
+}
+
+// Len returns the number of entries.
+func (h *Float64Heap) Len() int { return len(h.ids) }
+
+// Push inserts id with the given key. It must not already be present.
+func (h *Float64Heap) Push(id int32, key float64) {
+	h.ids = append(h.ids, id)
+	h.keys = append(h.keys, key)
+	h.pos[id] = len(h.ids) - 1
+	h.up(len(h.ids) - 1)
+}
+
+// Pop removes and returns the entry with the smallest key.
+func (h *Float64Heap) Pop() (int32, float64) {
+	id, key := h.ids[0], h.keys[0]
+	h.swap(0, len(h.ids)-1)
+	h.ids = h.ids[:len(h.ids)-1]
+	h.keys = h.keys[:len(h.keys)-1]
+	delete(h.pos, id)
+	if len(h.ids) > 0 {
+		h.down(0)
+	}
+	return id, key
+}
+
+// Peek returns the minimum entry without removing it.
+func (h *Float64Heap) Peek() (int32, float64) { return h.ids[0], h.keys[0] }
+
+// Update changes the key of id (up or down) if present, and reports whether
+// it was present.
+func (h *Float64Heap) Update(id int32, key float64) bool {
+	i, ok := h.pos[id]
+	if !ok {
+		return false
+	}
+	old := h.keys[i]
+	h.keys[i] = key
+	if key < old {
+		h.up(i)
+	} else {
+		h.down(i)
+	}
+	return true
+}
+
+// Contains reports whether id is in the heap.
+func (h *Float64Heap) Contains(id int32) bool {
+	_, ok := h.pos[id]
+	return ok
+}
+
+func (h *Float64Heap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.pos[h.ids[i]] = i
+	h.pos[h.ids[j]] = j
+}
+
+func (h *Float64Heap) less(i, j int) bool {
+	if h.keys[i] != h.keys[j] {
+		return h.keys[i] < h.keys[j]
+	}
+	return h.ids[i] < h.ids[j] // deterministic tie-break
+}
+
+func (h *Float64Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Float64Heap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

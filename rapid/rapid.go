@@ -1,0 +1,319 @@
+// Package rapid is the public API of the library: a run-time system for
+// executing irregular task-graph computations on (emulated) distributed
+// memory machines under per-processor memory constraints, reproducing Fu &
+// Yang, "Space and Time Efficient Execution of Parallel Irregular
+// Computations" (PPoPP 1997).
+//
+// The programming model follows the inspector/executor style of the RAPID
+// system: the application declares its distinct data objects and the tasks
+// that read/write them (in sequential program order); the library derives
+// the transformed true-dependence task graph, clusters and maps tasks with
+// the owner-compute rule, orders them with one of the paper's three
+// heuristics (RCP, MPO, DTS — optionally with slice merging), plans the
+// Memory Allocation Points for a given per-processor capacity, and executes
+// the schedule either concurrently (one goroutine per processor, real data,
+// the full five-state protocol with active memory management) or on a
+// discrete-event simulator with the paper's Cray-T3D cost model.
+//
+// A minimal session:
+//
+//	b := rapid.NewBuilder()
+//	x := b.Object("x", 64)
+//	y := b.Object("y", 64)
+//	b.Task("produce", 1000, nil, []rapid.ObjID{x})
+//	b.Task("consume", 2000, []rapid.ObjID{x}, []rapid.ObjID{y})
+//	prog, _ := b.Build()
+//	plan, _ := rapid.Compile(prog, rapid.Options{Procs: 2, Heuristic: rapid.MPO, Memory: 256})
+//	report, _ := rapid.Execute(prog, plan, rapid.ExecOptions{})
+package rapid
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// ObjID identifies a data object.
+type ObjID = graph.ObjID
+
+// TaskID identifies a task.
+type TaskID = graph.TaskID
+
+// Proc identifies a virtual processor.
+type Proc = graph.Proc
+
+// Heuristic selects the task-ordering algorithm.
+type Heuristic = sched.Heuristic
+
+// Ordering heuristics (Section 4 of the paper).
+const (
+	// RCP is critical-path list scheduling: best parallel time, no memory
+	// awareness.
+	RCP = sched.RCP
+	// MPO is memory-priority guided ordering: reuses volatile objects as
+	// soon as possible, competitive parallel time.
+	MPO = sched.MPO
+	// DTS is data-access directed time slicing: near-optimal memory use.
+	DTS = sched.DTS
+	// DTSMerge is DTS with slice merging under the known memory budget:
+	// DTS's memory behaviour with most of RCP's time efficiency.
+	DTSMerge = sched.DTSMerge
+)
+
+// CostModel converts task costs and object sizes into time.
+type CostModel = sched.CostModel
+
+// T3D returns the Cray-T3D cost model used in the paper's evaluation.
+func T3D() CostModel { return sched.T3D() }
+
+// UnitCost returns the unit-cost model of the paper's worked examples.
+func UnitCost() CostModel { return sched.Unit() }
+
+// Builder declares objects and tasks in sequential program order.
+type Builder struct {
+	b *graph.Builder
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{b: graph.NewBuilder()} }
+
+// Object declares a data object with a size in abstract memory units and
+// returns its ID; redeclaring a name returns the existing ID.
+func (b *Builder) Object(name string, size int64) ObjID { return b.b.Object(name, size) }
+
+// Task declares a task with the given cost (work units) and access sets.
+func (b *Builder) Task(name string, cost float64, reads, writes []ObjID) TaskID {
+	return b.b.Task(name, cost, reads, writes)
+}
+
+// CommutativeTask declares a task that commutes with adjacent commutative
+// tasks writing the same object (e.g. accumulating updates).
+func (b *Builder) CommutativeTask(name string, cost float64, reads, writes []ObjID) TaskID {
+	return b.b.CommutativeTask(name, cost, reads, writes)
+}
+
+// Build derives the transformed dependence graph.
+func (b *Builder) Build() (*Program, error) {
+	g, err := b.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Program{G: g}, nil
+}
+
+// Program is a built task program: a transformed, dependence-complete DAG
+// over distinct data objects.
+type Program struct {
+	G *graph.DAG
+}
+
+// FromGraph wraps an existing task graph (e.g. from the chol/lu builders).
+func FromGraph(g *graph.DAG) *Program { return &Program{G: g} }
+
+// OwnerPolicy selects how data objects are assigned to owner processors.
+type OwnerPolicy uint8
+
+const (
+	// OwnersPreset uses the Owner fields already set on the objects.
+	OwnersPreset OwnerPolicy = iota
+	// OwnersCyclic assigns object i to processor i mod p.
+	OwnersCyclic
+	// OwnersLoadBalanced clusters tasks by written object and maps clusters
+	// largest-first onto the least-loaded processor.
+	OwnersLoadBalanced
+	// OwnersDSC applies DSC-style locality clustering (edge zeroing over
+	// owner-compute units) before load-balanced mapping.
+	OwnersDSC
+)
+
+// Options configure Compile.
+type Options struct {
+	// Procs is the number of virtual processors (required, >= 1).
+	Procs int
+	// Heuristic selects the ordering algorithm (default RCP).
+	Heuristic Heuristic
+	// Model is the cost model (zero value: T3D constants).
+	Model CostModel
+	// Memory is the per-processor capacity in memory units; 0 means
+	// "whatever the schedule needs without recycling" (TOT).
+	Memory int64
+	// Owners selects the data-mapping policy (default OwnersPreset if every
+	// object has an owner, OwnersLoadBalanced otherwise).
+	Owners OwnerPolicy
+}
+
+// Plan is a compiled execution plan: the static schedule plus the MAP plan
+// for the memory budget.
+type Plan struct {
+	Schedule *sched.Schedule
+	Mem      *mem.Plan
+	Model    CostModel
+	// Capacity is the per-processor memory capacity the plan was built for.
+	Capacity int64
+}
+
+// Executable reports whether the plan fits the memory budget.
+func (p *Plan) Executable() bool { return p.Mem.Executable }
+
+// MinMem returns the schedule's minimum memory requirement (Definition 5).
+func (p *Plan) MinMem() int64 { return p.Schedule.MinMem() }
+
+// TOT returns the no-recycling memory requirement.
+func (p *Plan) TOT() int64 { return p.Schedule.TOT() }
+
+// AvgMAPs returns the planned average number of MAPs per processor.
+func (p *Plan) AvgMAPs() float64 { return p.Mem.AvgMAPs() }
+
+// PredictedTime returns the scheduler's predicted parallel time (seconds
+// under the cost model, without memory-management overhead).
+func (p *Plan) PredictedTime() float64 { return p.Schedule.Makespan }
+
+// Compile clusters, maps, orders and memory-plans the program.
+func Compile(prog *Program, opt Options) (*Plan, error) {
+	if opt.Procs < 1 {
+		return nil, fmt.Errorf("rapid: Procs must be >= 1, got %d", opt.Procs)
+	}
+	model := opt.Model
+	if model == (CostModel{}) {
+		model = sched.T3D()
+	}
+	g := prog.G
+	policy := opt.Owners
+	if policy == OwnersPreset {
+		for i := range g.Objects {
+			if g.Objects[i].Owner < 0 || int(g.Objects[i].Owner) >= opt.Procs {
+				policy = OwnersLoadBalanced
+				break
+			}
+		}
+	}
+	switch policy {
+	case OwnersCyclic:
+		sched.CyclicOwners(g, opt.Procs)
+	case OwnersLoadBalanced:
+		sched.LoadBalancedOwners(g, opt.Procs)
+	case OwnersDSC:
+		sched.DSCOwners(g, opt.Procs, model)
+	}
+	assign, err := sched.OwnerComputeAssign(g, opt.Procs)
+	if err != nil {
+		return nil, err
+	}
+
+	// The volatile budget for slice merging: capacity minus the largest
+	// permanent footprint.
+	availVol := int64(1) << 62
+	if opt.Memory > 0 {
+		var maxPerm int64
+		perm := make([]int64, opt.Procs)
+		for i := range g.Objects {
+			perm[g.Objects[i].Owner] += g.Objects[i].Size
+		}
+		for _, v := range perm {
+			if v > maxPerm {
+				maxPerm = v
+			}
+		}
+		availVol = opt.Memory - maxPerm
+	}
+	s, err := sched.ScheduleWith(opt.Heuristic, g, assign, opt.Procs, model, availVol)
+	if err != nil {
+		return nil, err
+	}
+	capacity := opt.Memory
+	if capacity <= 0 {
+		capacity = s.TOT()
+	}
+	mp, err := mem.NewPlan(s, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Schedule: s, Mem: mp, Model: model, Capacity: capacity}, nil
+}
+
+// KernelFunc executes one task against its local object buffers.
+type KernelFunc = exec.KernelFunc
+
+// InitFunc initializes a permanent object's buffer on its owner.
+type InitFunc = exec.InitFunc
+
+// ExecOptions configure Execute.
+type ExecOptions struct {
+	// Kernel runs each task (nil: structure-only protocol run).
+	Kernel KernelFunc
+	// Init initializes permanent objects (numeric mode).
+	Init InitFunc
+	// BufLen overrides physical buffer lengths (defaults to object sizes).
+	BufLen func(o ObjID) int64
+}
+
+// Report summarizes an execution.
+type Report struct {
+	// MAPsPerProc is the number of memory allocation points each processor
+	// executed.
+	MAPsPerProc []int
+	// PeakUnits is the per-processor peak memory use.
+	PeakUnits []int64
+	// Objects maps every object to its final buffer (numeric mode).
+	Objects map[ObjID][]float64
+}
+
+// Execute runs the plan concurrently with one goroutine per processor,
+// under the full active-memory-management protocol.
+func Execute(prog *Program, plan *Plan, opt ExecOptions) (*Report, error) {
+	res, err := exec.Run(plan.Schedule, plan.Mem, exec.Config{
+		Kernel: opt.Kernel,
+		Init:   opt.Init,
+		BufLen: opt.BufLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		MAPsPerProc: res.MAPsExecuted,
+		PeakUnits:   res.PeakUnits,
+		Objects:     res.Perm,
+	}, nil
+}
+
+// SimOptions configure Simulate.
+type SimOptions struct {
+	// Baseline simulates the original RAPID executor (no memory management
+	// overhead, all addresses pre-exchanged).
+	Baseline bool
+	// Trace records task and MAP spans for Gantt rendering.
+	Trace *trace.Recorder
+}
+
+// SimReport summarizes a timing simulation.
+type SimReport struct {
+	// ParallelTime in seconds under the plan's cost model.
+	ParallelTime float64
+	// AvgMAPs per processor.
+	AvgMAPs float64
+	// Messages and AddrPackages delivered.
+	Messages     int
+	AddrPackages int
+}
+
+// Simulate runs the plan on the discrete-event machine simulator.
+func Simulate(prog *Program, plan *Plan, opt SimOptions) (*SimReport, error) {
+	res, err := machine.Simulate(plan.Schedule, plan.Mem, plan.Model, machine.Options{
+		Baseline: opt.Baseline,
+		Trace:    opt.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SimReport{
+		ParallelTime: res.ParallelTime,
+		AvgMAPs:      res.AvgMAPs,
+		Messages:     res.Messages,
+		AddrPackages: res.AddrPackages,
+	}, nil
+}
