@@ -19,6 +19,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sparse"
 	"repro/internal/util"
+	"repro/rapid"
 )
 
 func BenchmarkTable1(b *testing.B) {
@@ -224,6 +225,79 @@ func BenchmarkSimulate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := machine.Simulate(s, plan, sched.T3D(), machine.Options{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- plan cache benchmarks (inspector amortization) ---
+
+// planCacheBench builds a BCSSTK-style structural problem (2-D grid with
+// extra random couplings, RCM ordered, blocked Cholesky) — the shape of
+// matrix the plan cache amortizes across repeated rapidd solves — and
+// drives the owner assignment to its fixed point so every iteration
+// fingerprints identically (Compile assigns owners in place).
+func planCacheBench(b *testing.B) (*rapid.Program, rapid.Options) {
+	b.Helper()
+	rng := util.NewRNG(11)
+	m := sparse.AddRandomSymLinks(sparse.Grid2D(30, 24, true), 200, rng)
+	m = sparse.SPDValues(m.PermuteSym(sparse.RCM(m)), rng)
+	pr, err := chol.Build(m, chol.Options{Procs: 8, BlockSize: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := rapid.FromGraph(pr.G)
+	opt := rapid.Options{Procs: 8, Heuristic: rapid.MPO}
+	if _, err := rapid.Compile(prog, opt); err != nil {
+		b.Fatal(err)
+	}
+	return prog, opt
+}
+
+// BenchmarkCompileFresh is the uncached baseline: the full inspector phase
+// (clustering, mapping, ordering, MAP planning) on every call.
+func BenchmarkCompileFresh(b *testing.B) {
+	prog, opt := planCacheBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rapid.Compile(prog, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileCachedMemoryHit serves the plan from the in-memory LRU:
+// fingerprint the input, return the resident artifact.
+func BenchmarkCompileCachedMemoryHit(b *testing.B) {
+	prog, opt := planCacheBench(b)
+	cache := rapid.NewPlanCache(rapid.PlanCacheConfig{})
+	if _, _, err := rapid.CompileCached(prog, opt, cache); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, src, err := rapid.CompileCached(prog, opt, cache)
+		if err != nil || src != rapid.FromMemory {
+			b.Fatalf("src=%v err=%v", src, err)
+		}
+	}
+}
+
+// BenchmarkCompileCachedDiskLoad pays the cold-start path: read the
+// content-addressed file, verify the checksum, decode and validate the
+// artifact (a fresh cache per iteration keeps the memory tier cold).
+func BenchmarkCompileCachedDiskLoad(b *testing.B) {
+	prog, opt := planCacheBench(b)
+	dir := b.TempDir()
+	warm := rapid.NewPlanCache(rapid.PlanCacheConfig{Dir: dir})
+	if _, _, err := rapid.CompileCached(prog, opt, warm); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cold := rapid.NewPlanCache(rapid.PlanCacheConfig{Dir: dir})
+		_, src, err := rapid.CompileCached(prog, opt, cold)
+		if err != nil || src != rapid.FromDisk {
+			b.Fatalf("src=%v err=%v", src, err)
 		}
 	}
 }

@@ -1,0 +1,46 @@
+// Command rapidd is the solve service: a daemon that accepts sparse
+// factorization jobs over HTTP, reuses compiled inspector artifacts through
+// the two-tier plan cache (in-memory LRU over an on-disk content-addressed
+// store), and runs executions under a machine-wide memory-budget admission
+// controller — jobs that would overflow -avail-mem queue until running
+// work releases space.
+//
+// Usage:
+//
+//	rapidd [-addr :8437] [-cache-dir DIR] [-cache-mem BYTES] [-avail-mem UNITS]
+//
+// Submit a job and wait for the result:
+//
+//	curl -s -X POST 'localhost:8437/v1/solve?wait=1' \
+//	     -d '{"kind":"chol","n":300,"procs":4,"heuristic":"mpo","verify":true}'
+//
+// Re-submitting the same spec returns "plan_source": "memory" — the
+// inspector phase is skipped. See /v1/stats for cache and admission
+// counters.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/rapidd"
+	"repro/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":8437", "listen address")
+	cacheDir := flag.String("cache-dir", "", "on-disk plan store directory (empty: memory-only cache)")
+	cacheMem := flag.Int64("cache-mem", 0, "in-memory plan cache budget in bytes (0: default 256 MiB)")
+	availMem := flag.Int64("avail-mem", 0, "machine-wide memory budget in abstract units (0: unlimited)")
+	flag.Parse()
+
+	srv := rapidd.New(rapidd.Config{
+		CacheDir:       *cacheDir,
+		CacheMemBudget: *cacheMem,
+		AvailMem:       *availMem,
+		Metrics:        trace.NewMetrics(),
+	})
+	log.Printf("rapidd listening on %s (cache-dir=%q avail-mem=%d)", *addr, *cacheDir, *availMem)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

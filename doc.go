@@ -11,4 +11,13 @@
 // all substrates are under internal/. The benchmark harness in
 // bench_test.go regenerates every table and figure of the paper's
 // evaluation; see DESIGN.md and EXPERIMENTS.md.
+//
+// The inspector phase is deterministic and content-addressable:
+// rapid.CompileCached fingerprints the (task structure, options) pair and
+// reuses compiled plans from a two-tier plan cache (in-memory LRU over an
+// on-disk store, internal/plancache), so repeated executions of the same
+// irregular structure — the inspector/executor paradigm's amortization
+// case — skip inspection entirely. Command rapidd serves that workflow as
+// a daemon, with a memory-budget admission controller that queues jobs
+// whose planned footprint would overflow the machine's AVAIL_MEM.
 package repro

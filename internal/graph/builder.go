@@ -88,6 +88,13 @@ type rawDep struct {
 
 // Build derives the DDG, applies the transformation and returns the
 // resulting DAG. The returned graph owns the task and object slices.
+//
+// Build is deterministic: dependencies are discovered by a single scan in
+// program order and edges are inserted in discovery order, so two Builds of
+// the same declaration sequence produce DAGs with identical adjacency-list
+// orders. (The maps used here — name lookup and edge dedup — never drive
+// iteration.) Plan content addressing relies on this invariant; see
+// internal/plan.
 func (b *Builder) Build() (*DAG, error) {
 	nObj := len(b.objects)
 	g := newDAG(b.tasks, b.objects)

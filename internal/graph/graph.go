@@ -130,6 +130,12 @@ func (g *DAG) AddEdge(e Edge) {
 	g.nEdges++
 }
 
+// NewDAG allocates a DAG with the given tasks and objects and no edges.
+// Deserializers and generators add edges with AddEdge (in a deterministic
+// order — adjacency-list order is observable) and should run Validate once
+// construction is complete.
+func NewDAG(tasks []Task, objects []Object) *DAG { return newDAG(tasks, objects) }
+
 // newDAG allocates a DAG with the given tasks and objects and no edges.
 func newDAG(tasks []Task, objects []Object) *DAG {
 	return &DAG{

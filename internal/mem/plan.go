@@ -16,6 +16,7 @@ package mem
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/sched"
@@ -176,6 +177,16 @@ func NewPlanOpts(s *sched.Schedule, capacity int64, opt Options) (*Plan, error) 
 		for o, r := range lt {
 			lives = append(lives, life{o, r[0], r[1]})
 		}
+		// The lifetime table is a map; order the scan by (first use, object)
+		// so the Frees/Allocs lists of every MAP come out in one canonical
+		// order. Plan serialization content-addresses compiled artifacts, so
+		// equal inputs must produce byte-identical plans.
+		sort.Slice(lives, func(i, j int) bool {
+			if lives[i].first != lives[j].first {
+				return lives[i].first < lives[j].first
+			}
+			return lives[i].obj < lives[j].obj
+		})
 		// volatile objects needed (first) by each task position.
 		needAt := make([][]graph.ObjID, len(order)+1)
 		for _, l := range lives {

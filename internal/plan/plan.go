@@ -1,0 +1,77 @@
+// Package plan serializes compiled execution plans — the full output of the
+// inspector phase: task graph, processor mapping, per-processor task
+// orders, DTS slice boundaries and the MAP memory plan — into a versioned,
+// deterministic, self-checking binary format.
+//
+// The inspector (graph transformation, clustering, ordering, MAP planning)
+// is the expensive half of the inspector/executor split; its output depends
+// only on the program structure and the compile options, so it can be
+// computed once and reused across process lifetimes. This package provides
+// the two primitives that make that safe:
+//
+//   - a structural Fingerprint over the input (DAG structure + options)
+//     used as the content address of the compiled artifact, and
+//   - a byte-stable codec: Encode is a pure function of the artifact, so
+//     equal compilations produce equal bytes (the determinism audits in
+//     internal/graph, internal/sched and internal/mem exist to guarantee
+//     equal compilations in the first place).
+//
+// Integrity: the payload carries a SHA-256 checksum; Decode rejects
+// truncated or corrupted input with an error rather than a panic, so cache
+// layers can fall back to recompilation.
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// Version is the current serialization format version. Decode rejects any
+// other version; bump it whenever the layout of Artifact or the codec
+// changes.
+const Version = 1
+
+// Artifact is a complete compiled plan: everything the executor and the
+// simulator need, with no references back to the builder that produced it.
+// It corresponds to rapid.Plan plus the task graph the schedule refers to
+// (Schedule.G) and the content address it was compiled under.
+type Artifact struct {
+	// Fingerprint is the content address of the (structure, options) pair
+	// this plan was compiled from (see Fingerprint).
+	Fingerprint string
+	// Model is the cost model the schedule was computed with.
+	Model sched.CostModel
+	// Capacity is the per-processor memory capacity of the MAP plan.
+	Capacity int64
+	// Schedule is the static schedule, including its task graph.
+	Schedule *sched.Schedule
+	// Mem is the MAP plan for Capacity.
+	Mem *mem.Plan
+}
+
+// Validate checks the internal consistency of a (typically just decoded)
+// artifact: schedule and memory plan present, referring to the same graph,
+// and structurally sound.
+func (a *Artifact) Validate() error {
+	if a.Schedule == nil || a.Schedule.G == nil {
+		return fmt.Errorf("plan: artifact has no schedule")
+	}
+	if a.Mem == nil {
+		return fmt.Errorf("plan: artifact has no memory plan")
+	}
+	if a.Mem.Schedule != a.Schedule {
+		return fmt.Errorf("plan: memory plan refers to a different schedule")
+	}
+	if len(a.Mem.Procs) != a.Schedule.P {
+		return fmt.Errorf("plan: memory plan has %d processors, schedule %d", len(a.Mem.Procs), a.Schedule.P)
+	}
+	if err := a.Schedule.G.Validate(); err != nil {
+		return err
+	}
+	if err := a.Schedule.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+// Package plancache caches compiled execution plans under their structural
+// fingerprint (see internal/plan), so repeated executions of the same
+// irregular structure skip the inspector phase entirely.
+//
+// The cache is two-tier:
+//
+//   - an in-memory LRU of decoded artifacts, bounded by the total encoded
+//     size of the entries it holds, and
+//   - an optional on-disk content-addressed store (one file per
+//     fingerprint under a cache directory) that survives process restarts.
+//
+// Lookups are single-flight: concurrent requests for the same fingerprint
+// compile once and share the result. Corrupted or unreadable disk entries
+// are deleted and fall back to recompilation — the cache can only ever
+// trade time, never correctness.
+//
+// Counters are reported through a trace.Metrics registry:
+//
+//	plancache.hit.mem    lookups served from the in-memory LRU
+//	plancache.hit.disk   lookups decoded from the disk store
+//	plancache.miss       lookups that had to compile
+//	plancache.evict      entries evicted from the LRU
+//	plancache.corrupt    disk entries dropped as corrupted/unreadable
+//	plancache.shared     lookups that piggybacked on an in-flight compile
+package plancache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/trace"
+)
+
+// DefaultMemBudget bounds the in-memory tier when Config.MemBudget is 0:
+// 256 MiB of encoded-artifact bytes.
+const DefaultMemBudget = 256 << 20
+
+// Source says where a cached plan came from.
+type Source string
+
+const (
+	// SourceMemory means the plan was served from the in-memory LRU.
+	SourceMemory Source = "memory"
+	// SourceDisk means the plan was decoded from the on-disk store.
+	SourceDisk Source = "disk"
+	// SourceCompiled means the plan was compiled on this lookup.
+	SourceCompiled Source = "compiled"
+)
+
+// Config configures a Cache.
+type Config struct {
+	// Dir is the on-disk store directory. Empty disables the disk tier.
+	Dir string
+	// MemBudget bounds the in-memory tier by the total encoded size of its
+	// entries, in bytes (0: DefaultMemBudget; negative: no in-memory tier).
+	MemBudget int64
+	// Metrics receives the counters listed in the package comment (nil:
+	// counters are discarded).
+	Metrics *trace.Metrics
+}
+
+// Cache is a two-tier plan cache. It is safe for concurrent use.
+type Cache struct {
+	dir     string
+	budget  int64
+	metrics *trace.Metrics
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // fingerprint -> lru element
+	lru     *list.List               // front = most recent
+	bytes   int64
+	flights map[string]*flight
+}
+
+type entry struct {
+	key  string
+	art  *plan.Artifact
+	size int64
+}
+
+type flight struct {
+	done chan struct{}
+	art  *plan.Artifact
+	src  Source
+	err  error
+}
+
+// New creates a cache. If a directory is configured it is created on
+// demand; a failure to create it surfaces on first disk write.
+func New(cfg Config) *Cache {
+	budget := cfg.MemBudget
+	if budget == 0 {
+		budget = DefaultMemBudget
+	}
+	return &Cache{
+		dir:     cfg.Dir,
+		budget:  budget,
+		metrics: cfg.Metrics,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		flights: make(map[string]*flight),
+	}
+}
+
+// GetOrCompile returns the artifact for the fingerprint key, trying the
+// in-memory tier, then the disk tier, then the compile callback. Concurrent
+// calls with the same key share one compilation. The compiled artifact is
+// stored in both tiers before being returned.
+//
+// The returned Source reports which tier satisfied this call; callers that
+// piggybacked on another caller's in-flight compilation observe
+// SourceCompiled as well.
+func (c *Cache) GetOrCompile(key string, compile func() (*plan.Artifact, error)) (*plan.Artifact, Source, error) {
+	if err := validKey(key); err != nil {
+		return nil, "", err
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		art := el.Value.(*entry).art
+		c.mu.Unlock()
+		c.metrics.Inc("plancache.hit.mem", 1)
+		return art, SourceMemory, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.metrics.Inc("plancache.shared", 1)
+		<-fl.done
+		return fl.art, fl.src, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.mu.Unlock()
+
+	fl.art, fl.src, fl.err = c.fill(key, compile)
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.art, fl.src, fl.err
+}
+
+// fill resolves a miss of the in-memory tier: disk, then compilation.
+func (c *Cache) fill(key string, compile func() (*plan.Artifact, error)) (*plan.Artifact, Source, error) {
+	if art, enc := c.loadDisk(key); art != nil {
+		c.insertMem(key, art, int64(len(enc)))
+		c.metrics.Inc("plancache.hit.disk", 1)
+		return art, SourceDisk, nil
+	}
+	c.metrics.Inc("plancache.miss", 1)
+	art, err := compile()
+	if err != nil {
+		return nil, SourceCompiled, err
+	}
+	enc, err := plan.Encode(art)
+	if err != nil {
+		return nil, SourceCompiled, fmt.Errorf("plancache: encoding compiled plan: %w", err)
+	}
+	if err := c.storeDisk(key, enc); err != nil {
+		// A full or read-only disk must not fail the computation.
+		c.metrics.Inc("plancache.diskerror", 1)
+	}
+	c.insertMem(key, art, int64(len(enc)))
+	return art, SourceCompiled, nil
+}
+
+// Put inserts a pre-compiled artifact under the key (both tiers).
+func (c *Cache) Put(key string, art *plan.Artifact) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	enc, err := plan.Encode(art)
+	if err != nil {
+		return err
+	}
+	if err := c.storeDisk(key, enc); err != nil {
+		c.metrics.Inc("plancache.diskerror", 1)
+	}
+	c.insertMem(key, art, int64(len(enc)))
+	return nil
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Bytes returns the encoded size held by the in-memory tier.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+func (c *Cache) insertMem(key string, art *plan.Artifact, size int64) {
+	if c.budget < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.bytes += size - el.Value.(*entry).size
+		el.Value.(*entry).art = art
+		el.Value.(*entry).size = size
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&entry{key: key, art: art, size: size})
+		c.bytes += size
+	}
+	// Evict from the back until within budget; the entry just inserted is
+	// at the front and survives even if it alone exceeds the budget (a
+	// cache that cannot hold the current working plan would only thrash).
+	for c.bytes > c.budget && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		c.metrics.Inc("plancache.evict", 1)
+	}
+}
+
+// loadDisk reads and decodes the disk entry for key. Corrupted entries are
+// removed. Returns (nil, nil) when the disk tier misses.
+func (c *Cache) loadDisk(key string) (*plan.Artifact, []byte) {
+	if c.dir == "" {
+		return nil, nil
+	}
+	path := c.path(key)
+	enc, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.metrics.Inc("plancache.corrupt", 1)
+			os.Remove(path)
+		}
+		return nil, nil
+	}
+	art, err := plan.Decode(enc)
+	if err != nil {
+		c.metrics.Inc("plancache.corrupt", 1)
+		os.Remove(path)
+		return nil, nil
+	}
+	return art, enc
+}
+
+// storeDisk writes the encoded artifact atomically (temp file + rename) so
+// a crash can never leave a half-written entry under the final name.
+func (c *Cache) storeDisk(key string, enc []byte) error {
+	if c.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(enc); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".rplan")
+}
+
+// validKey restricts keys to the hex fingerprints produced by
+// plan.Fingerprint; anything else could escape the cache directory.
+func validKey(key string) error {
+	if key == "" || len(key) > 128 {
+		return fmt.Errorf("plancache: invalid key %q", key)
+	}
+	for _, r := range key {
+		if !strings.ContainsRune("0123456789abcdef", r) {
+			return fmt.Errorf("plancache: invalid key %q (want lowercase hex)", key)
+		}
+	}
+	return nil
+}

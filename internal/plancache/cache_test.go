@@ -1,0 +1,249 @@
+package plancache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/plan"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// compileArtifact builds a small chain program whose structure varies with
+// variant, so different variants get different fingerprints.
+func compileArtifact(t testing.TB, variant int) (string, *plan.Artifact) {
+	t.Helper()
+	b := graph.NewBuilder()
+	prev := graph.ObjID(-1)
+	for i := 0; i < 6+variant%3; i++ {
+		o := b.Object(fmt.Sprintf("d%d.%d", variant, i), int64(8+i))
+		if prev >= 0 {
+			b.Task(fmt.Sprintf("t%d.%d", variant, i), float64(10+i), []graph.ObjID{prev}, []graph.ObjID{o})
+		} else {
+			b.Task(fmt.Sprintf("t%d.%d", variant, i), float64(10+i), nil, []graph.ObjID{o})
+		}
+		prev = o
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.CyclicOwners(g, 2)
+	assign, err := sched.OwnerComputeAssign(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := sched.T3D()
+	s, err := sched.ScheduleMPO(g, assign, 2, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := mem.NewPlan(s, s.TOT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := plan.Fingerprint(g, []byte{byte(variant)})
+	return fp, &plan.Artifact{Fingerprint: fp, Model: model, Capacity: s.TOT(), Schedule: s, Mem: mp}
+}
+
+func TestMemoryAndDiskTiers(t *testing.T) {
+	dir := t.TempDir()
+	m := trace.NewMetrics()
+	c := New(Config{Dir: dir, Metrics: m})
+	key, want := compileArtifact(t, 0)
+
+	compiles := 0
+	get := func() (*plan.Artifact, Source, error) {
+		return c.GetOrCompile(key, func() (*plan.Artifact, error) {
+			compiles++
+			return want, nil
+		})
+	}
+	art, src, err := get()
+	if err != nil || src != SourceCompiled || art != want {
+		t.Fatalf("first lookup: src=%v err=%v", src, err)
+	}
+	art, src, err = get()
+	if err != nil || src != SourceMemory || art != want {
+		t.Fatalf("second lookup: src=%v err=%v", src, err)
+	}
+	if compiles != 1 {
+		t.Fatalf("compiled %d times", compiles)
+	}
+	// A fresh cache over the same directory serves from disk, and the
+	// decoded artifact is structurally identical (same encoding).
+	c2 := New(Config{Dir: dir, Metrics: m})
+	art2, src, err := c2.GetOrCompile(key, func() (*plan.Artifact, error) {
+		t.Fatal("unexpected recompilation")
+		return nil, nil
+	})
+	if err != nil || src != SourceDisk {
+		t.Fatalf("disk lookup: src=%v err=%v", src, err)
+	}
+	e1, _ := plan.Encode(want)
+	e2, err := plan.Encode(art2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e1) != string(e2) {
+		t.Error("disk round trip changed the artifact")
+	}
+	if m.Get("plancache.hit.mem") != 1 || m.Get("plancache.hit.disk") != 1 || m.Get("plancache.miss") != 1 {
+		t.Errorf("counters: %v", m.Snapshot())
+	}
+}
+
+func TestEvictionUnderTinyBudget(t *testing.T) {
+	m := trace.NewMetrics()
+	key0, art0 := compileArtifact(t, 0)
+	enc0, err := plan.Encode(art0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget fits roughly one entry: inserting a second must evict the
+	// least recently used one.
+	c := New(Config{MemBudget: int64(len(enc0)) + 16, Metrics: m})
+	if err := c.Put(key0, art0); err != nil {
+		t.Fatal(err)
+	}
+	key1, art1 := compileArtifact(t, 1)
+	if err := c.Put(key1, art1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after eviction", c.Len())
+	}
+	if got := m.Get("plancache.evict"); got != 1 {
+		t.Fatalf("evict counter = %d, want 1", got)
+	}
+	// The survivor is the newer entry; the older one misses.
+	if _, src, _ := c.GetOrCompile(key1, nil); src != SourceMemory {
+		t.Errorf("newest entry not in memory (src=%v)", src)
+	}
+	recompiled := false
+	if _, src, err := c.GetOrCompile(key0, func() (*plan.Artifact, error) {
+		recompiled = true
+		return art0, nil
+	}); err != nil || src != SourceCompiled || !recompiled {
+		t.Errorf("evicted entry: src=%v err=%v recompiled=%v", src, err, recompiled)
+	}
+	// An entry bigger than the budget is still admitted (never thrash the
+	// plan currently in use) but evicts everything else.
+	c2 := New(Config{MemBudget: 1, Metrics: trace.NewMetrics()})
+	if err := c2.Put(key0, art0); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("oversized entry dropped (len=%d)", c2.Len())
+	}
+}
+
+func TestCorruptDiskEntryFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	m := trace.NewMetrics()
+	key, art := compileArtifact(t, 0)
+	c := New(Config{Dir: dir, Metrics: m})
+	if err := c.Put(key, art); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".rplan")
+	enc, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[len(enc)/2] ^= 0xff
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cache (cold memory tier) must detect the corruption, drop
+	// the entry and recompile.
+	c2 := New(Config{Dir: dir, Metrics: m})
+	recompiled := false
+	got, src, err := c2.GetOrCompile(key, func() (*plan.Artifact, error) {
+		recompiled = true
+		return art, nil
+	})
+	if err != nil || src != SourceCompiled || !recompiled || got != art {
+		t.Fatalf("corrupt entry: src=%v err=%v recompiled=%v", src, err, recompiled)
+	}
+	if m.Get("plancache.corrupt") != 1 {
+		t.Errorf("corrupt counter = %d, want 1", m.Get("plancache.corrupt"))
+	}
+	// The store healed itself: the next cold lookup hits disk again.
+	c3 := New(Config{Dir: dir, Metrics: m})
+	if _, src, err := c3.GetOrCompile(key, nil); err != nil || src != SourceDisk {
+		t.Errorf("after heal: src=%v err=%v", src, err)
+	}
+}
+
+func TestSingleFlight(t *testing.T) {
+	m := trace.NewMetrics()
+	c := New(Config{Metrics: m})
+	key, art := compileArtifact(t, 0)
+
+	const waiters = 9
+	var compiles atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.GetOrCompile(key, func() (*plan.Artifact, error) {
+			compiles.Add(1)
+			close(entered)
+			<-release
+			return art, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-entered
+	// The compile is parked; everyone arriving now must share its flight.
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _, err := c.GetOrCompile(key, func() (*plan.Artifact, error) {
+				compiles.Add(1)
+				return art, nil
+			})
+			if err != nil || got != art {
+				t.Errorf("waiter: got=%v err=%v", got, err)
+			}
+		}()
+	}
+	// Wait until all waiters have registered on the flight, then release.
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Get("plancache.shared") < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters registered", m.Get("plancache.shared"), waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if n := compiles.Load(); n != 1 {
+		t.Errorf("compiled %d times, want 1", n)
+	}
+	if m.Get("plancache.miss") != 1 {
+		t.Errorf("miss counter = %d, want 1", m.Get("plancache.miss"))
+	}
+}
+
+func TestInvalidKeyRejected(t *testing.T) {
+	c := New(Config{})
+	for _, key := range []string{"", "../escape", "ABCDEF", "deadbeef/../../x"} {
+		if _, _, err := c.GetOrCompile(key, nil); err == nil {
+			t.Errorf("key %q accepted", key)
+		}
+	}
+}

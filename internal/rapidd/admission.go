@@ -1,0 +1,106 @@
+package rapidd
+
+import (
+	"fmt"
+	"sync"
+)
+
+// admission is the machine-wide memory-budget admission controller. Every
+// job declares, before it may execute, the aggregate volatile-memory
+// high-water mark of its compiled MAP plan (the sum over processors of the
+// plan's per-processor peaks — the space the executor will actually hold,
+// which Theorem 2 bounds by S1/p + h per processor for DTS schedules).
+// Jobs are admitted while the sum of admitted demands stays within
+// AVAIL_MEM; a job that would overflow the budget waits in FIFO order —
+// queued, never rejected — until running jobs release enough space.
+type admission struct {
+	mu    sync.Mutex
+	avail int64 // 0 = unlimited
+	inUse int64
+	queue []*waiter
+
+	// peakInUse records the highest admitted total, for stats.
+	peakInUse int64
+}
+
+type waiter struct {
+	demand   int64
+	admitted chan struct{}
+}
+
+func newAdmission(avail int64) *admission {
+	return &admission{avail: avail}
+}
+
+// acquire blocks until demand units fit under the budget, in arrival
+// order. onQueue (may be nil) fires exactly once if the caller has to
+// wait, before blocking — callers use it to expose a "queued" state.
+// Demands larger than the whole budget are rejected with an error: the
+// caller must replan to a smaller footprint first (see planForBudget), so
+// a failure here is a caller bug, not load.
+func (a *admission) acquire(demand int64, onQueue func()) error {
+	if demand < 0 {
+		return fmt.Errorf("rapidd: negative admission demand %d", demand)
+	}
+	a.mu.Lock()
+	if a.avail > 0 && demand > a.avail {
+		a.mu.Unlock()
+		return fmt.Errorf("rapidd: job needs %d units but AVAIL_MEM is %d; replan under the budget before admission", demand, a.avail)
+	}
+	if len(a.queue) == 0 && a.fits(demand) {
+		a.admit(demand)
+		a.mu.Unlock()
+		return nil
+	}
+	w := &waiter{demand: demand, admitted: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+	if onQueue != nil {
+		onQueue()
+	}
+	<-w.admitted
+	return nil
+}
+
+// release returns demand units and admits queued jobs that now fit, in
+// FIFO order.
+func (a *admission) release(demand int64) {
+	a.mu.Lock()
+	a.inUse -= demand
+	if a.inUse < 0 {
+		a.inUse = 0
+	}
+	a.pump()
+	a.mu.Unlock()
+}
+
+// pump admits from the head of the queue while the budget allows. Strict
+// FIFO: a large job at the head blocks smaller jobs behind it, trading
+// utilization for no starvation. Called with mu held.
+func (a *admission) pump() {
+	for len(a.queue) > 0 && a.fits(a.queue[0].demand) {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		a.admit(w.demand)
+		close(w.admitted)
+	}
+}
+
+func (a *admission) fits(demand int64) bool {
+	return a.avail <= 0 || a.inUse+demand <= a.avail
+}
+
+// admit books demand units. Called with mu held.
+func (a *admission) admit(demand int64) {
+	a.inUse += demand
+	if a.inUse > a.peakInUse {
+		a.peakInUse = a.inUse
+	}
+}
+
+// snapshot returns (avail, inUse, peakInUse, queued).
+func (a *admission) snapshot() (int64, int64, int64, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.avail, a.inUse, a.peakInUse, len(a.queue)
+}

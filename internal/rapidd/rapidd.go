@@ -1,0 +1,579 @@
+// Package rapidd implements the long-running solve service: an HTTP daemon
+// that accepts sparse factorization jobs, compiles-or-fetches their
+// execution plans through the plan cache (so repeated structures skip the
+// inspector phase), and executes them under a machine-wide memory-budget
+// admission controller.
+//
+// Endpoints (JSON):
+//
+//	POST /v1/solve      submit a job (body: JobSpec); ?wait=1 blocks until
+//	                    the job is terminal and returns the full job
+//	GET  /v1/jobs/{id}  job status and result
+//	GET  /v1/jobs       all jobs
+//	GET  /v1/stats      cache counters and admission-controller state
+//	GET  /healthz       liveness
+//
+// Memory admission: with a configured AVAIL_MEM, the daemon books each
+// job's aggregate planned high-water mark (sum over processors of the MAP
+// plan's peaks) before execution and queues jobs that would overflow the
+// machine budget; a single job larger than the whole budget is recompiled
+// under a per-processor capacity that fits (falling back to DTS with slice
+// merging, whose S1/p + h space bound makes tight budgets executable)
+// rather than rejected.
+package rapidd
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/chol"
+	"repro/internal/lu"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+	"repro/internal/util"
+	"repro/rapid"
+)
+
+// Config configures a Server.
+type Config struct {
+	// CacheDir is the on-disk plan store ("" disables the disk tier).
+	CacheDir string
+	// CacheMemBudget bounds the in-memory plan cache in bytes (0: default).
+	CacheMemBudget int64
+	// AvailMem is the machine-wide memory budget in abstract units; jobs
+	// whose planned footprint would overflow it queue until space frees.
+	// 0 disables admission control.
+	AvailMem int64
+	// Metrics receives cache and job counters (nil: a fresh registry).
+	Metrics *trace.Metrics
+}
+
+// JobSpec is a solve request.
+type JobSpec struct {
+	// Kind selects the factorization: "chol" (default) or "lu".
+	Kind string `json:"kind"`
+	// N is the approximate matrix order (default 120).
+	N int `json:"n"`
+	// Seed drives the deterministic matrix generator (default 1). Equal
+	// (kind, n, seed, block, procs) specs produce identical structures —
+	// and therefore identical plan fingerprints.
+	Seed uint64 `json:"seed"`
+	// Procs is the number of virtual processors (default 4).
+	Procs int `json:"procs"`
+	// Block is the block/panel size (default 8).
+	Block int `json:"block"`
+	// Heuristic is rcp, mpo (default), dts or dtsmerge.
+	Heuristic string `json:"heuristic"`
+	// MemPercent caps each processor at this percentage of the schedule's
+	// no-recycling requirement (0: uncapped).
+	MemPercent int `json:"mem_percent"`
+	// Verify computes the numeric residual after execution.
+	Verify bool `json:"verify"`
+	// HoldMS keeps the job's memory booked for this long after execution
+	// (demos and tests of the admission queue).
+	HoldMS int `json:"hold_ms"`
+}
+
+// JobStatus enumerates a job's lifecycle. Pending → (Queued →) Running →
+// Done/Failed; Queued appears only when admission has to wait.
+type JobStatus string
+
+const (
+	StatusPending JobStatus = "pending"
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// Job is the externally visible job record.
+type Job struct {
+	ID     string    `json:"id"`
+	Spec   JobSpec   `json:"spec"`
+	Status JobStatus `json:"status"`
+	Error  string    `json:"error,omitempty"`
+
+	// PlanSource says where the plan came from: compiled, memory, disk.
+	PlanSource string `json:"plan_source,omitempty"`
+	// Fingerprint is the plan's content address.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Replanned is true when the unconstrained plan exceeded AVAIL_MEM and
+	// the job was recompiled under a fitting per-processor capacity.
+	Replanned bool `json:"replanned,omitempty"`
+	// DemandUnits is the admitted aggregate memory high-water mark.
+	DemandUnits int64 `json:"demand_units,omitempty"`
+	// Tasks and Objects describe the compiled graph.
+	Tasks   int `json:"tasks,omitempty"`
+	Objects int `json:"objects,omitempty"`
+	// MAPs is the total number of memory allocation points executed.
+	MAPs int `json:"maps,omitempty"`
+	// PeakUnits is the max per-processor peak observed by the executor.
+	PeakUnits int64 `json:"peak_units,omitempty"`
+	// Residual is the verification residual (Verify jobs only).
+	Residual float64 `json:"residual,omitempty"`
+	// InspectMS and ExecMS time the two phases.
+	InspectMS float64 `json:"inspect_ms"`
+	ExecMS    float64 `json:"exec_ms"`
+}
+
+// Server is the rapidd HTTP handler.
+type Server struct {
+	cfg     Config
+	cache   *rapid.PlanCache
+	metrics *trace.Metrics
+	adm     *admission
+	mux     *http.ServeMux
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	done map[string]chan struct{}
+	seq  int
+}
+
+// New creates a Server.
+func New(cfg Config) *Server {
+	if cfg.Metrics == nil {
+		cfg.Metrics = trace.NewMetrics()
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		cache: rapid.NewPlanCache(rapid.PlanCacheConfig{
+			Dir:       cfg.CacheDir,
+			MemBudget: cfg.CacheMemBudget,
+			Metrics:   cfg.Metrics,
+		}),
+		adm:  newAdmission(cfg.AvailMem),
+		jobs: make(map[string]*Job),
+		done: make(map[string]chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := normalizeSpec(&spec); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	job := &Job{ID: fmt.Sprintf("j%04d", s.seq), Spec: spec, Status: StatusPending}
+	ch := make(chan struct{})
+	s.jobs[job.ID] = job
+	s.done[job.ID] = ch
+	s.mu.Unlock()
+	s.metrics.Inc("rapidd.jobs.submitted", 1)
+
+	go s.run(job.ID, ch)
+
+	if r.URL.Query().Get("wait") != "" {
+		<-ch
+	}
+	s.writeJob(w, job.ID)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	s.mu.Lock()
+	_, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		s.mu.Lock()
+		ch := s.done[id]
+		s.mu.Unlock()
+		<-ch
+	}
+	s.writeJob(w, id)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		list = append(list, *j)
+	}
+	s.mu.Unlock()
+	sort.Slice(list, func(i, k int) bool { return list[i].ID < list[k].ID })
+	writeJSON(w, list)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	avail, inUse, peak, queued := s.adm.snapshot()
+	writeJSON(w, map[string]any{
+		"counters":       s.metrics.Snapshot(),
+		"avail_mem":      avail,
+		"mem_in_use":     inUse,
+		"mem_peak":       peak,
+		"jobs_queued":    queued,
+		"cache_entries":  s.cacheLen(),
+		"plancache_line": rapid.CacheStats(s.metrics),
+	})
+}
+
+func (s *Server) cacheLen() int {
+	// The cache does not expose Len publicly through rapid; report via
+	// counters instead (misses == entries ever compiled here).
+	return int(s.metrics.Get("plancache.miss"))
+}
+
+func (s *Server) writeJob(w http.ResponseWriter, id string) {
+	s.mu.Lock()
+	j := *s.jobs[id]
+	s.mu.Unlock()
+	writeJSON(w, j)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func normalizeSpec(spec *JobSpec) error {
+	if spec.Kind == "" {
+		spec.Kind = "chol"
+	}
+	if spec.Kind != "chol" && spec.Kind != "lu" {
+		return fmt.Errorf("rapidd: unknown kind %q (want chol or lu)", spec.Kind)
+	}
+	if spec.N == 0 {
+		spec.N = 120
+	}
+	if spec.N < 8 || spec.N > 20000 {
+		return fmt.Errorf("rapidd: n=%d out of range [8, 20000]", spec.N)
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.Procs == 0 {
+		spec.Procs = 4
+	}
+	if spec.Procs < 1 || spec.Procs > 256 {
+		return fmt.Errorf("rapidd: procs=%d out of range [1, 256]", spec.Procs)
+	}
+	if spec.Block == 0 {
+		spec.Block = 8
+	}
+	if spec.Block < 1 || spec.Block > 256 {
+		return fmt.Errorf("rapidd: block=%d out of range [1, 256]", spec.Block)
+	}
+	if spec.Heuristic == "" {
+		spec.Heuristic = "mpo"
+	}
+	if _, err := parseHeuristic(spec.Heuristic); err != nil {
+		return err
+	}
+	if spec.MemPercent < 0 || spec.MemPercent > 100 {
+		return fmt.Errorf("rapidd: mem_percent=%d out of range [0, 100]", spec.MemPercent)
+	}
+	if spec.HoldMS < 0 || spec.HoldMS > 60000 {
+		return fmt.Errorf("rapidd: hold_ms=%d out of range [0, 60000]", spec.HoldMS)
+	}
+	return nil
+}
+
+func parseHeuristic(name string) (rapid.Heuristic, error) {
+	switch strings.ToLower(name) {
+	case "rcp":
+		return rapid.RCP, nil
+	case "mpo":
+		return rapid.MPO, nil
+	case "dts":
+		return rapid.DTS, nil
+	case "dtsmerge":
+		return rapid.DTSMerge, nil
+	}
+	return 0, fmt.Errorf("rapidd: unknown heuristic %q", name)
+}
+
+// setStatus publishes a job state transition.
+func (s *Server) setStatus(id string, st JobStatus) {
+	s.mu.Lock()
+	s.jobs[id].Status = st
+	s.mu.Unlock()
+}
+
+// update mutates the job record under the lock.
+func (s *Server) update(id string, f func(*Job)) {
+	s.mu.Lock()
+	f(s.jobs[id])
+	s.mu.Unlock()
+}
+
+// run drives one job through compile → admit → execute → verify.
+func (s *Server) run(id string, done chan struct{}) {
+	defer close(done)
+	s.mu.Lock()
+	spec := s.jobs[id].Spec
+	s.mu.Unlock()
+
+	err := s.solve(id, spec)
+	if err != nil {
+		s.update(id, func(j *Job) {
+			j.Status = StatusFailed
+			j.Error = err.Error()
+		})
+		s.metrics.Inc("rapidd.jobs.failed", 1)
+		return
+	}
+	s.setStatus(id, StatusDone)
+	s.metrics.Inc("rapidd.jobs.completed", 1)
+}
+
+// problem abstracts the two factorization kinds for the executor.
+type problem struct {
+	prog   *rapid.Program
+	kernel rapid.KernelFunc
+	init   rapid.InitFunc
+	bufLen func(rapid.ObjID) int64
+	verify func(rep *rapid.Report) float64
+}
+
+func (s *Server) solve(id string, spec JobSpec) error {
+	h, _ := parseHeuristic(spec.Heuristic)
+	pb, err := buildProblem(spec)
+	if err != nil {
+		return err
+	}
+	opt := rapid.Options{Procs: spec.Procs, Heuristic: h}
+	if spec.MemPercent > 0 {
+		// The percentage is relative to the schedule's no-recycling total,
+		// which itself requires a throwaway compile; cache that one too.
+		free, _, err := rapid.CompileCached(pb.prog, opt, s.cache)
+		if err != nil {
+			return err
+		}
+		opt.Memory = free.TOT() * int64(spec.MemPercent) / 100
+	}
+
+	t0 := time.Now()
+	plan, src, err := rapid.CompileCached(pb.prog, opt, s.cache)
+	if err != nil {
+		return err
+	}
+	replanned := false
+	if s.cfg.AvailMem > 0 {
+		plan, opt, replanned, err = s.planForBudget(pb.prog, opt, plan)
+		if err != nil {
+			return err
+		}
+	}
+	if !plan.Executable() {
+		return fmt.Errorf("rapidd: plan not executable under memory budget %d (MIN_MEM %d); try dtsmerge or a larger budget", opt.Memory, plan.MinMem())
+	}
+	inspectMS := float64(time.Since(t0).Microseconds()) / 1000
+	demand := aggregateDemand(plan)
+	s.update(id, func(j *Job) {
+		j.PlanSource = string(src)
+		j.Fingerprint = plan.Fingerprint
+		j.Replanned = replanned
+		j.DemandUnits = demand
+		j.Tasks = plan.Schedule.G.NumTasks()
+		j.Objects = plan.Schedule.G.NumObjects()
+		j.InspectMS = inspectMS
+	})
+
+	// Admission: book the aggregate high-water mark before executing.
+	err = s.adm.acquire(demand, func() {
+		s.setStatus(id, StatusQueued)
+		s.metrics.Inc("rapidd.jobs.queued", 1)
+	})
+	if err != nil {
+		return err
+	}
+	defer s.adm.release(demand)
+	s.setStatus(id, StatusRunning)
+
+	t1 := time.Now()
+	rep, err := rapid.Execute(pb.prog, plan, rapid.ExecOptions{
+		Kernel: pb.kernel, Init: pb.init, BufLen: pb.bufLen,
+	})
+	if err != nil {
+		return err
+	}
+	execMS := float64(time.Since(t1).Microseconds()) / 1000
+	if spec.HoldMS > 0 {
+		time.Sleep(time.Duration(spec.HoldMS) * time.Millisecond)
+	}
+
+	var peak int64
+	maps := 0
+	for _, m := range rep.MAPsPerProc {
+		maps += m
+	}
+	for _, p := range rep.PeakUnits {
+		if p > peak {
+			peak = p
+		}
+	}
+	residual := 0.0
+	if spec.Verify {
+		residual = pb.verify(rep)
+	}
+	s.update(id, func(j *Job) {
+		j.MAPs = maps
+		j.PeakUnits = peak
+		j.Residual = residual
+		j.ExecMS = execMS
+	})
+	return nil
+}
+
+// planForBudget ensures a single job fits the machine budget on its own:
+// if the plan's aggregate footprint exceeds AVAIL_MEM, recompile with a
+// per-processor capacity that cannot overflow it (sum of per-processor
+// peaks ≤ procs × capacity), first with the requested heuristic, then with
+// DTS + slice merging, whose Theorem-2 space bound makes tight budgets
+// executable when time-oriented orderings are not.
+func (s *Server) planForBudget(prog *rapid.Program, opt rapid.Options, plan *rapid.Plan) (*rapid.Plan, rapid.Options, bool, error) {
+	demand := aggregateDemand(plan)
+	if demand <= s.cfg.AvailMem {
+		return plan, opt, false, nil
+	}
+	capacity := s.cfg.AvailMem / int64(opt.Procs)
+	capped := opt
+	if capped.Memory <= 0 || capped.Memory > capacity {
+		capped.Memory = capacity
+	}
+	s.metrics.Inc("rapidd.jobs.replanned", 1)
+	tight, _, err := rapid.CompileCached(prog, capped, s.cache)
+	if err == nil && tight.Executable() {
+		return tight, capped, true, nil
+	}
+	merged := capped
+	merged.Heuristic = rapid.DTSMerge
+	tight, _, err = rapid.CompileCached(prog, merged, s.cache)
+	if err != nil {
+		return nil, merged, true, err
+	}
+	return tight, merged, true, nil
+}
+
+// aggregateDemand is the job's machine-wide memory claim: the sum over
+// processors of the MAP plan's peak (permanent + live volatile) usage.
+func aggregateDemand(plan *rapid.Plan) int64 {
+	var sum int64
+	for i := range plan.Mem.Procs {
+		sum += plan.Mem.Procs[i].Peak
+	}
+	return sum
+}
+
+// buildProblem constructs the matrix and task graph for a spec. Equal
+// specs yield identical structures (generators are seeded), which is what
+// makes the plan cache effective across requests.
+func buildProblem(spec JobSpec) (*problem, error) {
+	rng := util.NewRNG(spec.Seed)
+	nx := int(math.Sqrt(float64(spec.N) * 1.3))
+	if nx < 2 {
+		nx = 2
+	}
+	ny := spec.N / nx
+	if ny < 2 {
+		ny = 2
+	}
+	switch spec.Kind {
+	case "chol":
+		pat := sparse.AddRandomSymLinks(sparse.Grid2D(nx, ny, true), spec.N/8, rng)
+		pat = pat.PermuteSym(sparse.RCM(pat))
+		a := sparse.SPDValues(pat, rng)
+		pr, err := chol.Build(a, chol.Options{Procs: spec.Procs, BlockSize: spec.Block})
+		if err != nil {
+			return nil, err
+		}
+		return &problem{
+			prog:   rapid.FromGraph(pr.G),
+			kernel: pr.Kernel,
+			init:   pr.InitObject,
+			verify: func(rep *rapid.Report) float64 { return cholResidual(a, pr, rep) },
+		}, nil
+	case "lu":
+		pat := sparse.AddRandomUnsymLinks(sparse.Grid2D(nx, ny, true), spec.N/4, rng)
+		a := sparse.UnsymValues(pat, rng)
+		pr, err := lu.Build(a, lu.Options{Procs: spec.Procs, BlockSize: spec.Block})
+		if err != nil {
+			return nil, err
+		}
+		return &problem{
+			prog:   rapid.FromGraph(pr.G),
+			kernel: pr.Kernel,
+			init:   pr.InitObject,
+			bufLen: pr.BufLen,
+			verify: func(rep *rapid.Report) float64 { return luResidual(a, pr, rep, spec.Seed) },
+		}, nil
+	}
+	return nil, fmt.Errorf("rapidd: unknown kind %q", spec.Kind)
+}
+
+// cholResidual computes ‖A−LLᵀ‖_F/‖A‖_F over the lower triangle.
+func cholResidual(a *sparse.Matrix, pr *chol.Problem, rep *rapid.Report) float64 {
+	l := pr.AssembleL(rep.Objects)
+	rec := make([]float64, a.N*a.N)
+	blas.Gemm(false, true, a.N, a.N, a.N, 1, l, a.N, l, a.N, rec, a.N)
+	ad := a.ToDense()
+	num, den := 0.0, 0.0
+	for i := 0; i < a.N; i++ {
+		for j := 0; j <= i; j++ {
+			d := ad[i*a.N+j] - rec[i*a.N+j]
+			num += d * d
+			den += ad[i*a.N+j] * ad[i*a.N+j]
+		}
+	}
+	return math.Sqrt(num / den)
+}
+
+// luResidual solves A x = b for a known x and reports max |x−x*|.
+func luResidual(a *sparse.Matrix, pr *lu.Problem, rep *rapid.Report, seed uint64) float64 {
+	rng := util.NewRNG(seed + 12345)
+	xTrue := make([]float64, a.N)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, a.N)
+	for j := 0; j < a.N; j++ {
+		vals := a.ColVal(j)
+		for k, i := range a.Col(j) {
+			b[i] += vals[k] * xTrue[j]
+		}
+	}
+	x := pr.Solve(rep.Objects, b)
+	maxErr := 0.0
+	for i := range x {
+		if d := math.Abs(x[i] - xTrue[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	return maxErr
+}

@@ -1,0 +1,371 @@
+package rapidd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestAdmissionFIFO exercises the controller deterministically: a job that
+// fits is admitted at once, the next overflowing job queues (with the
+// onQueue callback fired), later jobs wait behind it in strict FIFO order,
+// and releases admit from the head.
+func TestAdmissionFIFO(t *testing.T) {
+	a := newAdmission(100)
+	if err := a.acquire(60, func() { t.Error("first job must not queue") }); err != nil {
+		t.Fatal(err)
+	}
+
+	queued2 := make(chan struct{})
+	done2 := make(chan struct{})
+	go func() {
+		if err := a.acquire(60, func() { close(queued2) }); err != nil {
+			t.Error(err)
+		}
+		close(done2)
+	}()
+	<-queued2 // second job is parked, not rejected
+
+	// Third job would fit (60+10 <= 100) but must wait behind the head.
+	done3 := make(chan struct{})
+	go func() {
+		if err := a.acquire(10, nil); err != nil {
+			t.Error(err)
+		}
+		close(done3)
+	}()
+	select {
+	case <-done3:
+		t.Fatal("FIFO violated: small job jumped the queue")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	a.release(60)
+	<-done2
+	<-done3
+	_, inUse, peak, queued := a.snapshot()
+	if inUse != 70 || queued != 0 {
+		t.Fatalf("inUse=%d queued=%d, want 70, 0", inUse, queued)
+	}
+	if peak != 70 {
+		t.Fatalf("peakInUse=%d, want 70", peak)
+	}
+	a.release(60)
+	a.release(10)
+	if _, inUse, _, _ := a.snapshot(); inUse != 0 {
+		t.Fatalf("inUse=%d after all releases", inUse)
+	}
+}
+
+func TestAdmissionOversizedIsCallerError(t *testing.T) {
+	a := newAdmission(100)
+	if err := a.acquire(101, nil); err == nil {
+		t.Fatal("demand above AVAIL_MEM must error (caller should have replanned)")
+	}
+	if err := a.acquire(-1, nil); err == nil {
+		t.Fatal("negative demand must error")
+	}
+	// Unlimited controller admits anything.
+	u := newAdmission(0)
+	if err := u.acquire(1<<40, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func solveSync(t *testing.T, ts *httptest.Server, spec JobSpec) Job {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/solve?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: HTTP %d", resp.StatusCode)
+	}
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+func solveAsync(t *testing.T, ts *httptest.Server, spec JobSpec) Job {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string, wait bool) Job {
+	t.Helper()
+	url := ts.URL + "/v1/jobs/" + id
+	if wait {
+		url += "?wait=1"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// TestServerCacheHit is the first acceptance scenario: two sequential
+// solves of the same structure; the second must be served from the plan
+// cache (no inspection).
+func TestServerCacheHit(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{CacheDir: t.TempDir(), Metrics: metrics})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	spec := JobSpec{Kind: "chol", N: 100, Seed: 3, Procs: 3, Verify: true}
+	j1 := solveSync(t, ts, spec)
+	if j1.Status != StatusDone {
+		t.Fatalf("job 1: %s (%s)", j1.Status, j1.Error)
+	}
+	if j1.PlanSource != "compiled" {
+		t.Fatalf("job 1 plan source %q, want compiled", j1.PlanSource)
+	}
+	if j1.Residual > 1e-8 {
+		t.Fatalf("job 1 residual %g", j1.Residual)
+	}
+
+	j2 := solveSync(t, ts, spec)
+	if j2.Status != StatusDone {
+		t.Fatalf("job 2: %s (%s)", j2.Status, j2.Error)
+	}
+	if j2.PlanSource != "memory" {
+		t.Fatalf("job 2 plan source %q, want memory (cache hit)", j2.PlanSource)
+	}
+	if j2.Fingerprint == "" || j2.Fingerprint != j1.Fingerprint {
+		t.Fatalf("fingerprints %q vs %q, want equal and non-empty", j1.Fingerprint, j2.Fingerprint)
+	}
+	if metrics.Get("plancache.hit.mem") == 0 {
+		t.Errorf("no memory hit recorded: %v", metrics.Snapshot())
+	}
+
+	// A different structure misses.
+	j3 := solveSync(t, ts, JobSpec{Kind: "chol", N: 100, Seed: 4, Procs: 3})
+	if j3.PlanSource != "compiled" || j3.Fingerprint == j1.Fingerprint {
+		t.Fatalf("job 3 source %q fingerprint %q: different seed must recompile", j3.PlanSource, j3.Fingerprint)
+	}
+}
+
+// TestServerLUJob runs the other factorization kind end to end.
+func TestServerLUJob(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	j := solveSync(t, ts, JobSpec{Kind: "lu", N: 80, Seed: 2, Procs: 3, Heuristic: "dtsmerge", Verify: true})
+	if j.Status != StatusDone {
+		t.Fatalf("lu job: %s (%s)", j.Status, j.Error)
+	}
+	if j.Residual > 1e-6 {
+		t.Fatalf("lu residual %g", j.Residual)
+	}
+}
+
+// TestServerQueuesOverBudgetJob is the second acceptance scenario: while a
+// running job holds most of AVAIL_MEM, an identical job queues (visible
+// status) and then completes — it is never rejected.
+func TestServerQueuesOverBudgetJob(t *testing.T) {
+	// Learn the job's footprint on an unconstrained server first.
+	spec := JobSpec{Kind: "chol", N: 100, Seed: 5, Procs: 3}
+	probe := New(Config{})
+	tsProbe := httptest.NewServer(probe)
+	ref := solveSync(t, tsProbe, spec)
+	tsProbe.Close()
+	if ref.Status != StatusDone || ref.DemandUnits <= 0 {
+		t.Fatalf("probe job: %s demand=%d", ref.Status, ref.DemandUnits)
+	}
+
+	// Budget fits one copy of the job but not two.
+	metrics := trace.NewMetrics()
+	srv := New(Config{AvailMem: ref.DemandUnits * 3 / 2, Metrics: metrics})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	hold := spec
+	hold.HoldMS = 400
+	j1 := solveAsync(t, ts, hold)
+	// Wait until job 1 has actually been admitted.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := getJob(t, ts, j1.ID, false).Status; st == StatusRunning || st == StatusDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job 1 never started: %+v", getJob(t, ts, j1.ID, false))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	j2 := solveSync(t, ts, spec)
+	if j2.Status != StatusDone {
+		t.Fatalf("job 2 must complete, got %s (%s)", j2.Status, j2.Error)
+	}
+	if metrics.Get("rapidd.jobs.queued") == 0 {
+		t.Error("job 2 should have passed through the queued state")
+	}
+	if j2.Replanned {
+		t.Error("job 2 fits AVAIL_MEM on its own; it must wait, not shrink")
+	}
+	j1Final := getJob(t, ts, j1.ID, true)
+	if j1Final.Status != StatusDone {
+		t.Fatalf("job 1: %s (%s)", j1Final.Status, j1Final.Error)
+	}
+	_, inUse, peak, queued := srv.adm.snapshot()
+	if inUse != 0 || queued != 0 {
+		t.Fatalf("admission not drained: inUse=%d queued=%d", inUse, queued)
+	}
+	if peak > srv.cfg.AvailMem {
+		t.Fatalf("admitted peak %d exceeded AVAIL_MEM %d", peak, srv.cfg.AvailMem)
+	}
+}
+
+// TestServerReplansOversizedJob: a job whose unconstrained plan exceeds the
+// whole machine budget is recompiled under a fitting per-processor
+// capacity and still completes — not rejected, not OOM-planned.
+func TestServerReplansOversizedJob(t *testing.T) {
+	spec := JobSpec{Kind: "chol", N: 100, Seed: 5, Procs: 3, Verify: true}
+	probe := New(Config{})
+	tsProbe := httptest.NewServer(probe)
+	ref := solveSync(t, tsProbe, spec)
+	tsProbe.Close()
+	if ref.Status != StatusDone {
+		t.Fatalf("probe job: %s (%s)", ref.Status, ref.Error)
+	}
+
+	metrics := trace.NewMetrics()
+	srv := New(Config{AvailMem: ref.DemandUnits * 3 / 4, Metrics: metrics})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	j := solveSync(t, ts, spec)
+	if j.Status != StatusDone {
+		t.Fatalf("oversized job must be replanned and complete, got %s (%s)", j.Status, j.Error)
+	}
+	if !j.Replanned {
+		t.Fatal("job should report it was replanned under the budget")
+	}
+	if j.DemandUnits > srv.cfg.AvailMem {
+		t.Fatalf("replanned demand %d still exceeds AVAIL_MEM %d", j.DemandUnits, srv.cfg.AvailMem)
+	}
+	if j.Residual > 1e-8 {
+		t.Fatalf("replanned job residual %g", j.Residual)
+	}
+	if metrics.Get("rapidd.jobs.replanned") == 0 {
+		t.Error("replanned counter not bumped")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, body := range []string{
+		`{"kind":"qr"}`,
+		`{"n":4}`,
+		`{"procs":-1}`,
+		`{"heuristic":"fifo"}`,
+		`{"mem_percent":200}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %s: HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/solve: HTTP %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerStatsAndJobList(t *testing.T) {
+	srv := New(Config{CacheDir: t.TempDir(), AvailMem: 1 << 40})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	spec := JobSpec{Kind: "chol", N: 90, Seed: 9, Procs: 2}
+	solveSync(t, ts, spec)
+	solveSync(t, ts, spec)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Counters  map[string]int64 `json:"counters"`
+		AvailMem  int64            `json:"avail_mem"`
+		MemInUse  int64            `json:"mem_in_use"`
+		MemPeak   int64            `json:"mem_peak"`
+		JobsQueue int              `json:"jobs_queued"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Counters["rapidd.jobs.completed"] != 2 {
+		t.Errorf("completed=%d, want 2 (counters %v)", stats.Counters["rapidd.jobs.completed"], stats.Counters)
+	}
+	if stats.Counters["plancache.hit.mem"] != 1 {
+		t.Errorf("hit.mem=%d, want 1", stats.Counters["plancache.hit.mem"])
+	}
+	if stats.AvailMem != 1<<40 || stats.MemInUse != 0 || stats.MemPeak <= 0 {
+		t.Errorf("admission stats: %+v", stats)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(jobs) != 2 {
+		t.Fatalf("job list has %d entries, want 2", len(jobs))
+	}
+	for i, j := range jobs {
+		if want := fmt.Sprintf("j%04d", i+1); j.ID != want {
+			t.Errorf("job %d ID %q, want %q", i, j.ID, want)
+		}
+	}
+}

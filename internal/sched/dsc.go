@@ -148,8 +148,12 @@ func DSCOwners(g *graph.DAG, p int, model CostModel) *graph.DAG {
 		startNew := 0.0
 		var domPred int32 = -1
 		domArrival := -1.0
-		for pu, c := range preds[u] {
-			arr := finish[pu] + c
+		// Iterate predecessors in unit order so the dominant-predecessor
+		// choice breaks arrival-time ties deterministically (smallest unit
+		// wins); map order here would leak into cluster numbering and from
+		// there into the object owners, breaking plan content addressing.
+		for _, pu := range sortedUnitKeys(preds[u]) {
+			arr := finish[pu] + preds[u][pu]
 			if arr > startNew {
 				startNew = arr
 			}
@@ -187,7 +191,7 @@ func DSCOwners(g *graph.DAG, p int, model CostModel) *graph.DAG {
 		}
 		clusterReady[bestCluster] = finish[u]
 
-		for v := range adj[u] {
+		for _, v := range sortedUnitKeys(adj[u]) {
 			indegCopy[v]--
 			if indegCopy[v] == 0 {
 				queue = append(queue, v)
@@ -261,4 +265,14 @@ func maxf(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// sortedUnitKeys returns the keys of a unit-weight map in ascending order.
+func sortedUnitKeys(m map[int32]float64) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }

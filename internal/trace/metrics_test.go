@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMetricsBasic(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("a", 1)
+	m.Inc("a", 2)
+	m.Inc("b", 5)
+	if got := m.Get("a"); got != 3 {
+		t.Errorf("a = %d, want 3", got)
+	}
+	if got := m.Get("missing"); got != 0 {
+		t.Errorf("missing = %d, want 0", got)
+	}
+	snap := m.Snapshot()
+	if snap["a"] != 3 || snap["b"] != 5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if s := m.String(); s != "a 3\nb 5\n" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestMetricsNil(t *testing.T) {
+	var m *Metrics
+	m.Inc("a", 1) // must not panic
+	if m.Get("a") != 0 || m.Snapshot() != nil {
+		t.Error("nil metrics should be inert")
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Inc("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Get("n"); got != 8000 {
+		t.Errorf("n = %d, want 8000", got)
+	}
+}

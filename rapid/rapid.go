@@ -155,6 +155,10 @@ type Plan struct {
 	Model    CostModel
 	// Capacity is the per-processor memory capacity the plan was built for.
 	Capacity int64
+	// Fingerprint is the content address the plan was compiled under; set
+	// by CompileCached and preserved by MarshalPlan/UnmarshalPlan (empty
+	// for plans from plain Compile).
+	Fingerprint string
 }
 
 // Executable reports whether the plan fits the memory budget.
