@@ -27,9 +27,20 @@ import (
 	"repro/internal/chol"
 	"repro/internal/lu"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 	"repro/internal/util"
 	"repro/rapid"
 )
+
+// stateTable renders the executor's per-processor protocol-state occupancy
+// (wall-clock seconds in each of REC/EXE/SND/MAP/END) as a text table.
+func stateTable(report *rapid.Report) string {
+	rows := make([][]float64, len(report.Occupancy))
+	for p, occ := range report.Occupancy {
+		rows[p] = occ[:]
+	}
+	return trace.StateTable(rapid.StateNames(), rows, "s")
+}
 
 func main() {
 	kind := flag.String("kind", "chol", "factorization: chol or lu")
@@ -130,7 +141,9 @@ func solveChol(a *sparse.Matrix, procs, block int, h rapid.Heuristic, memPct int
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("executed: MAPs %v\n", report.MAPsPerProc)
+	fmt.Printf("executed: MAPs %v, %d messages, %d address packages\n",
+		report.MAPsPerProc, report.Messages, report.AddrPackages)
+	fmt.Printf("protocol state occupancy:\n%s", stateTable(report))
 
 	l := pr.AssembleL(report.Objects)
 	rec := make([]float64, a.N*a.N)
@@ -162,7 +175,9 @@ func solveLU(a *sparse.Matrix, procs, block int, h rapid.Heuristic, memPct int, 
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("executed: MAPs %v\n", report.MAPsPerProc)
+	fmt.Printf("executed: MAPs %v, %d messages, %d address packages\n",
+		report.MAPsPerProc, report.Messages, report.AddrPackages)
+	fmt.Printf("protocol state occupancy:\n%s", stateTable(report))
 
 	xTrue := make([]float64, a.N)
 	for i := range xTrue {

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chol"
+	"repro/internal/sparse"
+	"repro/internal/util"
+	"repro/rapid"
+)
+
+// TestStateTableFromExecution runs a small Cholesky factorization through
+// the pipeline and checks the occupancy table the binary prints: a header
+// with all five protocol states, one row per processor, and a totals row.
+func TestStateTableFromExecution(t *testing.T) {
+	rng := util.NewRNG(11)
+	pat := sparse.Grid2D(6, 6, true)
+	a := sparse.SPDValues(pat, rng)
+	pr, err := chol.Build(a, chol.Options{Procs: 3, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := rapid.FromGraph(pr.G)
+	plan, err := rapid.Compile(prog, rapid.Options{Procs: 3, Heuristic: rapid.MPO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := rapid.Execute(prog, plan, rapid.ExecOptions{Kernel: pr.Kernel, Init: pr.InitObject})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := stateTable(report)
+	for _, h := range []string{"REC(s)", "EXE(s)", "SND(s)", "MAP(s)", "END(s)"} {
+		if !strings.Contains(out, h) {
+			t.Errorf("table missing header %q:\n%s", h, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if want := 1 + 3 + 1; len(lines) != want { // header + one row per proc + totals
+		t.Errorf("table has %d lines, want %d:\n%s", len(lines), want, out)
+	}
+	for p := 0; p < 3; p++ {
+		if !strings.HasPrefix(lines[1+p], "P"+string(rune('0'+p))) {
+			t.Errorf("row %d does not start with P%d:\n%s", 1+p, p, out)
+		}
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "all") {
+		t.Errorf("missing totals row:\n%s", out)
+	}
+}

@@ -1,22 +1,18 @@
-// Package exec is the concurrent executor: it runs a scheduled task graph
-// under the active memory management scheme with one goroutine per
-// (virtual) processor, exercising the real five-state protocol of Section
-// 3.3:
+// Package exec is the wall-clock backend of the five-state execution
+// protocol: it runs a scheduled task graph under the active memory
+// management scheme with one goroutine per (virtual) processor, real data
+// and the real RMA substrate (deposit-then-flag buffers, single-slot
+// address packages, panics on Puts into freed memory).
 //
-//	REC  wait for the arrival counters of the current task's volatile
-//	     objects (and cross-processor control signals),
-//	EXE  run the task's kernel,
-//	SND  issue the task's data messages; messages whose remote address is
-//	     unknown are enqueued on the suspended-send queue,
-//	MAP  free dead volatile objects, allocate ahead, send address packages
-//	     (blocking while a peer has not consumed the previous package),
-//	END  drain the suspended-send queue.
-//
-// Every blocking state polls RA (read address packages) and CQ (check the
-// suspended queue), exactly as the deadlock-freedom proof requires. The
-// executor is used both as a correctness harness (results must equal a
-// sequential execution; runs under -race; stray Puts into freed buffers
-// panic) and as the numeric engine of the examples.
+// The protocol transitions themselves — REC/EXE/SND/MAP/END, the MAP
+// address-package handshake, the suspended-send queue, arrival-threshold
+// receives and the RA/CQ polling discipline — live in internal/proto's
+// Engine/Core and are shared verbatim with the discrete-event simulator
+// (internal/machine). This package supplies only the wall-clock mechanics:
+// goroutines, rma.Memory arenas, atomic control-signal counters and a
+// liveness watchdog. The executor is used both as a correctness harness
+// (results must equal a sequential execution; runs under -race) and as the
+// numeric engine of the examples.
 package exec
 
 import (
@@ -50,9 +46,18 @@ type Config struct {
 	// BufLen overrides the physical buffer length of an object (defaults to
 	// the object's abstract Size). Only consulted in numeric mode.
 	BufLen func(o graph.ObjID) int64
-	// BlockTimeout aborts the run if a processor makes no progress for this
-	// long (a liveness watchdog for tests; 0 means 30s).
+	// BlockTimeout aborts the run when a processor makes no protocol
+	// progress — no task or MAP completed, no message sent, received or
+	// dispatched from the suspended queue — for this long. It is the
+	// liveness watchdog: a genuine deadlock (which Theorem 1 rules out for
+	// correct plans) or a lost message trips it instead of hanging the
+	// process. 0 means the 30-second default; raise it when a single
+	// kernel invocation may legitimately run longer than that.
 	BlockTimeout time.Duration
+	// Faults injects deterministic protocol perturbations (delayed address
+	// packages and data messages); see proto.Faults. The zero value
+	// disables injection.
+	Faults proto.Faults
 }
 
 // Result reports a completed run.
@@ -64,21 +69,27 @@ type Result struct {
 	// Perm maps every object to its final buffer on its owner (numeric
 	// mode; nil otherwise).
 	Perm map[graph.ObjID][]float64
+	// Occupancy is the wall-clock seconds each processor spent in each
+	// protocol state (indexed by proto.State).
+	Occupancy []proto.Occupancy
+	// SuspendedSends counts, per processor, the data messages that went
+	// through the suspended-send queue.
+	SuspendedSends []int
+	// Messages is the machine-wide number of data messages delivered.
+	Messages int
+	// AddrPackages is the machine-wide number of address packages consumed.
+	AddrPackages int
 }
 
 type engine struct {
-	s      *sched.Schedule
-	plan   *mem.Plan
-	tables *proto.Tables
-	cfg    Config
+	eng *proto.Engine
+	cfg Config
 
 	slots   *rma.AddrSlots
 	ctlRecv []atomic.Int32 // per task
 
-	// volatile buffer registries: vola[p] is written only by p's goroutine
-	// before any reader polls it via arrivals — producers reach buffers
-	// only through address packages, never through this map.
 	numeric bool
+	start   time.Time
 
 	abort  atomic.Bool
 	errMu  sync.Mutex
@@ -94,29 +105,36 @@ func (e *engine) fail(err error) {
 	e.abort.Store(true)
 }
 
+// clock is the wall clock passed to the protocol core (seconds since the
+// run started), which accounts per-state occupancy with it.
+func (e *engine) clock() float64 { return time.Since(e.start).Seconds() }
+
 // Run executes the schedule under the MAP plan. The plan must be executable
 // (use mem.NewPlan and check Executable first); capacity is taken from it.
 func Run(s *sched.Schedule, plan *mem.Plan, cfg Config) (*Result, error) {
-	if !plan.Executable {
-		return nil, fmt.Errorf("exec: plan is not executable under capacity %d", plan.Capacity)
+	pe, err := proto.NewEngine(s, plan, cfg.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
 	}
 	if cfg.BlockTimeout == 0 {
 		cfg.BlockTimeout = 30 * time.Second
 	}
 	e := &engine{
-		s:       s,
-		plan:    plan,
-		tables:  proto.Derive(s),
+		eng:     pe,
 		cfg:     cfg,
 		slots:   rma.NewAddrSlots(s.P),
 		ctlRecv: make([]atomic.Int32, s.G.NumTasks()),
 		numeric: cfg.Kernel != nil,
+		start:   time.Now(),
 	}
 	res := &Result{
-		MAPsExecuted: make([]int, s.P),
-		PeakUnits:    make([]int64, s.P),
+		MAPsExecuted:   make([]int, s.P),
+		PeakUnits:      make([]int64, s.P),
+		Occupancy:      make([]proto.Occupancy, s.P),
+		SuspendedSends: make([]int, s.P),
 	}
 	permBufs := make([]map[graph.ObjID][]float64, s.P)
+	stats := make([]proto.Stats, s.P)
 
 	var wg sync.WaitGroup
 	for p := 0; p < s.P; p++ {
@@ -128,19 +146,26 @@ func Run(s *sched.Schedule, plan *mem.Plan, cfg Config) (*Result, error) {
 					e.fail(fmt.Errorf("exec: processor %d panicked: %v", p, r))
 				}
 			}()
-			maps, peak, bufs, err := e.runProc(graph.Proc(p))
+			out, err := e.runProc(graph.Proc(p))
 			if err != nil {
 				e.fail(err)
 				return
 			}
-			res.MAPsExecuted[p] = maps
-			res.PeakUnits[p] = peak
-			permBufs[p] = bufs
+			res.MAPsExecuted[p] = out.stats.MAPs
+			res.PeakUnits[p] = out.peak
+			res.Occupancy[p] = out.occ
+			res.SuspendedSends[p] = out.stats.DataSuspended
+			stats[p] = out.stats
+			permBufs[p] = out.perm
 		}(p)
 	}
 	wg.Wait()
 	if e.runErr != nil {
 		return nil, e.runErr
+	}
+	for p := 0; p < s.P; p++ {
+		res.Messages += stats[p].DataSent
+		res.AddrPackages += stats[p].AddrConsumed
 	}
 	if e.numeric {
 		res.Perm = make(map[graph.ObjID][]float64, s.G.NumObjects())
@@ -153,7 +178,60 @@ func Run(s *sched.Schedule, plan *mem.Plan, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// procState is the per-processor runtime state.
+// procOut is what one processor's goroutine reports back.
+type procOut struct {
+	stats proto.Stats
+	peak  int64
+	occ   proto.Occupancy
+	perm  map[graph.ObjID][]float64
+}
+
+// runProc drives one processor: a proto.Core over the wall-clock backend.
+func (e *engine) runProc(p graph.Proc) (*procOut, error) {
+	ps, err := newProcState(e, p)
+	if err != nil {
+		return nil, err
+	}
+	core := e.eng.NewCore(p, ps)
+	for {
+		st, err := core.Advance(e.clock())
+		if err != nil {
+			return nil, err
+		}
+		switch st.Kind {
+		case proto.RunMAP:
+			// Wall-clock MAPs charge no artificial cost: the real work
+			// (frees, allocations, package deposits) already happened in
+			// the backend. Loop straight into the next Advance.
+			ps.touch()
+		case proto.RunTask:
+			if e.numeric {
+				if kerr := e.cfg.Kernel(st.Task, ps.get); kerr != nil {
+					return nil, fmt.Errorf("exec: proc %d task %q: %w", p, e.eng.S.G.Tasks[st.Task].Name, kerr)
+				}
+			}
+			core.TaskDone(e.clock())
+			// Poll between tasks so peers' address packages are consumed
+			// promptly even on processors that never block.
+			core.Poll(e.clock())
+			ps.touch()
+			runtime.Gosched()
+		case proto.Blocked:
+			if err := ps.blockCheck(st.State, core); err != nil {
+				return nil, err
+			}
+			if core.Poll(e.clock()) {
+				ps.touch()
+			}
+			runtime.Gosched()
+		case proto.Finished:
+			return &procOut{stats: core.Stats, peak: ps.peak, occ: core.Occupancy(), perm: ps.perm}, nil
+		}
+	}
+}
+
+// procState is the wall-clock Backend: one processor's rma arena, learned
+// remote addresses, and watchdog stamp.
 type procState struct {
 	e    *engine
 	p    graph.Proc
@@ -162,10 +240,45 @@ type procState struct {
 	// addr holds remote buffer handles learned through address packages,
 	// keyed by (object, destination processor).
 	addr map[[2]int32]*rma.Buffer
-	// suspended send queue (FIFO).
-	suspended []proto.Send
-	// progress stamps for the watchdog.
+	// pkg caches the assembled address package per destination while its
+	// deposit is being retried (at most one in flight per destination).
+	pkg  map[graph.Proc]*rma.AddrPackage
+	peak int64
+	// lastProgress stamps the watchdog.
 	lastProgress time.Time
+}
+
+// newProcState builds the backend and allocates + initializes the
+// processor's permanent objects.
+func newProcState(e *engine, p graph.Proc) (*procState, error) {
+	ps := &procState{
+		e:            e,
+		p:            p,
+		mem:          rma.NewMemory(e.eng.Plan.Capacity),
+		perm:         make(map[graph.ObjID][]float64),
+		addr:         make(map[[2]int32]*rma.Buffer),
+		pkg:          make(map[graph.Proc]*rma.AddrPackage),
+		lastProgress: time.Now(),
+	}
+	g := e.eng.S.G
+	for oi := range g.Objects {
+		o := &g.Objects[oi]
+		if o.Owner != p {
+			continue
+		}
+		b, aerr := ps.mem.Alloc(graph.ObjID(oi), o.Size, e.bufLen(graph.ObjID(oi)))
+		if aerr != nil {
+			return nil, fmt.Errorf("exec: proc %d permanent allocation: %w", p, aerr)
+		}
+		if e.numeric {
+			if e.cfg.Init != nil {
+				e.cfg.Init(graph.ObjID(oi), b.Data)
+			}
+			ps.perm[graph.ObjID(oi)] = b.Data
+		}
+	}
+	ps.peak = ps.mem.Used()
+	return ps, nil
 }
 
 func (e *engine) bufLen(o graph.ObjID) int64 {
@@ -175,91 +288,23 @@ func (e *engine) bufLen(o graph.ObjID) int64 {
 	if e.cfg.BufLen != nil {
 		return e.cfg.BufLen(o)
 	}
-	return e.s.G.Objects[o].Size
+	return e.eng.S.G.Objects[o].Size
 }
 
-func (e *engine) runProc(p graph.Proc) (mapsExecuted int, peak int64, permOut map[graph.ObjID][]float64, err error) {
-	ps := &procState{
-		e:    e,
-		p:    p,
-		mem:  rma.NewMemory(e.plan.Capacity),
-		perm: make(map[graph.ObjID][]float64),
-		addr: make(map[[2]int32]*rma.Buffer),
+func (ps *procState) touch() { ps.lastProgress = time.Now() }
 
-		lastProgress: time.Now(),
+// blockCheck aborts on engine failure or watchdog expiry. The timeout
+// error names the blocked processor, its protocol state and the task or
+// object it is waiting on.
+func (ps *procState) blockCheck(st proto.State, core *proto.Core) error {
+	if ps.e.abort.Load() {
+		return fmt.Errorf("exec: proc %d aborted in %s state", ps.p, st)
 	}
-	s := e.s
-
-	// Allocate and initialize permanent objects.
-	for oi := range s.G.Objects {
-		o := &s.G.Objects[oi]
-		if o.Owner != p {
-			continue
-		}
-		b, aerr := ps.mem.Alloc(graph.ObjID(oi), o.Size, e.bufLen(graph.ObjID(oi)))
-		if aerr != nil {
-			return 0, 0, nil, fmt.Errorf("exec: proc %d permanent allocation: %w", p, aerr)
-		}
-		if e.numeric {
-			if e.cfg.Init != nil {
-				e.cfg.Init(graph.ObjID(oi), b.Data)
-			}
-			ps.perm[graph.ObjID(oi)] = b.Data
-		}
+	if time.Since(ps.lastProgress) > ps.e.cfg.BlockTimeout {
+		return fmt.Errorf("exec: proc %d made no progress for %v — %s (possible deadlock; see Config.BlockTimeout)",
+			ps.p, ps.e.cfg.BlockTimeout, core.BlockedInfo())
 	}
-	peak = ps.mem.Used()
-
-	order := s.Order[p]
-	maps := e.plan.Procs[p].MAPs
-	mapIdx := 0
-	pos := int32(0)
-	for {
-		// MAP state.
-		if mapIdx < len(maps) && maps[mapIdx].Pos == pos {
-			if err := ps.doMAP(&maps[mapIdx]); err != nil {
-				return 0, 0, nil, err
-			}
-			mapsExecuted++
-			mapIdx++
-			if u := ps.mem.Used(); u > peak {
-				peak = u
-			}
-		}
-		if int(pos) >= len(order) {
-			break
-		}
-		t := order[pos]
-		// REC state.
-		if err := ps.waitReady(t); err != nil {
-			return 0, 0, nil, err
-		}
-		// EXE state.
-		if e.numeric {
-			if kerr := e.cfg.Kernel(t, ps.get); kerr != nil {
-				return 0, 0, nil, fmt.Errorf("exec: proc %d task %q: %w", p, s.G.Tasks[t].Name, kerr)
-			}
-		}
-		// SND state.
-		for _, snd := range e.tables.Sends[t] {
-			if !ps.trySend(snd) {
-				ps.suspended = append(ps.suspended, snd)
-			}
-		}
-		for _, v := range e.tables.CtlSends[t] {
-			e.ctlRecv[v].Add(1)
-		}
-		ps.poll()
-		ps.lastProgress = time.Now()
-		pos++
-	}
-	// END state: drain the suspended queue.
-	for len(ps.suspended) > 0 {
-		if err := ps.blockCheck("END"); err != nil {
-			return 0, 0, nil, err
-		}
-		ps.poll()
-	}
-	return mapsExecuted, peak, ps.perm, nil
+	return nil
 }
 
 // get resolves an object to its local buffer for the kernel.
@@ -267,18 +312,17 @@ func (ps *procState) get(o graph.ObjID) []float64 {
 	if b, ok := ps.mem.Lookup(o); ok {
 		return b.Data
 	}
-	panic(fmt.Sprintf("exec: proc %d kernel touched unallocated object %q", ps.p, ps.e.s.G.Objects[o].Name))
+	panic(fmt.Sprintf("exec: proc %d kernel touched unallocated object %q", ps.p, ps.e.eng.S.G.Objects[o].Name))
 }
 
-// doMAP performs one memory allocation point.
-func (ps *procState) doMAP(m *mem.MAP) error {
-	g := ps.e.s.G
+// ApplyMAP performs one memory allocation point on the rma arena.
+func (ps *procState) ApplyMAP(m *mem.MAP) error {
+	g := ps.e.eng.S.G
 	for _, o := range m.Frees {
 		if err := ps.mem.Free(o, g.Objects[o].Size); err != nil {
 			return fmt.Errorf("exec: proc %d MAP free: %w", ps.p, err)
 		}
 	}
-	newBufs := make(map[graph.ObjID]*rma.Buffer, len(m.Allocs))
 	for _, o := range m.Allocs {
 		b, err := ps.mem.Alloc(o, g.Objects[o].Size, ps.e.bufLen(o))
 		if err != nil {
@@ -287,64 +331,65 @@ func (ps *procState) doMAP(m *mem.MAP) error {
 		// Volatile copies of pure input objects (no producer task ever
 		// sends them) are filled during preprocessing — the runtime's
 		// initial data distribution.
-		if ps.e.numeric && ps.e.cfg.Init != nil && ps.e.tables.Expect[ps.p][o] == 0 {
+		if ps.e.numeric && ps.e.cfg.Init != nil && ps.e.eng.Tables.Expect[ps.p][o] == 0 {
 			ps.e.cfg.Init(o, b.Data)
 		}
-		newBufs[o] = b
 	}
-	// Assemble and send address packages; block (polling RA/CQ) while a
-	// destination has not consumed our previous package.
-	for dst, objs := range m.Notify {
-		bufs := make([]*rma.Buffer, len(objs))
-		for i, o := range objs {
-			bufs[i] = newBufs[o]
-		}
-		pkg := &rma.AddrPackage{From: ps.p, Buffers: bufs}
-		for !ps.e.slots.TrySend(dst, ps.p, pkg) {
-			if err := ps.blockCheck("MAP"); err != nil {
-				return err
-			}
-			ps.poll()
-		}
+	if u := ps.mem.Used(); u > ps.peak {
+		ps.peak = u
 	}
-	ps.lastProgress = time.Now()
+	ps.touch()
 	return nil
 }
 
-// waitReady implements the REC state for task t.
-func (ps *procState) waitReady(t graph.TaskID) error {
-	e := ps.e
-	for {
-		ready := e.ctlRecv[t].Load() >= e.tables.CtlNeed[t]
-		if ready {
-			for _, need := range e.tables.Needs[t] {
-				b, ok := ps.mem.Lookup(need.Obj)
-				if !ok {
-					return fmt.Errorf("exec: proc %d task %q needs unallocated object %q", ps.p, e.s.G.Tasks[t].Name, e.s.G.Objects[need.Obj].Name)
-				}
-				if b.Arrivals() < need.MinArrivals {
-					ready = false
-					break
-				}
+// TryNotify deposits the address package for dst through the single-slot
+// mesh; false means dst has not consumed the previous package yet.
+func (ps *procState) TryNotify(dst graph.Proc, objs []graph.ObjID) bool {
+	pkg := ps.pkg[dst]
+	if pkg == nil {
+		bufs := make([]*rma.Buffer, len(objs))
+		for i, o := range objs {
+			b, ok := ps.mem.Lookup(o)
+			if !ok {
+				panic(fmt.Sprintf("exec: proc %d notifying unallocated object %d", ps.p, o))
 			}
+			bufs[i] = b
 		}
-		if ready {
-			ps.lastProgress = time.Now()
-			return nil
-		}
-		if err := ps.blockCheck("REC"); err != nil {
-			return err
-		}
-		ps.poll()
+		pkg = &rma.AddrPackage{From: ps.p, Buffers: bufs}
+		ps.pkg[dst] = pkg
 	}
-}
-
-// trySend dispatches one data message if the remote address is known.
-func (ps *procState) trySend(snd proto.Send) bool {
-	b, ok := ps.addr[[2]int32{int32(snd.Obj), int32(snd.Dst)}]
-	if !ok {
+	if !ps.e.slots.TrySend(dst, ps.p, pkg) {
 		return false
 	}
+	delete(ps.pkg, dst)
+	ps.touch()
+	return true
+}
+
+// ReadAddresses is RA: consume pending address packages into the handle
+// map.
+func (ps *procState) ReadAddresses() int {
+	n := 0
+	for _, pkg := range ps.e.slots.Consume(ps.p) {
+		for _, b := range pkg.Buffers {
+			ps.addr[[2]int32{int32(b.Obj), int32(pkg.From)}] = b
+		}
+		n++
+	}
+	if n > 0 {
+		ps.touch()
+	}
+	return n
+}
+
+func (ps *procState) AddrKnown(snd proto.Send) bool {
+	_, ok := ps.addr[[2]int32{int32(snd.Obj), int32(snd.Dst)}]
+	return ok
+}
+
+// SendData deposits one data message into the remote buffer (RMA Put).
+func (ps *procState) SendData(snd proto.Send) {
+	b := ps.addr[[2]int32{int32(snd.Obj), int32(snd.Dst)}]
 	if ps.e.numeric {
 		src, ok := ps.mem.Lookup(snd.Obj)
 		if !ok {
@@ -354,45 +399,21 @@ func (ps *procState) trySend(snd proto.Send) bool {
 	} else {
 		b.PutFlagOnly()
 	}
-	return true
+	ps.touch()
 }
 
-// poll is RA followed by CQ, as the protocol requires in every blocking
-// state (and between tasks).
-func (ps *procState) poll() {
-	// RA: read address packages.
-	for _, pkg := range ps.e.slots.Consume(ps.p) {
-		for _, b := range pkg.Buffers {
-			ps.addr[[2]int32{int32(b.Obj), int32(pkg.From)}] = b
-		}
-		ps.lastProgress = time.Now()
+func (ps *procState) SendCtl(t graph.TaskID) { ps.e.ctlRecv[t].Add(1) }
+
+func (ps *procState) CtlCount(t graph.TaskID) int32 { return ps.e.ctlRecv[t].Load() }
+
+func (ps *procState) Arrived(o graph.ObjID) (int32, bool) {
+	b, ok := ps.mem.Lookup(o)
+	if !ok {
+		return 0, false
 	}
-	// CQ: dispatch suspended messages whose addresses are now known,
-	// preserving FIFO order per (object, destination).
-	if len(ps.suspended) > 0 {
-		blocked := make(map[[2]int32]bool)
-		kept := ps.suspended[:0]
-		for _, snd := range ps.suspended {
-			k := [2]int32{int32(snd.Obj), int32(snd.Dst)}
-			if blocked[k] || !ps.trySend(snd) {
-				blocked[k] = true
-				kept = append(kept, snd)
-				continue
-			}
-			ps.lastProgress = time.Now()
-		}
-		ps.suspended = kept
-	}
-	runtime.Gosched()
+	return b.Arrivals(), true
 }
 
-// blockCheck aborts on engine failure or watchdog expiry.
-func (ps *procState) blockCheck(state string) error {
-	if ps.e.abort.Load() {
-		return fmt.Errorf("exec: proc %d aborted in %s state", ps.p, state)
-	}
-	if time.Since(ps.lastProgress) > ps.e.cfg.BlockTimeout {
-		return fmt.Errorf("exec: proc %d made no progress for %v in %s state (possible deadlock)", ps.p, ps.e.cfg.BlockTimeout, state)
-	}
-	return nil
-}
+// FaultWake is a no-op: the wall-clock driver busy-polls in every blocking
+// state, so a delayed message is retried without an explicit wake.
+func (ps *procState) FaultWake() {}

@@ -1,0 +1,127 @@
+package exec
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/proto"
+	"repro/internal/sched"
+)
+
+// TestCholeskyUnderFaultInjection checks the liveness claim end to end
+// with real data: with a third of all address packages and data messages
+// delayed — and then with every single message forced through the
+// suspended-send queue — the numeric factorization must complete and equal
+// the sequential one bit for bit.
+func TestCholeskyUnderFaultInjection(t *testing.T) {
+	pr := cholProblem(t, 3, 5, 13)
+	s := scheduleFor(t, pr.G, 3, sched.MPO)
+	plan, err := mem.NewPlan(s, s.MinMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Executable {
+		t.Fatalf("plan not executable at MinMem %d", s.MinMem())
+	}
+	want, err := pr.SequentialFactor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []proto.Faults{
+		{Seed: 5, AddrFrac: 0.3, DataFrac: 0.3},
+		{Seed: 9, AddrFrac: 1, DataFrac: 1},
+	} {
+		res, err := Run(s, plan, Config{
+			Kernel:       pr.Kernel,
+			Init:         pr.InitObject,
+			BlockTimeout: 20 * time.Second,
+			Faults:       f,
+		})
+		if err != nil {
+			t.Fatalf("faults %+v: %v", f, err)
+		}
+		if f.DataFrac >= 1 {
+			// Every data message suspends exactly once: the per-proc totals
+			// are protocol-determined.
+			for q, susp := range res.SuspendedSends {
+				if susp == 0 && res.Messages > 0 && len(s.Order[q]) > 0 {
+					// A processor that sends nothing legitimately has zero.
+					continue
+				}
+				if susp < 0 {
+					t.Fatalf("proc %d negative suspensions", q)
+				}
+			}
+			total := 0
+			for _, susp := range res.SuspendedSends {
+				total += susp
+			}
+			if total != res.Messages {
+				t.Fatalf("forced suspension: %d suspended != %d messages", total, res.Messages)
+			}
+		}
+		for oi := range pr.G.Objects {
+			o := graph.ObjID(oi)
+			for i := range want[o] {
+				if math.Abs(res.Perm[o][i]-want[o][i]) > 1e-9 {
+					t.Fatalf("faults %+v: object %q differs at %d", f, pr.G.Objects[oi].Name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWatchdogReportsBlockedDetail forces a deterministic stall — the only
+// producer of a cross-processor object sleeps past the timeout — and
+// checks the watchdog error identifies the blocked processor, its protocol
+// state, and the task/object it is waiting on.
+func TestWatchdogReportsBlockedDetail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	b := graph.NewBuilder()
+	a := b.Object("a", 4)
+	bb := b.Object("b", 4)
+	t0 := b.Task("t0", 1, nil, []graph.ObjID{a})
+	b.Task("t1", 1, []graph.ObjID{a}, []graph.ObjID{bb})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.CyclicOwners(g, 2) // a on proc 0, b on proc 1
+	assign, err := sched.OwnerComputeAssign(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.ScheduleRCP(g, assign, 2, sched.Unit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := mem.NewPlan(s, s.TOT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(s, plan, Config{
+		Kernel: func(tk graph.TaskID, get func(graph.ObjID) []float64) error {
+			if tk == t0 {
+				time.Sleep(1500 * time.Millisecond)
+			}
+			return nil
+		},
+		Init:         func(graph.ObjID, []float64) {},
+		BlockTimeout: 250 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("expected a watchdog timeout, got success")
+	}
+	msg := err.Error()
+	for _, want := range []string{"no progress", "state", "t1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("watchdog error missing %q: %v", want, err)
+		}
+	}
+}

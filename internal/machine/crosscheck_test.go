@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/mem"
+	"repro/internal/proto"
 	"repro/internal/sched"
 	"repro/internal/util"
 )
@@ -56,6 +57,116 @@ func TestSimulatorAndExecutorAgree(t *testing.T) {
 		}
 		if simRes.ParallelTime <= 0 {
 			t.Fatalf("trial %d: non-positive parallel time", trial)
+		}
+	}
+}
+
+// TestRandomizedEquivalence is the backend-equivalence suite: the
+// wall-clock executor and the virtual-clock simulator now drive the same
+// protocol core, so every protocol-determined quantity must agree exactly —
+// across generated graphs, all three ordering heuristics, and fault
+// injection. Three layers:
+//
+//  1. Fault-free: per-processor MAP counts, per-processor peak memory
+//     (permanent + volatile), total messages and total address packages
+//     agree between the backends.
+//  2. Faulty (25% delayed address packages and data messages): both
+//     backends terminate (Theorem 1 under perturbation) and every quantity
+//     from layer 1 is identical to the fault-free run.
+//  3. Forced suspension (DataFrac 1): every data message goes through the
+//     suspended-send queue, making the per-processor suspended-send totals
+//     protocol-determined; both backends must report exactly the
+//     per-processor send counts of the communication tables.
+//
+// (Suspended-send totals in layers 1–2 are timing-dependent — a send
+// suspends only if it beats its address package — so only the forced mode
+// pins them; see DESIGN.md.)
+func TestRandomizedEquivalence(t *testing.T) {
+	rng := util.NewRNG(4242)
+	for trial := 0; trial < 12; trial++ {
+		p := 2 + rng.Intn(4)
+		g := randomOwnerComputeDAG(rng, 30+rng.Intn(50), 8+rng.Intn(12), p)
+		assign, err := sched.OwnerComputeAssign(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := []sched.Heuristic{sched.RCP, sched.MPO, sched.DTS}[trial%3]
+		s, err := sched.ScheduleWith(h, g, assign, p, sched.T3D(), 1<<40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := mem.NewPlan(s, s.MinMem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pl.Executable {
+			pl, err = mem.NewPlan(s, s.TOT())
+			if err != nil || !pl.Executable {
+				t.Fatal("TOT plan must be executable")
+			}
+		}
+
+		run := func(f proto.Faults) (*Result, *exec.Result) {
+			simRes, err := Simulate(s, pl, sched.T3D(), Options{Faults: f})
+			if err != nil {
+				t.Fatalf("trial %d sim (faults %+v): %v", trial, f, err)
+			}
+			exRes, err := exec.Run(s, pl, exec.Config{Faults: f})
+			if err != nil {
+				t.Fatalf("trial %d exec (faults %+v): %v", trial, f, err)
+			}
+			return simRes, exRes
+		}
+		check := func(mode string, simRes *Result, exRes *exec.Result) {
+			for q := 0; q < p; q++ {
+				if simRes.MAPsPerProc[q] != exRes.MAPsExecuted[q] {
+					t.Errorf("trial %d %s: proc %d MAPs sim %d != exec %d",
+						trial, mode, q, simRes.MAPsPerProc[q], exRes.MAPsExecuted[q])
+				}
+				if simRes.PeakUnits[q] != exRes.PeakUnits[q] {
+					t.Errorf("trial %d %s: proc %d peak sim %d != exec %d",
+						trial, mode, q, simRes.PeakUnits[q], exRes.PeakUnits[q])
+				}
+			}
+			if simRes.Messages != exRes.Messages {
+				t.Errorf("trial %d %s: messages sim %d != exec %d", trial, mode, simRes.Messages, exRes.Messages)
+			}
+			if simRes.AddrPackages != exRes.AddrPackages {
+				t.Errorf("trial %d %s: addr packages sim %d != exec %d",
+					trial, mode, simRes.AddrPackages, exRes.AddrPackages)
+			}
+		}
+
+		cleanSim, cleanEx := run(proto.Faults{})
+		check("clean", cleanSim, cleanEx)
+
+		faultySim, faultyEx := run(proto.Faults{Seed: uint64(trial) + 1, AddrFrac: 0.25, DataFrac: 0.25})
+		check("faulty", faultySim, faultyEx)
+		// Fault injection delays messages; it must not change any outcome.
+		if faultySim.Messages != cleanSim.Messages || faultySim.AddrPackages != cleanSim.AddrPackages {
+			t.Errorf("trial %d: faulty sim traffic (%d msgs, %d pkgs) != clean (%d, %d)",
+				trial, faultySim.Messages, faultySim.AddrPackages, cleanSim.Messages, cleanSim.AddrPackages)
+		}
+		for q := 0; q < p; q++ {
+			if faultySim.MAPsPerProc[q] != cleanSim.MAPsPerProc[q] || faultySim.PeakUnits[q] != cleanSim.PeakUnits[q] {
+				t.Errorf("trial %d: faulty run changed proc %d MAPs/peak", trial, q)
+			}
+		}
+
+		// Forced suspension: per-proc suspended totals become deterministic
+		// (every send suspends exactly once) and must equal the tables.
+		allSim, allEx := run(proto.Faults{Seed: 7, DataFrac: 1})
+		check("forced", allSim, allEx)
+		tables := proto.Derive(s)
+		for q := 0; q < p; q++ {
+			want := 0
+			for _, task := range s.Order[q] {
+				want += len(tables.Sends[task])
+			}
+			if allSim.SuspendedSends[q] != want || allEx.SuspendedSends[q] != want {
+				t.Errorf("trial %d: proc %d forced suspensions sim %d exec %d, want %d (table sends)",
+					trial, q, allSim.SuspendedSends[q], allEx.SuspendedSends[q], want)
+			}
 		}
 	}
 }

@@ -1,11 +1,14 @@
 // Package machine is the discrete-event simulator of a distributed-memory
 // message-passing machine with remote memory access, standing in for the
 // paper's Cray-T3D (see DESIGN.md §2). It executes the same five-state
-// protocol as the concurrent executor — the MAP plan, address packages
-// through single-slot buffers, suspended sends, arrival-threshold
-// receives — but against a virtual clock with the published cost constants
-// (103 MFLOPS per node, 2.7 µs message overhead, 128 MB/s bandwidth), so
-// the paper's timing tables can be regenerated deterministically.
+// protocol as the concurrent executor — literally the same code: both
+// backends drive internal/proto's Core, which owns every REC/EXE/SND/MAP/
+// END transition, the address-package handshake and the suspended-send
+// queue. This package supplies only the virtual-clock mechanics: an event
+// queue ordered by (time, sequence), simulated arrival counters and slot
+// FIFOs, and the published T3D cost constants (103 MFLOPS per node, 2.7 µs
+// message overhead, 128 MB/s bandwidth), so the paper's timing tables can
+// be regenerated deterministically.
 package machine
 
 import (
@@ -33,6 +36,11 @@ type Options struct {
 	SlotDepth int
 	// Trace, if non-nil, records task and MAP spans.
 	Trace *trace.Recorder
+	// Faults injects deterministic protocol perturbations (delayed address
+	// packages and data messages); see proto.Faults. Because decisions are
+	// pure functions of message identity, the simulator delays exactly the
+	// messages the concurrent executor would delay for the same Seed.
+	Faults proto.Faults
 }
 
 // Result reports a completed simulation.
@@ -45,6 +53,17 @@ type Result struct {
 	Messages int
 	// AddrPackages is the number of address packages delivered.
 	AddrPackages int
+	// MAPsPerProc is the number of MAPs each processor executed.
+	MAPsPerProc []int
+	// PeakUnits is the per-processor peak memory in use (abstract units,
+	// permanent + volatile), as accounted by the simulated allocator.
+	PeakUnits []int64
+	// SuspendedSends counts, per processor, the data messages that went
+	// through the suspended-send queue.
+	SuspendedSends []int
+	// Occupancy is the virtual time each processor spent in each protocol
+	// state (indexed by proto.State).
+	Occupancy []proto.Occupancy
 }
 
 // event kinds
@@ -78,52 +97,38 @@ func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
 func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
 func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
 
-// proc states
-const (
-	stAdvance    int8 = iota // ready to make progress
-	stMAPBusy                // charging MAP cost
-	stMAPBlocked             // waiting for an address slot
-	stBusy                   // executing a task
-	stRECBlocked             // waiting for data/control arrivals
-	stENDBlocked             // draining suspended sends
-	stDone
-)
+// slotFIFO is the queue of in-flight address packages for one
+// (receiver, sender) pair: arrival time and package contents.
+type slotFIFO struct {
+	times []float64
+	pkgs  [][]graph.ObjID
+}
 
-type procSim struct {
-	state    int8
-	pos      int32
-	mapIdx   int
-	pendPkgs []graph.Proc // destinations still awaiting our address package (current MAP)
-	pkgObjs  map[graph.Proc][]graph.ObjID
-	susp     []proto.Send
-	maps     int
-	curTask  graph.TaskID
+// driver is one simulated processor: the shared protocol core plus its
+// virtual-clock backend.
+type driver struct {
+	core *proto.Core
+	be   *simBackend
+	busy bool // charging a task or MAP cost; does not poll (protocol rule)
+	done bool
 }
 
 type sim struct {
-	s      *sched.Schedule
-	plan   *mem.Plan
-	model  sched.CostModel
-	opt    Options
-	tables *proto.Tables
+	s     *sched.Schedule
+	model sched.CostModel
+	opt   Options
+	eng   *proto.Engine
 
 	q   eventQueue
 	seq int64
+	now float64
+	err error
 
-	procs    []procSim
-	arrivals []map[graph.ObjID]int32 // per proc
-	ctl      []int32                 // per task
-	// addrKnown[producerProc] maps (obj, consumer) -> true once the
-	// producer has the consumer's buffer address.
-	addrKnown []map[[2]int32]bool
-	// slots[dst][src] holds the in-flight address packages from src to dst
-	// (FIFO, capacity = SlotDepth).
-	slots     [][]slotFIFO
+	drv       []driver
+	ctl       []int32 // per task
 	slotDepth int
 
 	lastTaskFinish float64
-	messages       int
-	addrPkgs       int
 }
 
 func (m *sim) push(t float64, kind int8, p graph.Proc, o graph.ObjID, task graph.TaskID) {
@@ -131,289 +136,290 @@ func (m *sim) push(t float64, kind int8, p graph.Proc, o graph.ObjID, task graph
 	heap.Push(&m.q, event{t: t, seq: m.seq, kind: kind, proc: p, obj: o, task: task})
 }
 
+func (m *sim) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
+
 // Simulate runs the schedule under the plan and cost model.
 func Simulate(s *sched.Schedule, plan *mem.Plan, model sched.CostModel, opt Options) (*Result, error) {
-	if !plan.Executable {
-		return nil, fmt.Errorf("machine: plan is not executable under capacity %d", plan.Capacity)
+	eng, err := proto.NewEngine(s, plan, opt.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
 	}
 	depth := opt.SlotDepth
 	if depth < 1 {
 		depth = 1
 	}
 	m := &sim{
-		s: s, plan: plan, model: model, opt: opt,
-		tables:    proto.Derive(s),
-		procs:     make([]procSim, s.P),
-		arrivals:  make([]map[graph.ObjID]int32, s.P),
+		s: s, model: model, opt: opt, eng: eng,
+		drv:       make([]driver, s.P),
 		ctl:       make([]int32, s.G.NumTasks()),
-		addrKnown: make([]map[[2]int32]bool, s.P),
-		slots:     make([][]slotFIFO, s.P),
 		slotDepth: depth,
 	}
 	for p := 0; p < s.P; p++ {
-		m.arrivals[p] = make(map[graph.ObjID]int32)
-		m.addrKnown[p] = make(map[[2]int32]bool)
-		m.slots[p] = make([]slotFIFO, s.P)
+		be := newSimBackend(m, graph.Proc(p))
+		m.drv[p] = driver{core: eng.NewCore(graph.Proc(p), be), be: be}
 		m.push(0, evWake, graph.Proc(p), 0, 0)
 	}
-	if opt.Baseline {
-		// All addresses exchanged during preprocessing.
-		for p := range m.addrKnown {
-			m.addrKnown[p] = nil // nil means "everything known"
-		}
-	}
 
-	for m.q.Len() > 0 {
+	for m.q.Len() > 0 && m.err == nil {
 		ev := heap.Pop(&m.q).(event)
+		m.now = ev.t
 		switch ev.kind {
 		case evMsg:
-			m.arrivals[ev.proc][ev.obj]++
-			m.messages++
+			m.drv[ev.proc].be.arrive(ev.obj)
 			m.step(ev.proc, ev.t)
 		case evCtl:
 			m.ctl[ev.task]++
 			m.step(m.s.Assign[ev.task], ev.t)
 		case evTaskDone:
-			m.taskDone(ev.proc, ev.t)
+			d := &m.drv[ev.proc]
+			d.busy = false
+			if ev.t > m.lastTaskFinish {
+				m.lastTaskFinish = ev.t
+			}
+			d.core.TaskDone(ev.t)
+			m.step(ev.proc, ev.t)
 		case evMAPDone:
-			m.procs[ev.proc].state = stAdvance
+			m.drv[ev.proc].busy = false
 			m.step(ev.proc, ev.t)
 		case evWake:
 			m.step(ev.proc, ev.t)
 		}
 	}
-	for p := range m.procs {
-		if m.procs[p].state != stDone {
-			return nil, fmt.Errorf("machine: deadlock: processor %d stuck in state %d at pos %d",
-				p, m.procs[p].state, m.procs[p].pos)
+	if m.err != nil {
+		return nil, m.err
+	}
+	for p := range m.drv {
+		if !m.drv[p].done {
+			core := m.drv[p].core
+			return nil, fmt.Errorf("machine: deadlock: processor %d stuck at position %d — %s",
+				p, core.Pos(), core.BlockedInfo())
 		}
+	}
+	res := &Result{
+		ParallelTime:   m.lastTaskFinish,
+		MAPsPerProc:    make([]int, s.P),
+		PeakUnits:      make([]int64, s.P),
+		SuspendedSends: make([]int, s.P),
+		Occupancy:      make([]proto.Occupancy, s.P),
 	}
 	totalMAPs := 0
-	for p := range m.procs {
-		totalMAPs += m.procs[p].maps
+	for p := range m.drv {
+		st := m.drv[p].core.Stats
+		totalMAPs += st.MAPs
+		res.MAPsPerProc[p] = st.MAPs
+		res.SuspendedSends[p] = st.DataSuspended
+		res.Messages += st.DataSent
+		res.AddrPackages += st.AddrConsumed
+		res.PeakUnits[p] = m.drv[p].be.peak
+		res.Occupancy[p] = m.drv[p].core.Occupancy()
 	}
-	return &Result{
-		ParallelTime: m.lastTaskFinish,
-		AvgMAPs:      float64(totalMAPs) / float64(s.P),
-		Messages:     m.messages,
-		AddrPackages: m.addrPkgs,
-	}, nil
+	res.AvgMAPs = float64(totalMAPs) / float64(s.P)
+	return res, nil
 }
 
-// slotFIFO is the queue of in-flight address packages for one
-// (receiver, sender) pair.
-type slotFIFO struct {
-	times []float64
-	pkgs  [][]graph.ObjID
-}
-
-// ra consumes address packages pending at producer proc p (arrived by now),
-// freeing the senders' slots and waking them.
-func (m *sim) ra(p graph.Proc, now float64) {
-	if m.addrKnown[p] == nil {
-		return // baseline: everything known
-	}
-	for src := 0; src < m.s.P; src++ {
-		q := &m.slots[p][src]
-		freed := false
-		for len(q.times) > 0 && q.times[0] <= now {
-			for _, o := range q.pkgs[0] {
-				m.addrKnown[p][[2]int32{int32(o), int32(src)}] = true
-			}
-			q.times = q.times[1:]
-			q.pkgs = q.pkgs[1:]
-			m.addrPkgs++
-			freed = true
-		}
-		if freed {
-			// The consumer (src of the package) may be blocked waiting for
-			// a free slot; wake it.
-			m.push(now, evWake, graph.Proc(src), 0, 0)
-		}
-	}
-}
-
-// cq dispatches suspended sends whose addresses are now known, FIFO per
-// (object, destination).
-func (m *sim) cq(p graph.Proc, now float64) {
-	ps := &m.procs[p]
-	if len(ps.susp) == 0 {
-		return
-	}
-	blocked := make(map[[2]int32]bool)
-	kept := ps.susp[:0]
-	for _, snd := range ps.susp {
-		k := [2]int32{int32(snd.Obj), int32(snd.Dst)}
-		if blocked[k] || !m.addrIsKnown(p, snd) {
-			blocked[k] = true
-			kept = append(kept, snd)
-			continue
-		}
-		m.deliver(p, snd, now)
-	}
-	ps.susp = kept
-}
-
-func (m *sim) addrIsKnown(p graph.Proc, snd proto.Send) bool {
-	if m.addrKnown[p] == nil {
-		return true
-	}
-	return m.addrKnown[p][[2]int32{int32(snd.Obj), int32(snd.Dst)}]
-}
-
-func (m *sim) deliver(p graph.Proc, snd proto.Send, now float64) {
-	m.push(now+m.model.CommTime(m.s.G.Objects[snd.Obj].Size), evMsg, snd.Dst, snd.Obj, 0)
-}
-
-// step advances processor p as far as it can at time now.
+// step advances processor p as far as it can at time now by driving its
+// protocol core: Poll (RA/CQ), then Advance until the core blocks, finishes
+// or hands back costed work (a task or a MAP) to charge on the clock.
 func (m *sim) step(p graph.Proc, now float64) {
-	ps := &m.procs[p]
+	d := &m.drv[p]
 	// Busy processors do not poll: RA/CQ run at task/MAP boundaries and in
-	// blocking states, exactly as in the protocol.
-	if ps.state == stDone || ps.state == stMAPBusy || ps.state == stBusy {
+	// blocking states, exactly as the protocol prescribes.
+	if d.busy || d.done || m.err != nil {
 		return
 	}
-	m.ra(p, now)
-	m.cq(p, now)
-
-	order := m.s.Order[p]
-	maps := m.plan.Procs[p].MAPs
+	m.now = now
+	d.core.Poll(now)
 	for {
-		// Pending address packages from the current MAP?
-		if len(ps.pendPkgs) > 0 {
-			if !m.sendPkgs(p, now) {
-				ps.state = stMAPBlocked
-				return
-			}
+		st, err := d.core.Advance(now)
+		if err != nil {
+			m.fail(err)
+			return
 		}
-		// MAP at this position?
-		if ps.mapIdx < len(maps) && maps[ps.mapIdx].Pos == ps.pos {
-			mp := &maps[ps.mapIdx]
-			ps.mapIdx++
-			ps.maps++
-			// Queue this MAP's address packages (sent after the MAP work).
-			if !m.opt.Baseline {
-				for dst := range mp.Notify {
-					ps.pendPkgs = append(ps.pendPkgs, dst)
-				}
-				sortProcs(ps.pendPkgs)
-			}
-			ps.curMAPNotify(m, mp)
+		switch st.Kind {
+		case proto.RunMAP:
 			cost := 0.0
 			if !m.opt.Baseline {
-				cost = m.model.MAPOverhead + m.model.MAPPerObject*float64(len(mp.Frees)+len(mp.Allocs))
+				cost = m.model.MAPOverhead + m.model.MAPPerObject*float64(len(st.MAP.Frees)+len(st.MAP.Allocs))
 			}
 			if cost > 0 {
-				ps.state = stMAPBusy
+				d.busy = true
 				m.opt.Trace.Add(trace.Span{Proc: int32(p), Kind: trace.MAP, Name: "MAP", Start: now, End: now + cost})
 				m.push(now+cost, evMAPDone, p, 0, 0)
 				return
 			}
-			continue
-		}
-		if int(ps.pos) >= len(order) {
-			// END state.
-			if len(ps.susp) > 0 {
-				ps.state = stENDBlocked
-				return
-			}
-			ps.state = stDone
+		case proto.RunTask:
+			dur := m.model.TaskTime(&m.s.G.Tasks[st.Task])
+			d.busy = true
+			m.opt.Trace.Add(trace.Span{Proc: int32(p), Kind: trace.Task, Name: m.s.G.Tasks[st.Task].Name, Start: now, End: now + dur})
+			m.push(now+dur, evTaskDone, p, 0, 0)
+			return
+		case proto.Blocked:
+			// Poll already ran; the next arrival, slot release or wake event
+			// re-enters step.
+			return
+		case proto.Finished:
+			d.done = true
 			return
 		}
-		// REC state for the next task.
-		t := order[ps.pos]
-		if !m.taskReady(p, t) {
-			ps.state = stRECBlocked
-			return
+	}
+}
+
+// simBackend is the virtual-clock proto.Backend for one processor:
+// simulated arrival counters, a capacity ledger instead of real buffers,
+// learned-address sets, and slot FIFOs timed on the event queue.
+type simBackend struct {
+	m *sim
+	p graph.Proc
+	// arrivals counts delivered data messages per local volatile object.
+	arrivals map[graph.ObjID]int32
+	alloc    map[graph.ObjID]bool
+	// addr marks (object, destination) pairs whose remote buffer address
+	// this processor has learned through an address package.
+	addr map[[2]int32]bool
+	// slots holds the in-flight address packages to this processor,
+	// indexed by sender (FIFO, capacity = slotDepth).
+	slots      []slotFIFO
+	used, peak int64
+}
+
+func newSimBackend(m *sim, p graph.Proc) *simBackend {
+	be := &simBackend{
+		m:        m,
+		p:        p,
+		arrivals: make(map[graph.ObjID]int32),
+		alloc:    make(map[graph.ObjID]bool),
+		addr:     make(map[[2]int32]bool),
+		slots:    make([]slotFIFO, m.s.P),
+	}
+	// Permanent objects live on their owners for the whole run.
+	for oi := range m.s.G.Objects {
+		if m.s.G.Objects[oi].Owner == p {
+			be.used += m.s.G.Objects[oi].Size
 		}
-		// EXE.
-		dur := m.model.TaskTime(&m.s.G.Tasks[t])
-		ps.state = stBusy
-		ps.curTask = t
-		m.opt.Trace.Add(trace.Span{Proc: int32(p), Kind: trace.Task, Name: m.s.G.Tasks[t].Name, Start: now, End: now + dur})
-		m.push(now+dur, evTaskDone, p, 0, 0)
+	}
+	be.peak = be.used
+	return be
+}
+
+// arrive records a delivered data message (evMsg).
+func (be *simBackend) arrive(o graph.ObjID) {
+	if !be.m.opt.Baseline && !be.alloc[o] {
+		be.m.fail(fmt.Errorf("machine: proc %d received message for unallocated object %q",
+			be.p, be.m.s.G.Objects[o].Name))
 		return
 	}
+	be.arrivals[o]++
 }
 
-// curMAPNotify stores the notify object lists into the slot bookkeeping for
-// later sending (slots are occupied when actually sent).
-func (ps *procSim) curMAPNotify(m *sim, mp *mem.MAP) {
-	if m.opt.Baseline {
-		return
-	}
-	// Remember the package contents per destination for sendPkgs.
-	if ps.pkgObjs == nil {
-		ps.pkgObjs = make(map[graph.Proc][]graph.ObjID)
-	}
-	for dst, objs := range mp.Notify {
-		ps.pkgObjs[dst] = append(ps.pkgObjs[dst], objs...)
-	}
-}
-
-// sendPkgs attempts to deposit all pending address packages; it reports
-// whether every package went out.
-func (m *sim) sendPkgs(p graph.Proc, now float64) bool {
-	ps := &m.procs[p]
-	remaining := ps.pendPkgs[:0]
-	for _, dst := range ps.pendPkgs {
-		q := &m.slots[dst][p]
-		if len(q.times) >= m.slotDepth {
-			remaining = append(remaining, dst)
-			continue
+// ApplyMAP performs one memory allocation point on the capacity ledger.
+func (be *simBackend) ApplyMAP(mp *mem.MAP) error {
+	g := be.m.s.G
+	for _, o := range mp.Frees {
+		if !be.m.opt.Baseline && !be.alloc[o] {
+			return fmt.Errorf("machine: proc %d MAP frees unallocated object %q", be.p, g.Objects[o].Name)
 		}
-		q.times = append(q.times, now+m.model.AddrLatency)
-		q.pkgs = append(q.pkgs, ps.pkgObjs[dst])
-		delete(ps.pkgObjs, dst)
-		// Wake the destination when the package lands so its RA can run.
-		m.push(now+m.model.AddrLatency, evWake, dst, 0, 0)
+		delete(be.alloc, o)
+		delete(be.arrivals, o)
+		be.used -= g.Objects[o].Size
 	}
-	ps.pendPkgs = remaining
-	return len(remaining) == 0
+	for _, o := range mp.Allocs {
+		be.alloc[o] = true
+		if !be.m.opt.Baseline {
+			// Fresh buffer: the arrival counter restarts, mirroring the real
+			// allocator handing out a zero-arrival rma.Buffer.
+			be.arrivals[o] = 0
+		}
+		be.used += g.Objects[o].Size
+	}
+	if be.used > be.peak {
+		be.peak = be.used
+	}
+	return nil
 }
 
-func (m *sim) taskReady(p graph.Proc, t graph.TaskID) bool {
-	if m.ctl[t] < m.tables.CtlNeed[t] {
+// TryNotify deposits an address package into dst's slot FIFO; false while
+// the FIFO is at slot depth (the receiver has not run RA yet). In baseline
+// mode all addresses were exchanged during preprocessing, so the deposit is
+// free and instantaneous.
+func (be *simBackend) TryNotify(dst graph.Proc, objs []graph.ObjID) bool {
+	if be.m.opt.Baseline {
+		return true
+	}
+	q := &be.m.drv[dst].be.slots[be.p]
+	if len(q.times) >= be.m.slotDepth {
 		return false
 	}
-	for _, need := range m.tables.Needs[t] {
-		if m.arrivals[p][need.Obj] < need.MinArrivals {
-			return false
-		}
-	}
+	at := be.m.now + be.m.model.AddrLatency
+	q.times = append(q.times, at)
+	q.pkgs = append(q.pkgs, objs)
+	// Wake the destination when the package lands so its RA can run.
+	be.m.push(at, evWake, dst, 0, 0)
 	return true
 }
 
-func (m *sim) taskDone(p graph.Proc, now float64) {
-	ps := &m.procs[p]
-	t := ps.curTask
-	if now > m.lastTaskFinish {
-		m.lastTaskFinish = now
+// ReadAddresses is RA: consume every address package that has arrived by
+// now, learn its addresses, and wake senders whose slot was freed.
+func (be *simBackend) ReadAddresses() int {
+	if be.m.opt.Baseline {
+		return 0
 	}
-	// SND state.
-	for _, snd := range m.tables.Sends[t] {
-		if m.addrIsKnown(p, snd) {
-			m.deliver(p, snd, now)
-		} else {
-			ps.susp = append(ps.susp, snd)
+	n := 0
+	for src := 0; src < be.m.s.P; src++ {
+		q := &be.slots[src]
+		freed := false
+		for len(q.times) > 0 && q.times[0] <= be.m.now {
+			for _, o := range q.pkgs[0] {
+				be.addr[[2]int32{int32(o), int32(src)}] = true
+			}
+			q.times = q.times[1:]
+			q.pkgs = q.pkgs[1:]
+			n++
+			freed = true
+		}
+		if freed {
+			// The sender may be blocked in MAP state on the full slot.
+			be.m.push(be.m.now, evWake, graph.Proc(src), 0, 0)
 		}
 	}
-	for _, v := range m.tables.CtlSends[t] {
-		m.push(now+m.model.Latency, evCtl, 0, 0, v)
-	}
-	ps.pos++
-	ps.state = stAdvance
-	m.step(p, now)
+	return n
 }
 
-func sortProcs(a []graph.Proc) {
-	for i := 1; i < len(a); i++ {
-		v := a[i]
-		j := i - 1
-		for j >= 0 && a[j] > v {
-			a[j+1] = a[j]
-			j--
-		}
-		a[j+1] = v
+// The addr map is keyed the other way around from the slot bookkeeping:
+// this processor is the *producer*, snd.Dst the consumer that allocated
+// the buffer and sent the package.
+func (be *simBackend) AddrKnown(snd proto.Send) bool {
+	if be.m.opt.Baseline {
+		return true
 	}
+	return be.addr[[2]int32{int32(snd.Obj), int32(snd.Dst)}]
+}
+
+// SendData dispatches one data message on the virtual network.
+func (be *simBackend) SendData(snd proto.Send) {
+	be.m.push(be.m.now+be.m.model.CommTime(be.m.s.G.Objects[snd.Obj].Size), evMsg, snd.Dst, snd.Obj, 0)
+}
+
+// SendCtl delivers one control signal after the message latency.
+func (be *simBackend) SendCtl(t graph.TaskID) {
+	be.m.push(be.m.now+be.m.model.Latency, evCtl, 0, 0, t)
+}
+
+func (be *simBackend) CtlCount(t graph.TaskID) int32 { return be.m.ctl[t] }
+
+func (be *simBackend) Arrived(o graph.ObjID) (int32, bool) {
+	if !be.m.opt.Baseline && !be.alloc[o] {
+		return 0, false
+	}
+	return be.arrivals[o], true
+}
+
+// FaultWake schedules a future wake: unlike the busy-polling executor,
+// nothing else is guaranteed to re-examine this processor after fault
+// injection delayed one of its messages.
+func (be *simBackend) FaultWake() {
+	be.m.push(be.m.now+be.m.model.AddrLatency, evWake, be.p, 0, 0)
 }

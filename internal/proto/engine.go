@@ -1,0 +1,495 @@
+// engine.go is the dynamic half of the protocol: a backend-agnostic Core
+// that owns every REC/EXE/SND/MAP/END transition of the paper's five-state
+// execution protocol (Section 3.3). The static tables (proto.Derive) say
+// WHAT must be communicated; the Core decides WHEN, in the order the
+// deadlock-freedom proof (Theorem 1) requires:
+//
+//	REC  wait for the arrival counters of the current task's volatile
+//	     objects and its cross-processor control signals,
+//	EXE  run the task (the driver runs or charges the kernel),
+//	SND  issue the task's data messages; messages whose remote address is
+//	     unknown go onto the suspended-send queue,
+//	MAP  free dead volatile objects, allocate ahead, deposit address
+//	     packages (retrying while a peer's single slot is occupied),
+//	END  drain the suspended-send queue.
+//
+// Exactly one implementation of these transitions exists; the concurrent
+// executor (internal/exec, wall clock, goroutines, real RMA buffers) and
+// the discrete-event simulator (internal/machine, virtual clock, T3D cost
+// model) are thin drivers that supply a Backend each. Because every
+// transition flows through this choke point, fault injection (Faults) and
+// per-state occupancy accounting (Occupancy) apply to both executors
+// uniformly.
+package proto
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/util"
+)
+
+// State enumerates the five protocol states. It indexes Occupancy.
+type State int8
+
+const (
+	StateREC State = iota
+	StateEXE
+	StateSND
+	StateMAP
+	StateEND
+	// NumStates is the number of protocol states (the Occupancy length).
+	NumStates
+)
+
+var stateNames = [NumStates]string{"REC", "EXE", "SND", "MAP", "END"}
+
+func (s State) String() string {
+	if s < 0 || s >= NumStates {
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+	return stateNames[s]
+}
+
+// StateNames returns the five protocol state names in Occupancy order.
+func StateNames() []string { return append([]string(nil), stateNames[:]...) }
+
+// Occupancy is the time one processor spent in each protocol state,
+// indexed by State. The unit is whatever clock the driver passes to the
+// Core: wall-clock seconds for the concurrent executor, virtual seconds
+// for the simulator.
+type Occupancy [NumStates]float64
+
+// Total returns the time accounted across all states.
+func (o Occupancy) Total() float64 {
+	t := 0.0
+	for _, v := range o {
+		t += v
+	}
+	return t
+}
+
+// Faults configures deterministic fault injection at the protocol's two
+// message choke points. A delayed address package fails its first deposit
+// attempt (the MAP retries exactly as if the peer's slot were occupied); a
+// delayed data message is forced through the suspended-send queue even
+// when its remote address is already known (the next CQ dispatches it).
+// Decisions are pure functions of (Seed, message identity), so the
+// wall-clock and virtual-clock backends delay the same messages, and a
+// perturbed run must still terminate with results identical to a
+// fault-free one — the protocol's liveness claim made checkable.
+type Faults struct {
+	// Seed selects the (deterministic) set of delayed messages.
+	Seed uint64
+	// AddrFrac is the fraction of address packages delayed one round.
+	AddrFrac float64
+	// DataFrac is the fraction of data messages forced to suspend once.
+	DataFrac float64
+}
+
+// Enabled reports whether any fault injection is configured.
+func (f Faults) Enabled() bool { return f.AddrFrac > 0 || f.DataFrac > 0 }
+
+// delayData decides whether the data message snd is delayed. The key
+// (Obj, Dst, Seq) identifies a message uniquely machine-wide.
+func (f Faults) delayData(snd Send) bool {
+	if f.DataFrac <= 0 {
+		return false
+	}
+	h := util.Hash64(f.Seed, 0xDA7A, uint64(snd.Obj), uint64(snd.Dst), uint64(snd.Seq))
+	return float64(h>>11)/float64(1<<53) < f.DataFrac
+}
+
+// delayAddr decides whether the address package of src's mapIdx-th MAP to
+// dst is delayed.
+func (f Faults) delayAddr(src, dst graph.Proc, mapIdx int) bool {
+	if f.AddrFrac <= 0 {
+		return false
+	}
+	h := util.Hash64(f.Seed, 0xADD2, uint64(src), uint64(dst), uint64(mapIdx))
+	return float64(h>>11)/float64(1<<53) < f.AddrFrac
+}
+
+// Backend supplies a Core with the mechanics that differ between the
+// wall-clock executor and the virtual-clock simulator. Every method is
+// called only by the Core's own driver (one logical processor), never
+// concurrently for the same Core.
+type Backend interface {
+	// ApplyMAP performs a MAP's frees and allocations on local memory.
+	ApplyMAP(m *mem.MAP) error
+	// TryNotify attempts to deposit the address package for the given
+	// freshly allocated objects into dst's slot; it reports false while
+	// dst has not consumed the previous package (single-slot handshake).
+	TryNotify(dst graph.Proc, objs []graph.ObjID) bool
+	// ReadAddresses is the RA operation: consume every address package
+	// currently pending for this processor. Returns the packages consumed.
+	ReadAddresses() int
+	// AddrKnown reports whether the remote buffer address for snd has been
+	// learned through an address package (or preprocessing).
+	AddrKnown(snd Send) bool
+	// SendData dispatches one data message; AddrKnown(snd) must hold.
+	SendData(snd Send)
+	// SendCtl delivers one control signal toward task t.
+	SendCtl(t graph.TaskID)
+	// CtlCount returns the control signals received for task t so far.
+	CtlCount(t graph.TaskID) int32
+	// Arrived returns the arrival counter of local object o and whether o
+	// is currently allocated.
+	Arrived(o graph.ObjID) (int32, bool)
+	// FaultWake guarantees a future Poll on this processor after fault
+	// injection delayed a message. The wall-clock backend busy-polls
+	// anyway (no-op); the virtual-clock backend schedules a wake event,
+	// since nothing else might re-examine the processor.
+	FaultWake()
+}
+
+// Engine is the immutable shared state of one protocol run: the schedule,
+// the MAP plan, the derived communication tables and the fault plan. Both
+// executors build one Engine and drive one Core per processor off it.
+type Engine struct {
+	S      *sched.Schedule
+	Plan   *mem.Plan
+	Tables *Tables
+	Faults Faults
+}
+
+// NewEngine derives the protocol tables for the schedule. The plan must be
+// executable (use mem.NewPlan and check Executable first).
+func NewEngine(s *sched.Schedule, plan *mem.Plan, f Faults) (*Engine, error) {
+	if !plan.Executable {
+		return nil, fmt.Errorf("proto: plan is not executable under capacity %d", plan.Capacity)
+	}
+	return &Engine{S: s, Plan: plan, Tables: Derive(s), Faults: f}, nil
+}
+
+// StatusKind classifies what a Core needs from its driver next.
+type StatusKind int8
+
+const (
+	// Blocked: the processor cannot advance. The driver must Poll (RA/CQ)
+	// and call Advance again once something may have changed.
+	Blocked StatusKind = iota
+	// RunTask: the driver runs (executor) or charges (simulator) the
+	// kernel of Status.Task, then calls TaskDone.
+	RunTask
+	// RunMAP: the MAP's memory work has been applied and its address
+	// packages queued; the driver charges the MAP cost, if any, then calls
+	// Advance again (which deposits the queued packages).
+	RunMAP
+	// Finished: all tasks ran and the suspended-send queue is empty.
+	Finished
+)
+
+// Status is the result of one Advance call.
+type Status struct {
+	Kind StatusKind
+	// State is the blocking protocol state when Kind == Blocked.
+	State State
+	// Task is the task to run when Kind == RunTask.
+	Task graph.TaskID
+	// MAP is the executed allocation point when Kind == RunMAP.
+	MAP *mem.MAP
+}
+
+// Stats counts the protocol events of one processor.
+type Stats struct {
+	// MAPs is the number of memory allocation points executed.
+	MAPs int
+	// TasksRun is the number of tasks completed.
+	TasksRun int
+	// DataSent is the number of data messages dispatched (direct + queue).
+	DataSent int
+	// DataSuspended is the number of sends that went through the
+	// suspended-send queue (address unknown at SND, or fault-delayed).
+	DataSuspended int
+	// CtlSent is the number of control signals issued.
+	CtlSent int
+	// AddrConsumed is the number of address packages read (RA).
+	AddrConsumed int
+	// FaultsInjected is the number of messages fault injection delayed.
+	FaultsInjected int
+}
+
+// pendPkg is one not-yet-deposited address package of the current MAP.
+type pendPkg struct {
+	dst     graph.Proc
+	objs    []graph.ObjID
+	delayed bool
+}
+
+// Core is the per-processor protocol state machine. Drivers loop on
+// Advance, acting on the returned Status, and call Poll in every blocking
+// state — the RA/CQ discipline the deadlock-freedom proof requires.
+type Core struct {
+	eng   *Engine
+	be    Backend
+	p     graph.Proc
+	order []graph.TaskID
+	maps  []mem.MAP
+
+	pos       int32
+	mapIdx    int
+	pend      []pendPkg
+	suspended []Send
+	curTask   graph.TaskID
+
+	// Stats accumulates protocol event counts; read it after Finished.
+	Stats Stats
+
+	occ      Occupancy
+	cur      State
+	tracking bool
+	stamp    float64
+}
+
+// NewCore returns the protocol state machine for processor p backed by be.
+func (e *Engine) NewCore(p graph.Proc, be Backend) *Core {
+	return &Core{
+		eng:   e,
+		be:    be,
+		p:     p,
+		order: e.S.Order[p],
+		maps:  e.Plan.Procs[p].MAPs,
+	}
+}
+
+// Proc returns the processor this core drives.
+func (c *Core) Proc() graph.Proc { return c.p }
+
+// Pos returns the current position in the processor's task order.
+func (c *Core) Pos() int32 { return c.pos }
+
+// SuspendedLen returns the current suspended-send queue length.
+func (c *Core) SuspendedLen() int { return len(c.suspended) }
+
+// CurrentState returns the protocol state the core last entered.
+func (c *Core) CurrentState() State { return c.cur }
+
+// Occupancy returns the per-state time accumulated so far.
+func (c *Core) Occupancy() Occupancy { return c.occ }
+
+// enter switches occupancy accounting to state s at time now.
+func (c *Core) enter(s State, now float64) {
+	if c.tracking {
+		c.occ[c.cur] += now - c.stamp
+	}
+	c.cur, c.stamp, c.tracking = s, now, true
+}
+
+// closeOcc stops occupancy accounting (the processor is done).
+func (c *Core) closeOcc(now float64) {
+	if c.tracking {
+		c.occ[c.cur] += now - c.stamp
+		c.tracking = false
+	}
+}
+
+// Advance moves the processor to its next protocol decision point and
+// tells the driver what to do. It never blocks.
+func (c *Core) Advance(now float64) (Status, error) {
+	// Finish the MAP handshake: deposit queued address packages, retrying
+	// while a destination's single slot is occupied.
+	if len(c.pend) > 0 {
+		if !c.flushNotify() {
+			c.enter(StateMAP, now)
+			return Status{Kind: Blocked, State: StateMAP}, nil
+		}
+	}
+	// MAP state: at most one allocation point per order position.
+	if c.mapIdx < len(c.maps) && c.maps[c.mapIdx].Pos == c.pos {
+		m := &c.maps[c.mapIdx]
+		c.mapIdx++
+		c.Stats.MAPs++
+		c.enter(StateMAP, now)
+		if err := c.be.ApplyMAP(m); err != nil {
+			return Status{}, err
+		}
+		c.queueNotify(m)
+		return Status{Kind: RunMAP, MAP: m}, nil
+	}
+	// END state: out of tasks, drain the suspended queue.
+	if int(c.pos) >= len(c.order) {
+		if len(c.suspended) > 0 {
+			c.enter(StateEND, now)
+			return Status{Kind: Blocked, State: StateEND}, nil
+		}
+		c.closeOcc(now)
+		return Status{Kind: Finished}, nil
+	}
+	// REC state for the next task.
+	t := c.order[c.pos]
+	c.curTask = t
+	ok, err := c.ready(t)
+	if err != nil {
+		return Status{}, err
+	}
+	if !ok {
+		c.enter(StateREC, now)
+		return Status{Kind: Blocked, State: StateREC, Task: t}, nil
+	}
+	// EXE state: hand the task to the driver.
+	c.enter(StateEXE, now)
+	return Status{Kind: RunTask, Task: t}, nil
+}
+
+// queueNotify stages the MAP's address packages in deterministic
+// destination order and applies the fault plan to each.
+func (c *Core) queueNotify(m *mem.MAP) {
+	if len(m.Notify) == 0 {
+		return
+	}
+	dsts := make([]graph.Proc, 0, len(m.Notify))
+	for dst := range m.Notify {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, dst := range dsts {
+		c.pend = append(c.pend, pendPkg{
+			dst:     dst,
+			objs:    m.Notify[dst],
+			delayed: c.eng.Faults.delayAddr(c.p, dst, c.mapIdx-1),
+		})
+	}
+}
+
+// flushNotify attempts every pending address package once and reports
+// whether all went out. A fault-delayed package skips one attempt.
+func (c *Core) flushNotify() bool {
+	kept := c.pend[:0]
+	for i := range c.pend {
+		pk := c.pend[i]
+		if pk.delayed {
+			pk.delayed = false
+			c.Stats.FaultsInjected++
+			c.be.FaultWake()
+			kept = append(kept, pk)
+			continue
+		}
+		if !c.be.TryNotify(pk.dst, pk.objs) {
+			kept = append(kept, pk)
+		}
+	}
+	c.pend = kept
+	return len(c.pend) == 0
+}
+
+// ready implements the REC condition for task t: all cross-processor
+// control signals received and every volatile input's arrival counter at
+// its threshold.
+func (c *Core) ready(t graph.TaskID) (bool, error) {
+	if c.be.CtlCount(t) < c.eng.Tables.CtlNeed[t] {
+		return false, nil
+	}
+	for _, need := range c.eng.Tables.Needs[t] {
+		got, ok := c.be.Arrived(need.Obj)
+		if !ok {
+			return false, fmt.Errorf("proto: proc %d task %q needs unallocated object %q (MAP plan hole)",
+				c.p, c.eng.S.G.Tasks[t].Name, c.eng.S.G.Objects[need.Obj].Name)
+		}
+		if got < need.MinArrivals {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// TaskDone records completion of the task last returned by Advance and
+// performs the SND state: data messages whose remote address is unknown —
+// or that fault injection delays — go onto the suspended-send queue.
+func (c *Core) TaskDone(now float64) {
+	c.enter(StateSND, now)
+	t := c.curTask
+	c.Stats.TasksRun++
+	for _, snd := range c.eng.Tables.Sends[t] {
+		if c.eng.Faults.delayData(snd) {
+			c.Stats.FaultsInjected++
+			c.Stats.DataSuspended++
+			c.suspended = append(c.suspended, snd)
+			c.be.FaultWake()
+			continue
+		}
+		if !c.be.AddrKnown(snd) {
+			c.Stats.DataSuspended++
+			c.suspended = append(c.suspended, snd)
+			continue
+		}
+		c.be.SendData(snd)
+		c.Stats.DataSent++
+	}
+	for _, v := range c.eng.Tables.CtlSends[t] {
+		c.be.SendCtl(v)
+		c.Stats.CtlSent++
+	}
+	c.pos++
+}
+
+// Poll runs RA (read address packages) then CQ (dispatch suspended sends
+// whose addresses are now known, FIFO per (object, destination)) — the two
+// operations the protocol requires in every blocking state. It reports
+// whether any message moved, which drivers use as a progress signal.
+func (c *Core) Poll(now float64) bool {
+	_ = now
+	progress := false
+	if n := c.be.ReadAddresses(); n > 0 {
+		c.Stats.AddrConsumed += n
+		progress = true
+	}
+	if len(c.suspended) > 0 {
+		blocked := make(map[[2]int32]bool)
+		kept := c.suspended[:0]
+		for _, snd := range c.suspended {
+			k := [2]int32{int32(snd.Obj), int32(snd.Dst)}
+			if blocked[k] || !c.be.AddrKnown(snd) {
+				blocked[k] = true
+				kept = append(kept, snd)
+				continue
+			}
+			c.be.SendData(snd)
+			c.Stats.DataSent++
+			progress = true
+		}
+		c.suspended = kept
+	}
+	return progress
+}
+
+// BlockedInfo describes what the processor is currently waiting on, for
+// watchdog timeouts (executor) and deadlock reports (simulator).
+func (c *Core) BlockedInfo() string {
+	g := c.eng.S.G
+	switch {
+	case len(c.pend) > 0:
+		dsts := make([]graph.Proc, len(c.pend))
+		for i, pk := range c.pend {
+			dsts[i] = pk.dst
+		}
+		return fmt.Sprintf("MAP state: waiting to deposit address packages to processors %v (previous package not yet consumed)", dsts)
+	case int(c.pos) >= len(c.order):
+		if len(c.suspended) > 0 {
+			snd := c.suspended[0]
+			return fmt.Sprintf("END state: draining %d suspended sends, head is object %q to processor %d (address not yet received)",
+				len(c.suspended), g.Objects[snd.Obj].Name, snd.Dst)
+		}
+		return "finished"
+	default:
+		t := c.order[c.pos]
+		if have, want := c.be.CtlCount(t), c.eng.Tables.CtlNeed[t]; have < want {
+			return fmt.Sprintf("REC state: task %q at position %d waiting for control signals (%d/%d)",
+				g.Tasks[t].Name, c.pos, have, want)
+		}
+		for _, need := range c.eng.Tables.Needs[t] {
+			got, ok := c.be.Arrived(need.Obj)
+			if !ok {
+				return fmt.Sprintf("REC state: task %q needs unallocated object %q", g.Tasks[t].Name, g.Objects[need.Obj].Name)
+			}
+			if got < need.MinArrivals {
+				return fmt.Sprintf("REC state: task %q at position %d waiting for object %q (arrivals %d/%d)",
+					g.Tasks[t].Name, c.pos, g.Objects[need.Obj].Name, got, need.MinArrivals)
+			}
+		}
+		return fmt.Sprintf("ready at task %q, position %d", g.Tasks[t].Name, c.pos)
+	}
+}

@@ -1,0 +1,306 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/util"
+)
+
+// loopMachine is a minimal in-package harness: instant message delivery,
+// single-slot address packages, and a round-robin driver with a unit-step
+// clock. It exists to test the Core's transition logic in isolation from
+// the real backends (which have their own equivalence suite).
+type loopMachine struct {
+	eng   *Engine
+	ctl   []int32
+	be    []*loopBackend
+	cores []*Core
+	tick  float64
+}
+
+type loopBackend struct {
+	m        *loopMachine
+	p        graph.Proc
+	arrivals map[graph.ObjID]int32
+	alloc    map[graph.ObjID]bool
+	addr     map[[2]int32]bool
+	// slots[src] holds the at-most-one in-flight package from src.
+	slots []([]graph.ObjID)
+	full  []bool
+}
+
+func newLoopMachine(t *testing.T, s *sched.Schedule, pl *mem.Plan, f Faults) *loopMachine {
+	t.Helper()
+	eng, err := NewEngine(s, pl, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &loopMachine{eng: eng, ctl: make([]int32, s.G.NumTasks())}
+	for p := 0; p < s.P; p++ {
+		be := &loopBackend{
+			m: m, p: graph.Proc(p),
+			arrivals: make(map[graph.ObjID]int32),
+			alloc:    make(map[graph.ObjID]bool),
+			addr:     make(map[[2]int32]bool),
+			slots:    make([][]graph.ObjID, s.P),
+			full:     make([]bool, s.P),
+		}
+		m.be = append(m.be, be)
+		m.cores = append(m.cores, eng.NewCore(graph.Proc(p), be))
+	}
+	return m
+}
+
+// run drives all cores round-robin until every one finishes; it fails the
+// test if no core makes progress for a full sweep repeatedly (deadlock).
+func (m *loopMachine) run(t *testing.T) {
+	t.Helper()
+	done := make([]bool, len(m.cores))
+	for round := 0; ; round++ {
+		if round > 100000 {
+			t.Fatal("loop harness: no termination after 100000 rounds")
+		}
+		allDone := true
+		for i, c := range m.cores {
+			if done[i] {
+				continue
+			}
+			allDone = false
+			m.tick++
+			st, err := c.Advance(m.tick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch st.Kind {
+			case RunMAP:
+				// Loop back into Advance next sweep (MAP cost is free here).
+			case RunTask:
+				m.tick++
+				c.TaskDone(m.tick)
+				c.Poll(m.tick)
+			case Blocked:
+				c.Poll(m.tick)
+			case Finished:
+				done[i] = true
+			}
+		}
+		if allDone {
+			return
+		}
+	}
+}
+
+func (be *loopBackend) ApplyMAP(mp *mem.MAP) error {
+	for _, o := range mp.Frees {
+		delete(be.alloc, o)
+		delete(be.arrivals, o)
+	}
+	for _, o := range mp.Allocs {
+		be.alloc[o] = true
+		be.arrivals[o] = 0
+	}
+	return nil
+}
+
+func (be *loopBackend) TryNotify(dst graph.Proc, objs []graph.ObjID) bool {
+	peer := be.m.be[dst]
+	if peer.full[be.p] {
+		return false
+	}
+	peer.slots[be.p] = objs
+	peer.full[be.p] = true
+	return true
+}
+
+func (be *loopBackend) ReadAddresses() int {
+	n := 0
+	for src := range be.slots {
+		if !be.full[src] {
+			continue
+		}
+		for _, o := range be.slots[src] {
+			be.addr[[2]int32{int32(o), int32(src)}] = true
+		}
+		be.full[src] = false
+		n++
+	}
+	return n
+}
+
+func (be *loopBackend) AddrKnown(snd Send) bool {
+	return be.addr[[2]int32{int32(snd.Obj), int32(snd.Dst)}]
+}
+
+func (be *loopBackend) SendData(snd Send) { be.m.be[snd.Dst].arrivals[snd.Obj]++ }
+
+func (be *loopBackend) SendCtl(t graph.TaskID) { be.m.ctl[t]++ }
+
+func (be *loopBackend) CtlCount(t graph.TaskID) int32 { return be.m.ctl[t] }
+
+func (be *loopBackend) Arrived(o graph.ObjID) (int32, bool) {
+	if !be.alloc[o] {
+		return 0, false
+	}
+	return be.arrivals[o], true
+}
+
+func (be *loopBackend) FaultWake() {} // round-robin re-examines everyone
+
+func planFor(t *testing.T, s *sched.Schedule) *mem.Plan {
+	t.Helper()
+	pl, err := mem.NewPlan(s, s.MinMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Executable {
+		pl, err = mem.NewPlan(s, s.TOT())
+		if err != nil || !pl.Executable {
+			t.Fatal("TOT plan must be executable")
+		}
+	}
+	return pl
+}
+
+// TestCoreRunsRandomGraphs drives the state machine over random schedules
+// and checks the protocol-determined totals: every task runs, every MAP of
+// the plan executes, every table send is delivered, every control signal
+// arrives, and occupancy time is accounted.
+func TestCoreRunsRandomGraphs(t *testing.T) {
+	rng := util.NewRNG(77)
+	for trial := 0; trial < 10; trial++ {
+		p := 2 + rng.Intn(3)
+		g := randomDAG(rng, 25+rng.Intn(30), 6+rng.Intn(8), p)
+		assign, err := sched.OwnerComputeAssign(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.ScheduleWith([]sched.Heuristic{sched.RCP, sched.MPO, sched.DTS}[trial%3],
+			g, assign, p, sched.Unit(), 1<<40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := planFor(t, s)
+		m := newLoopMachine(t, s, pl, Faults{})
+		m.run(t)
+
+		tables := m.eng.Tables
+		totalSends, totalCtl := 0, 0
+		for v := 0; v < g.NumTasks(); v++ {
+			totalSends += len(tables.Sends[v])
+			totalCtl += len(tables.CtlSends[v])
+		}
+		gotSends, gotCtl, gotTasks := 0, 0, 0
+		for q, c := range m.cores {
+			if c.Stats.MAPs != len(pl.Procs[q].MAPs) {
+				t.Errorf("trial %d: proc %d ran %d MAPs, plan has %d", trial, q, c.Stats.MAPs, len(pl.Procs[q].MAPs))
+			}
+			if c.Stats.TasksRun != len(s.Order[q]) {
+				t.Errorf("trial %d: proc %d ran %d tasks, order has %d", trial, q, c.Stats.TasksRun, len(s.Order[q]))
+			}
+			if c.SuspendedLen() != 0 {
+				t.Errorf("trial %d: proc %d finished with %d suspended sends", trial, q, c.SuspendedLen())
+			}
+			if len(s.Order[q]) > 0 && c.Occupancy().Total() <= 0 {
+				t.Errorf("trial %d: proc %d accounted no occupancy", trial, q)
+			}
+			gotSends += c.Stats.DataSent
+			gotCtl += c.Stats.CtlSent
+			gotTasks += c.Stats.TasksRun
+		}
+		if gotSends != totalSends {
+			t.Errorf("trial %d: %d sends dispatched, tables have %d", trial, gotSends, totalSends)
+		}
+		if gotCtl != totalCtl {
+			t.Errorf("trial %d: %d control signals, tables have %d", trial, gotCtl, totalCtl)
+		}
+		if gotTasks != g.NumTasks() {
+			t.Errorf("trial %d: %d tasks ran, graph has %d", trial, gotTasks, g.NumTasks())
+		}
+	}
+}
+
+// TestCoreForcedSuspension: with DataFrac 1 every data message must pass
+// through the suspended-send queue exactly once, so the per-processor
+// suspension counts equal the communication tables' per-processor sends.
+func TestCoreForcedSuspension(t *testing.T) {
+	s := figure2Schedule(t)
+	pl := planFor(t, s)
+	m := newLoopMachine(t, s, pl, Faults{Seed: 3, DataFrac: 1})
+	m.run(t)
+	tables := m.eng.Tables
+	for q, c := range m.cores {
+		want := 0
+		for _, task := range s.Order[q] {
+			want += len(tables.Sends[task])
+		}
+		if c.Stats.DataSuspended != want {
+			t.Errorf("proc %d: %d suspensions, want %d (table sends)", q, c.Stats.DataSuspended, want)
+		}
+		if c.Stats.DataSent != want {
+			t.Errorf("proc %d: %d sends dispatched, want %d", q, c.Stats.DataSent, want)
+		}
+		if want > 0 && c.Stats.FaultsInjected < want {
+			t.Errorf("proc %d: %d faults injected, want >= %d", q, c.Stats.FaultsInjected, want)
+		}
+	}
+}
+
+// TestFaultsDeterministic: delay decisions are pure functions of the seed
+// and message identity — same seed, same verdicts; a fraction of 1 delays
+// everything and 0 nothing.
+func TestFaultsDeterministic(t *testing.T) {
+	f1 := Faults{Seed: 42, AddrFrac: 0.5, DataFrac: 0.5}
+	f2 := Faults{Seed: 42, AddrFrac: 0.5, DataFrac: 0.5}
+	for i := 0; i < 100; i++ {
+		snd := Send{Obj: graph.ObjID(i % 7), Dst: graph.Proc(i % 3), Seq: int32(i)}
+		if f1.delayData(snd) != f2.delayData(snd) {
+			t.Fatalf("send %d: same seed, different verdicts", i)
+		}
+		if f1.delayAddr(graph.Proc(i%3), graph.Proc(i%5), i) != f2.delayAddr(graph.Proc(i%3), graph.Proc(i%5), i) {
+			t.Fatalf("addr %d: same seed, different verdicts", i)
+		}
+	}
+	all := Faults{Seed: 1, AddrFrac: 1, DataFrac: 1}
+	none := Faults{Seed: 1}
+	if none.Enabled() {
+		t.Error("zero fractions must disable injection")
+	}
+	for i := 0; i < 20; i++ {
+		snd := Send{Obj: graph.ObjID(i), Dst: 1, Seq: int32(i)}
+		if !all.delayData(snd) || none.delayData(snd) {
+			t.Fatalf("send %d: frac-1 must delay, frac-0 must not", i)
+		}
+	}
+}
+
+// TestNewEngineRejectsUnexecutablePlan: the engine refuses plans that do
+// not fit their capacity.
+func TestNewEngineRejectsUnexecutablePlan(t *testing.T) {
+	s := figure2Schedule(t)
+	_, err := NewEngine(s, &mem.Plan{Capacity: 3}, Faults{})
+	if err == nil || !strings.Contains(err.Error(), "not executable") {
+		t.Fatalf("want not-executable error, got %v", err)
+	}
+}
+
+// TestStateNames: the State stringer and StateNames agree and cover all
+// five protocol states.
+func TestStateNames(t *testing.T) {
+	names := StateNames()
+	if len(names) != int(NumStates) {
+		t.Fatalf("%d names for %d states", len(names), NumStates)
+	}
+	want := []string{"REC", "EXE", "SND", "MAP", "END"}
+	for i, w := range want {
+		if names[i] != w || State(i).String() != w {
+			t.Errorf("state %d: %q / %q, want %q", i, names[i], State(i).String(), w)
+		}
+	}
+	if !strings.Contains(State(99).String(), "99") {
+		t.Error("out-of-range state should print its number")
+	}
+}

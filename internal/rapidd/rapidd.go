@@ -121,6 +121,9 @@ type Job struct {
 	// InspectMS and ExecMS time the two phases.
 	InspectMS float64 `json:"inspect_ms"`
 	ExecMS    float64 `json:"exec_ms"`
+	// StateUS is the executor's protocol-state occupancy summed across
+	// processors, microseconds per state (REC/EXE/SND/MAP/END).
+	StateUS map[string]int64 `json:"state_us,omitempty"`
 }
 
 // Server is the rapidd HTTP handler.
@@ -442,13 +445,36 @@ func (s *Server) solve(id string, spec JobSpec) error {
 	if spec.Verify {
 		residual = pb.verify(rep)
 	}
+	stateUS := stateOccupancyUS(rep.Occupancy)
+	for name, us := range stateUS {
+		s.metrics.Inc("rapidd.state."+strings.ToLower(name)+"_us", us)
+	}
 	s.update(id, func(j *Job) {
 		j.MAPs = maps
 		j.PeakUnits = peak
 		j.Residual = residual
 		j.ExecMS = execMS
+		j.StateUS = stateUS
 	})
 	return nil
+}
+
+// stateOccupancyUS folds per-processor protocol-state occupancy (seconds)
+// into machine-wide microseconds per state.
+func stateOccupancyUS(occ []rapid.StateOccupancy) map[string]int64 {
+	if len(occ) == 0 {
+		return nil
+	}
+	names := rapid.StateNames()
+	out := make(map[string]int64, len(names))
+	for si, name := range names {
+		var us int64
+		for _, o := range occ {
+			us += int64(o[si] * 1e6)
+		}
+		out[name] = us
+	}
+	return out
 }
 
 // planForBudget ensures a single job fits the machine budget on its own:

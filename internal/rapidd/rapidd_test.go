@@ -369,3 +369,53 @@ func TestServerStatsAndJobList(t *testing.T) {
 		}
 	}
 }
+
+// TestServerStateOccupancyMetrics checks that a completed job carries the
+// executor's per-state occupancy and that the machine-wide counters appear
+// in the /v1/stats metrics snapshot, one per protocol state.
+func TestServerStateOccupancyMetrics(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{CacheDir: t.TempDir(), Metrics: metrics})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	j := solveSync(t, ts, JobSpec{Kind: "chol", N: 100, Seed: 7, Procs: 3})
+	if j.Status != StatusDone {
+		t.Fatalf("job: %s (%s)", j.Status, j.Error)
+	}
+	states := []string{"REC", "EXE", "SND", "MAP", "END"}
+	if len(j.StateUS) != len(states) {
+		t.Fatalf("job StateUS has %d entries, want %d: %v", len(j.StateUS), len(states), j.StateUS)
+	}
+	var total int64
+	for _, s := range states {
+		us, ok := j.StateUS[s]
+		if !ok {
+			t.Errorf("job StateUS missing state %q: %v", s, j.StateUS)
+		}
+		total += us
+	}
+	if total <= 0 {
+		t.Errorf("job spent no accounted time in any state: %v", j.StateUS)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, s := range []string{"rec", "exe", "snd", "map", "end"} {
+		if _, ok := stats.Counters["rapidd.state."+s+"_us"]; !ok {
+			t.Errorf("stats counters missing rapidd.state.%s_us: %v", s, stats.Counters)
+		}
+	}
+	if stats.Counters["rapidd.state.exe_us"] != j.StateUS["EXE"] {
+		t.Errorf("stats exe_us %d != job EXE %d", stats.Counters["rapidd.state.exe_us"], j.StateUS["EXE"])
+	}
+}

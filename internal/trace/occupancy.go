@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StateTable renders a per-processor protocol-state occupancy table: one
+// column per state name (headed e.g. "REC(s)" when unit is "s"), one row
+// per processor, and a final "all" row with per-state totals. perProc is
+// indexed [processor][state] and must be rectangular with len(states)
+// columns. It is the text form of the engine's Occupancy counters, used by
+// cmd/rapidsolve's report and test harnesses.
+func StateTable(states []string, perProc [][]float64, unit string) string {
+	heads := make([]string, len(states))
+	for i, s := range states {
+		heads[i] = s
+		if unit != "" {
+			heads[i] += "(" + unit + ")"
+		}
+	}
+	width := 10
+	for _, h := range heads {
+		if len(h)+2 > width {
+			width = len(h) + 2
+		}
+	}
+	var b strings.Builder
+	b.WriteString("proc")
+	for _, h := range heads {
+		fmt.Fprintf(&b, "%*s", width, h)
+	}
+	b.WriteByte('\n')
+	totals := make([]float64, len(states))
+	for p, row := range perProc {
+		fmt.Fprintf(&b, "P%-3d", p)
+		for i := range states {
+			v := 0.0
+			if i < len(row) {
+				v = row[i]
+			}
+			totals[i] += v
+			fmt.Fprintf(&b, "%*.4g", width, v)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("all ")
+	for i := range states {
+		fmt.Fprintf(&b, "%*.4g", width, totals[i])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStateTable(t *testing.T) {
+	states := []string{"REC", "EXE", "SND", "MAP", "END"}
+	perProc := [][]float64{
+		{0.5, 2, 0.25, 0.125, 0},
+		{1.5, 1, 0.75, 0.875, 0},
+	}
+	out := StateTable(states, perProc, "s")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + P0 + P1 + all
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	for _, h := range []string{"REC(s)", "EXE(s)", "SND(s)", "MAP(s)", "END(s)"} {
+		if !strings.Contains(lines[0], h) {
+			t.Errorf("header missing %q: %s", h, lines[0])
+		}
+	}
+	if !strings.HasPrefix(lines[1], "P0") || !strings.HasPrefix(lines[2], "P1") {
+		t.Errorf("missing processor rows:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[3], "all") {
+		t.Errorf("missing totals row:\n%s", out)
+	}
+	// Totals row sums the columns: REC total 2, EXE total 3.
+	if !strings.Contains(lines[3], "2") || !strings.Contains(lines[3], "3") {
+		t.Errorf("totals row wrong: %s", lines[3])
+	}
+}
+
+func TestStateTableNoUnit(t *testing.T) {
+	out := StateTable([]string{"A", "B"}, [][]float64{{1, 2}}, "")
+	if strings.Contains(out, "(") {
+		t.Errorf("unitless header should have no parens:\n%s", out)
+	}
+}

@@ -46,6 +46,27 @@ func (r *RNG) NormFloat64() float64 {
 	return s - 6
 }
 
+// Hash64 deterministically mixes seed and parts into one 64-bit value
+// (iterated splitmix64 finalizers). Unlike RNG it has no stream position,
+// so independently executing components (e.g. the two protocol backends
+// making fault-injection decisions) reach identical verdicts for the same
+// event identifiers regardless of evaluation order.
+func Hash64(seed uint64, parts ...uint64) uint64 {
+	mix := func(x uint64) uint64 {
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		return x
+	}
+	h := mix(seed ^ 0x9E3779B97F4A7C15)
+	for _, p := range parts {
+		h = mix(h ^ (p + 0x9E3779B97F4A7C15))
+	}
+	return h
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

@@ -34,6 +34,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/proto"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -246,6 +247,21 @@ type KernelFunc = exec.KernelFunc
 // InitFunc initializes a permanent object's buffer on its owner.
 type InitFunc = exec.InitFunc
 
+// Faults configures deterministic fault injection at the protocol's message
+// choke points (delayed address packages and data messages). Both Execute
+// and Simulate accept the same Faults and delay the same messages for the
+// same Seed; a perturbed run must terminate with results identical to a
+// fault-free one.
+type Faults = proto.Faults
+
+// StateOccupancy is the time one processor spent in each protocol state
+// (REC/EXE/SND/MAP/END), indexed in StateNames order. The unit is wall-clock
+// seconds from Execute and virtual seconds from Simulate.
+type StateOccupancy = proto.Occupancy
+
+// StateNames returns the five protocol state names in StateOccupancy order.
+func StateNames() []string { return proto.StateNames() }
+
 // ExecOptions configure Execute.
 type ExecOptions struct {
 	// Kernel runs each task (nil: structure-only protocol run).
@@ -254,6 +270,8 @@ type ExecOptions struct {
 	Init InitFunc
 	// BufLen overrides physical buffer lengths (defaults to object sizes).
 	BufLen func(o ObjID) int64
+	// Faults injects protocol perturbations (zero value: none).
+	Faults Faults
 }
 
 // Report summarizes an execution.
@@ -265,6 +283,15 @@ type Report struct {
 	PeakUnits []int64
 	// Objects maps every object to its final buffer (numeric mode).
 	Objects map[ObjID][]float64
+	// Occupancy is the wall-clock seconds each processor spent in each
+	// protocol state.
+	Occupancy []StateOccupancy
+	// SuspendedSends counts, per processor, the data messages that went
+	// through the suspended-send queue.
+	SuspendedSends []int
+	// Messages and AddrPackages delivered machine-wide.
+	Messages     int
+	AddrPackages int
 }
 
 // Execute runs the plan concurrently with one goroutine per processor,
@@ -274,14 +301,19 @@ func Execute(prog *Program, plan *Plan, opt ExecOptions) (*Report, error) {
 		Kernel: opt.Kernel,
 		Init:   opt.Init,
 		BufLen: opt.BufLen,
+		Faults: opt.Faults,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Report{
-		MAPsPerProc: res.MAPsExecuted,
-		PeakUnits:   res.PeakUnits,
-		Objects:     res.Perm,
+		MAPsPerProc:    res.MAPsExecuted,
+		PeakUnits:      res.PeakUnits,
+		Objects:        res.Perm,
+		Occupancy:      res.Occupancy,
+		SuspendedSends: res.SuspendedSends,
+		Messages:       res.Messages,
+		AddrPackages:   res.AddrPackages,
 	}, nil
 }
 
@@ -292,6 +324,8 @@ type SimOptions struct {
 	Baseline bool
 	// Trace records task and MAP spans for Gantt rendering.
 	Trace *trace.Recorder
+	// Faults injects protocol perturbations (zero value: none).
+	Faults Faults
 }
 
 // SimReport summarizes a timing simulation.
@@ -303,6 +337,17 @@ type SimReport struct {
 	// Messages and AddrPackages delivered.
 	Messages     int
 	AddrPackages int
+	// MAPsPerProc is the number of MAPs each processor executed.
+	MAPsPerProc []int
+	// PeakUnits is the per-processor peak memory use (permanent + volatile)
+	// under the simulated allocator.
+	PeakUnits []int64
+	// SuspendedSends counts, per processor, the data messages that went
+	// through the suspended-send queue.
+	SuspendedSends []int
+	// Occupancy is the virtual time each processor spent in each protocol
+	// state.
+	Occupancy []StateOccupancy
 }
 
 // Simulate runs the plan on the discrete-event machine simulator.
@@ -310,14 +355,19 @@ func Simulate(prog *Program, plan *Plan, opt SimOptions) (*SimReport, error) {
 	res, err := machine.Simulate(plan.Schedule, plan.Mem, plan.Model, machine.Options{
 		Baseline: opt.Baseline,
 		Trace:    opt.Trace,
+		Faults:   opt.Faults,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &SimReport{
-		ParallelTime: res.ParallelTime,
-		AvgMAPs:      res.AvgMAPs,
-		Messages:     res.Messages,
-		AddrPackages: res.AddrPackages,
+		ParallelTime:   res.ParallelTime,
+		AvgMAPs:        res.AvgMAPs,
+		Messages:       res.Messages,
+		AddrPackages:   res.AddrPackages,
+		MAPsPerProc:    res.MAPsPerProc,
+		PeakUnits:      res.PeakUnits,
+		SuspendedSends: res.SuspendedSends,
+		Occupancy:      res.Occupancy,
 	}, nil
 }
