@@ -8,6 +8,7 @@
 // Usage:
 //
 //	rapidd [-addr :8437] [-cache-dir DIR] [-cache-mem BYTES] [-avail-mem UNITS]
+//	       [-job-timeout 30s] [-job-retries 2]
 //
 // Submit a job and wait for the result:
 //
@@ -33,12 +34,16 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "on-disk plan store directory (empty: memory-only cache)")
 	cacheMem := flag.Int64("cache-mem", 0, "in-memory plan cache budget in bytes (0: default 256 MiB)")
 	availMem := flag.Int64("avail-mem", 0, "machine-wide memory budget in abstract units (0: unlimited)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-attempt execution watchdog deadline (0: executor default)")
+	jobRetries := flag.Int("job-retries", 0, "retries for fault-injected jobs that fail (0: default 2, negative: none)")
 	flag.Parse()
 
 	srv := rapidd.New(rapidd.Config{
 		CacheDir:       *cacheDir,
 		CacheMemBudget: *cacheMem,
 		AvailMem:       *availMem,
+		JobTimeout:     *jobTimeout,
+		MaxJobRetries:  *jobRetries,
 		Metrics:        trace.NewMetrics(),
 	})
 	log.Printf("rapidd listening on %s (cache-dir=%q avail-mem=%d)", *addr, *cacheDir, *availMem)

@@ -9,10 +9,16 @@
 //	rapidsolve [-kind chol|lu] [-n 300] [-procs 4] [-block 8]
 //	           [-heuristic rcp|mpo|dts|dtsmerge] [-mem 60]
 //	           [-file matrix.mtx]
+//	           [-drop 0.25] [-dup 0.1] [-addrdelay 0.3] [-datadelay 0.3]
+//	           [-faultseed 1]
 //
 // -n is the approximate matrix order (ignored when -file loads a
 // MatrixMarket matrix); -mem the memory budget as a percentage of the
-// no-recycling requirement.
+// no-recycling requirement. The -drop/-dup/-addrdelay/-datadelay flags
+// inject deterministic message faults (loss, duplication, delay) selected
+// by -faultseed; the engine's reliability layer must absorb them, the
+// residual must be unchanged, and the per-processor retransmit/dedup
+// counters are printed as a reliability table.
 package main
 
 import (
@@ -42,6 +48,16 @@ func stateTable(report *rapid.Report) string {
 	return trace.StateTable(rapid.StateNames(), rows, "s")
 }
 
+// reliabilityTable renders the per-processor ack/retransmit counters of the
+// engine's reliability layer as a text table.
+func reliabilityTable(report *rapid.Report) string {
+	rows := make([][]int64, len(report.Reliability))
+	for p, r := range report.Reliability {
+		rows[p] = []int64{int64(r.Retransmits), int64(r.Dropped), int64(r.DupsSent), int64(r.DupDropped), int64(r.Acked)}
+	}
+	return trace.CountTable([]string{"retrans", "dropped", "dups-sent", "dups-rcvd", "acked"}, rows)
+}
+
 func main() {
 	kind := flag.String("kind", "chol", "factorization: chol or lu")
 	n := flag.Int("n", 300, "approximate matrix order")
@@ -51,7 +67,20 @@ func main() {
 	memPct := flag.Int("mem", 60, "memory budget, percent of the no-recycling requirement")
 	seed := flag.Uint64("seed", 1, "matrix generator seed")
 	file := flag.String("file", "", "load a MatrixMarket matrix instead of generating one")
+	drop := flag.Float64("drop", 0, "fault injection: fraction of transmissions lost in transit (retransmitted by the reliability layer)")
+	dup := flag.Float64("dup", 0, "fault injection: fraction of deliveries duplicated (discarded by receiver dedup)")
+	addrDelay := flag.Float64("addrdelay", 0, "fault injection: fraction of address packages delayed one round")
+	dataDelay := flag.Float64("datadelay", 0, "fault injection: fraction of data messages forced through the suspended-send queue")
+	faultSeed := flag.Uint64("faultseed", 1, "fault injection seed (deterministic fault plan)")
 	flag.Parse()
+
+	faults := rapid.Faults{
+		Seed:     *faultSeed,
+		AddrFrac: *addrDelay,
+		DataFrac: *dataDelay,
+		DropFrac: *drop,
+		DupFrac:  *dup,
+	}
 
 	var h rapid.Heuristic
 	switch strings.ToLower(*heur) {
@@ -94,14 +123,14 @@ func main() {
 		} else if !a.IsSymmetricPattern() {
 			log.Fatal("chol requires a symmetric-pattern matrix")
 		}
-		solveChol(a, *procs, *block, h, *memPct)
+		solveChol(a, *procs, *block, h, *memPct, faults)
 	case "lu":
 		a := loaded
 		if a == nil {
 			pat := sparse.AddRandomUnsymLinks(sparse.Grid2D(nx, ny, true), *n/4, rng)
 			a = sparse.UnsymValues(pat, rng)
 		}
-		solveLU(a, *procs, *block, h, *memPct, rng)
+		solveLU(a, *procs, *block, h, *memPct, rng, faults)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
 		os.Exit(2)
@@ -128,7 +157,7 @@ func compile(prog *rapid.Program, procs int, h rapid.Heuristic, memPct int) *rap
 	return plan
 }
 
-func solveChol(a *sparse.Matrix, procs, block int, h rapid.Heuristic, memPct int) {
+func solveChol(a *sparse.Matrix, procs, block int, h rapid.Heuristic, memPct int, faults rapid.Faults) {
 	fmt.Printf("sparse Cholesky: n=%d nnz=%d procs=%d block=%d\n", a.N, a.Nnz(), procs, block)
 	pr, err := chol.Build(a, chol.Options{Procs: procs, BlockSize: block})
 	if err != nil {
@@ -137,13 +166,16 @@ func solveChol(a *sparse.Matrix, procs, block int, h rapid.Heuristic, memPct int
 	prog := rapid.FromGraph(pr.G)
 	fmt.Printf("graph:    %d tasks, %d blocks\n", pr.G.NumTasks(), pr.G.NumObjects())
 	plan := compile(prog, procs, h, memPct)
-	report, err := rapid.Execute(prog, plan, rapid.ExecOptions{Kernel: pr.Kernel, Init: pr.InitObject})
+	report, err := rapid.Execute(prog, plan, rapid.ExecOptions{Kernel: pr.Kernel, Init: pr.InitObject, Faults: faults})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("executed: MAPs %v, %d messages, %d address packages\n",
 		report.MAPsPerProc, report.Messages, report.AddrPackages)
 	fmt.Printf("protocol state occupancy:\n%s", stateTable(report))
+	if faults.Enabled() {
+		fmt.Printf("reliability (injected faults, seed %d):\n%s", faults.Seed, reliabilityTable(report))
+	}
 
 	l := pr.AssembleL(report.Objects)
 	rec := make([]float64, a.N*a.N)
@@ -160,7 +192,7 @@ func solveChol(a *sparse.Matrix, procs, block int, h rapid.Heuristic, memPct int
 	fmt.Printf("residual: ‖A−LLᵀ‖/‖A‖ = %.3g\n", math.Sqrt(num/den))
 }
 
-func solveLU(a *sparse.Matrix, procs, block int, h rapid.Heuristic, memPct int, rng *util.RNG) {
+func solveLU(a *sparse.Matrix, procs, block int, h rapid.Heuristic, memPct int, rng *util.RNG, faults rapid.Faults) {
 	fmt.Printf("sparse LU with partial pivoting: n=%d nnz=%d procs=%d panel=%d\n", a.N, a.Nnz(), procs, block)
 	pr, err := lu.Build(a, lu.Options{Procs: procs, BlockSize: block})
 	if err != nil {
@@ -170,7 +202,7 @@ func solveLU(a *sparse.Matrix, procs, block int, h rapid.Heuristic, memPct int, 
 	fmt.Printf("graph:    %d tasks, %d panels\n", pr.G.NumTasks(), pr.NB)
 	plan := compile(prog, procs, h, memPct)
 	report, err := rapid.Execute(prog, plan, rapid.ExecOptions{
-		Kernel: pr.Kernel, Init: pr.InitObject, BufLen: pr.BufLen,
+		Kernel: pr.Kernel, Init: pr.InitObject, BufLen: pr.BufLen, Faults: faults,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -178,6 +210,9 @@ func solveLU(a *sparse.Matrix, procs, block int, h rapid.Heuristic, memPct int, 
 	fmt.Printf("executed: MAPs %v, %d messages, %d address packages\n",
 		report.MAPsPerProc, report.Messages, report.AddrPackages)
 	fmt.Printf("protocol state occupancy:\n%s", stateTable(report))
+	if faults.Enabled() {
+		fmt.Printf("reliability (injected faults, seed %d):\n%s", faults.Seed, reliabilityTable(report))
+	}
 
 	xTrue := make([]float64, a.N)
 	for i := range xTrue {

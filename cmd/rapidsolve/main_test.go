@@ -50,3 +50,42 @@ func TestStateTableFromExecution(t *testing.T) {
 		t.Errorf("missing totals row:\n%s", out)
 	}
 }
+
+// TestReliabilityTableFromFaultyExecution runs the same small factorization
+// under message loss and duplication and checks the reliability table the
+// binary prints with -drop/-dup: retransmit activity is visible, every
+// processor has a row, and the factorization still succeeds.
+func TestReliabilityTableFromFaultyExecution(t *testing.T) {
+	rng := util.NewRNG(13)
+	pat := sparse.Grid2D(6, 6, true)
+	a := sparse.SPDValues(pat, rng)
+	pr, err := chol.Build(a, chol.Options{Procs: 3, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := rapid.FromGraph(pr.G)
+	plan, err := rapid.Compile(prog, rapid.Options{Procs: 3, Heuristic: rapid.MPO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := rapid.Faults{Seed: 2, DropFrac: 0.25, DupFrac: 0.10}
+	report, err := rapid.Execute(prog, plan, rapid.ExecOptions{Kernel: pr.Kernel, Init: pr.InitObject, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := reliabilityTable(report)
+	for _, h := range []string{"retrans", "dropped", "dups-sent", "dups-rcvd", "acked"} {
+		if !strings.Contains(out, h) {
+			t.Errorf("table missing header %q:\n%s", h, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if want := 1 + 3 + 1; len(lines) != want {
+		t.Errorf("table has %d lines, want %d:\n%s", len(lines), want, out)
+	}
+	tot := rapid.SumReliability(report.Reliability)
+	if tot.Retransmits == 0 || tot.Retransmits != tot.Dropped {
+		t.Errorf("expected live retransmit counters (retransmits == drops > 0), got %+v", tot)
+	}
+}

@@ -18,6 +18,7 @@ package exec
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,10 +76,40 @@ type Result struct {
 	// SuspendedSends counts, per processor, the data messages that went
 	// through the suspended-send queue.
 	SuspendedSends []int
-	// Messages is the machine-wide number of data messages delivered.
+	// Messages is the machine-wide number of data messages delivered
+	// (excluding injected duplicates, which receivers discard).
 	Messages int
-	// AddrPackages is the machine-wide number of address packages consumed.
+	// AddrPackages is the machine-wide number of address packages consumed,
+	// net of discarded duplicates.
 	AddrPackages int
+	// Reliability is the per-processor ack/retransmit summary (sender-side
+	// counters plus the duplicate deliveries that processor discarded).
+	Reliability []proto.Reliability
+}
+
+// procProbe is one processor's watchdog-visible gauge set. It is written
+// only by that processor's own goroutine and read by whichever processor
+// trips the BlockTimeout watchdog, so a stall report can dump the whole
+// machine's protocol state, not just the blocked processor's.
+type procProbe struct {
+	state   atomic.Int32 // proto.State last entered
+	pos     atomic.Int32 // position in the task order
+	susp    atomic.Int32 // suspended-send queue depth
+	retrans atomic.Int32 // queued messages awaiting a retransmission timer
+	done    atomic.Bool
+	// The probes are updated on every Advance of a busy-polling goroutine;
+	// pad to a cache line so neighbouring processors' stores do not
+	// false-share.
+	_ [64 - 17]byte
+}
+
+// storeChanged stores v only on change: the common case (spinning in one protocol
+// state) then costs four plain loads of an uncontended cache line instead
+// of four locked stores.
+func storeChanged(g *atomic.Int32, v int32) {
+	if g.Load() != v {
+		g.Store(v)
+	}
 }
 
 type engine struct {
@@ -87,6 +118,12 @@ type engine struct {
 
 	slots   *rma.AddrSlots
 	ctlRecv []atomic.Int32 // per task
+	// dupDropped counts, per receiving processor, the duplicate deliveries
+	// (data messages and address packages) discarded by sequence-number
+	// dedup. Data duplicates are detected at Put time in the sender's
+	// goroutine, hence the atomics.
+	dupDropped []atomic.Int64
+	probes     []procProbe
 
 	numeric bool
 	start   time.Time
@@ -94,6 +131,21 @@ type engine struct {
 	abort  atomic.Bool
 	errMu  sync.Mutex
 	runErr error
+}
+
+// dumpAll renders every processor's probe for watchdog escalation.
+func (e *engine) dumpAll() string {
+	var sb strings.Builder
+	for p := range e.probes {
+		pr := &e.probes[p]
+		if pr.done.Load() {
+			fmt.Fprintf(&sb, "\n  proc %d: finished", p)
+			continue
+		}
+		fmt.Fprintf(&sb, "\n  proc %d: state %s, position %d, %d suspended sends (%d awaiting retransmission)",
+			p, proto.State(pr.state.Load()), pr.pos.Load(), pr.susp.Load(), pr.retrans.Load())
+	}
+	return sb.String()
 }
 
 func (e *engine) fail(err error) {
@@ -120,12 +172,14 @@ func Run(s *sched.Schedule, plan *mem.Plan, cfg Config) (*Result, error) {
 		cfg.BlockTimeout = 30 * time.Second
 	}
 	e := &engine{
-		eng:     pe,
-		cfg:     cfg,
-		slots:   rma.NewAddrSlots(s.P),
-		ctlRecv: make([]atomic.Int32, s.G.NumTasks()),
-		numeric: cfg.Kernel != nil,
-		start:   time.Now(),
+		eng:        pe,
+		cfg:        cfg,
+		slots:      rma.NewAddrSlots(s.P),
+		ctlRecv:    make([]atomic.Int32, s.G.NumTasks()),
+		dupDropped: make([]atomic.Int64, s.P),
+		probes:     make([]procProbe, s.P),
+		numeric:    cfg.Kernel != nil,
+		start:      time.Now(),
 	}
 	res := &Result{
 		MAPsExecuted:   make([]int, s.P),
@@ -163,9 +217,11 @@ func Run(s *sched.Schedule, plan *mem.Plan, cfg Config) (*Result, error) {
 	if e.runErr != nil {
 		return nil, e.runErr
 	}
+	res.Reliability = make([]proto.Reliability, s.P)
 	for p := 0; p < s.P; p++ {
 		res.Messages += stats[p].DataSent
 		res.AddrPackages += stats[p].AddrConsumed
+		res.Reliability[p] = stats[p].Reliability(int(e.dupDropped[p].Load()))
 	}
 	if e.numeric {
 		res.Perm = make(map[graph.ObjID][]float64, s.G.NumObjects())
@@ -193,11 +249,16 @@ func (e *engine) runProc(p graph.Proc) (*procOut, error) {
 		return nil, err
 	}
 	core := e.eng.NewCore(p, ps)
+	probe := &e.probes[p]
 	for {
 		st, err := core.Advance(e.clock())
 		if err != nil {
 			return nil, err
 		}
+		storeChanged(&probe.state, int32(core.CurrentState()))
+		storeChanged(&probe.pos, core.Pos())
+		storeChanged(&probe.susp, int32(core.SuspendedLen()))
+		storeChanged(&probe.retrans, int32(core.RetransPending()))
 		switch st.Kind {
 		case proto.RunMAP:
 			// Wall-clock MAPs charge no artificial cost: the real work
@@ -225,6 +286,7 @@ func (e *engine) runProc(p graph.Proc) (*procOut, error) {
 			}
 			runtime.Gosched()
 		case proto.Finished:
+			probe.done.Store(true)
 			return &procOut{stats: core.Stats, peak: ps.peak, occ: core.Occupancy(), perm: ps.perm}, nil
 		}
 	}
@@ -242,8 +304,11 @@ type procState struct {
 	addr map[[2]int32]*rma.Buffer
 	// pkg caches the assembled address package per destination while its
 	// deposit is being retried (at most one in flight per destination).
-	pkg  map[graph.Proc]*rma.AddrPackage
-	peak int64
+	pkg map[graph.Proc]*rma.AddrPackage
+	// addrSeen is the highest address-package sequence number consumed from
+	// each source processor; packages at or below it are duplicates.
+	addrSeen []int32
+	peak     int64
 	// lastProgress stamps the watchdog.
 	lastProgress time.Time
 }
@@ -258,6 +323,7 @@ func newProcState(e *engine, p graph.Proc) (*procState, error) {
 		perm:         make(map[graph.ObjID][]float64),
 		addr:         make(map[[2]int32]*rma.Buffer),
 		pkg:          make(map[graph.Proc]*rma.AddrPackage),
+		addrSeen:     make([]int32, e.eng.S.P),
 		lastProgress: time.Now(),
 	}
 	g := e.eng.S.G
@@ -295,14 +361,16 @@ func (ps *procState) touch() { ps.lastProgress = time.Now() }
 
 // blockCheck aborts on engine failure or watchdog expiry. The timeout
 // error names the blocked processor, its protocol state and the task or
-// object it is waiting on.
+// object it is waiting on, then dumps every processor's protocol state,
+// suspended-send queue depth and retransmit queue depth, so a stall caused
+// by a lost message elsewhere in the machine is diagnosable from the report.
 func (ps *procState) blockCheck(st proto.State, core *proto.Core) error {
 	if ps.e.abort.Load() {
 		return fmt.Errorf("exec: proc %d aborted in %s state", ps.p, st)
 	}
 	if time.Since(ps.lastProgress) > ps.e.cfg.BlockTimeout {
-		return fmt.Errorf("exec: proc %d made no progress for %v — %s (possible deadlock; see Config.BlockTimeout)",
-			ps.p, ps.e.cfg.BlockTimeout, core.BlockedInfo())
+		return fmt.Errorf("exec: proc %d made no progress for %v — %s (possible deadlock; see Config.BlockTimeout)\nmachine state at timeout:%s",
+			ps.p, ps.e.cfg.BlockTimeout, core.BlockedInfo(), ps.e.dumpAll())
 	}
 	return nil
 }
@@ -344,9 +412,9 @@ func (ps *procState) ApplyMAP(m *mem.MAP) error {
 
 // TryNotify deposits the address package for dst through the single-slot
 // mesh; false means dst has not consumed the previous package yet.
-func (ps *procState) TryNotify(dst graph.Proc, objs []graph.ObjID) bool {
+func (ps *procState) TryNotify(dst graph.Proc, objs []graph.ObjID, seq int32) bool {
 	pkg := ps.pkg[dst]
-	if pkg == nil {
+	if pkg == nil || pkg.Seq != seq {
 		bufs := make([]*rma.Buffer, len(objs))
 		for i, o := range objs {
 			b, ok := ps.mem.Lookup(o)
@@ -355,7 +423,7 @@ func (ps *procState) TryNotify(dst graph.Proc, objs []graph.ObjID) bool {
 			}
 			bufs[i] = b
 		}
-		pkg = &rma.AddrPackage{From: ps.p, Buffers: bufs}
+		pkg = &rma.AddrPackage{From: ps.p, Seq: seq, Buffers: bufs}
 		ps.pkg[dst] = pkg
 	}
 	if !ps.e.slots.TrySend(dst, ps.p, pkg) {
@@ -367,10 +435,16 @@ func (ps *procState) TryNotify(dst graph.Proc, objs []graph.ObjID) bool {
 }
 
 // ReadAddresses is RA: consume pending address packages into the handle
-// map.
+// map. Duplicated deliveries (sequence number at or below the highest
+// consumed from that source) are discarded without being counted.
 func (ps *procState) ReadAddresses() int {
 	n := 0
 	for _, pkg := range ps.e.slots.Consume(ps.p) {
+		if pkg.Seq <= ps.addrSeen[pkg.From] {
+			ps.e.dupDropped[ps.p].Add(1)
+			continue
+		}
+		ps.addrSeen[pkg.From] = pkg.Seq
 		for _, b := range pkg.Buffers {
 			ps.addr[[2]int32{int32(b.Obj), int32(pkg.From)}] = b
 		}
@@ -387,17 +461,23 @@ func (ps *procState) AddrKnown(snd proto.Send) bool {
 	return ok
 }
 
-// SendData deposits one data message into the remote buffer (RMA Put).
+// SendData deposits one data message into the remote buffer (RMA Put). A
+// deposit the receiver's sequence check rejects was a duplicate delivery;
+// it is charged to the receiving processor's dedup counter.
 func (ps *procState) SendData(snd proto.Send) {
 	b := ps.addr[[2]int32{int32(snd.Obj), int32(snd.Dst)}]
+	var delivered bool
 	if ps.e.numeric {
 		src, ok := ps.mem.Lookup(snd.Obj)
 		if !ok {
 			panic(fmt.Sprintf("exec: proc %d sending unallocated object %d", ps.p, snd.Obj))
 		}
-		b.Put(src.Data)
+		delivered = b.Put(src.Data, snd.Seq)
 	} else {
-		b.PutFlagOnly()
+		delivered = b.PutFlagOnly(snd.Seq)
+	}
+	if !delivered {
+		ps.e.dupDropped[snd.Dst].Add(1)
 	}
 	ps.touch()
 }
@@ -415,5 +495,6 @@ func (ps *procState) Arrived(o graph.ObjID) (int32, bool) {
 }
 
 // FaultWake is a no-op: the wall-clock driver busy-polls in every blocking
-// state, so a delayed message is retried without an explicit wake.
-func (ps *procState) FaultWake() {}
+// state, so a delayed or retransmission-pending message is retried without
+// an explicit wake (real time passes on its own).
+func (ps *procState) FaultWake(delay float64) {}

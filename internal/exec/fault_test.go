@@ -34,6 +34,8 @@ func TestCholeskyUnderFaultInjection(t *testing.T) {
 	for _, f := range []proto.Faults{
 		{Seed: 5, AddrFrac: 0.3, DataFrac: 0.3},
 		{Seed: 9, AddrFrac: 1, DataFrac: 1},
+		{Seed: 11, DropFrac: 0.25, DupFrac: 0.10},
+		{Seed: 13, AddrFrac: 0.3, DataFrac: 0.3, DropFrac: 0.25, DupFrac: 0.25},
 	} {
 		res, err := Run(s, plan, Config{
 			Kernel:       pr.Kernel,
@@ -64,6 +66,16 @@ func TestCholeskyUnderFaultInjection(t *testing.T) {
 				t.Fatalf("forced suspension: %d suspended != %d messages", total, res.Messages)
 			}
 		}
+		rel := proto.SumReliability(res.Reliability)
+		if f.DropFrac > 0 && rel.Retransmits == 0 {
+			t.Errorf("faults %+v: loss injected but no retransmissions recorded", f)
+		}
+		if f.DropFrac == 0 && (rel.Retransmits != 0 || rel.Dropped != 0) {
+			t.Errorf("faults %+v: no loss configured but reliability reports %+v", f, rel)
+		}
+		if rel.Retransmits != rel.Dropped {
+			t.Errorf("faults %+v: %d retransmits for %d drops", f, rel.Retransmits, rel.Dropped)
+		}
 		for oi := range pr.G.Objects {
 			o := graph.ObjID(oi)
 			for i := range want[o] {
@@ -78,7 +90,10 @@ func TestCholeskyUnderFaultInjection(t *testing.T) {
 // TestWatchdogReportsBlockedDetail forces a deterministic stall — the only
 // producer of a cross-processor object sleeps past the timeout — and
 // checks the watchdog error identifies the blocked processor, its protocol
-// state, and the task/object it is waiting on.
+// state, and the task/object it is waiting on, then dumps every
+// processor's protocol state, suspended-send queue depth and retransmit
+// queue depth (watchdog escalation, so loss-induced stalls are diagnosable
+// machine-wide).
 func TestWatchdogReportsBlockedDetail(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
@@ -119,7 +134,16 @@ func TestWatchdogReportsBlockedDetail(t *testing.T) {
 		t.Fatal("expected a watchdog timeout, got success")
 	}
 	msg := err.Error()
-	for _, want := range []string{"no progress", "state", "t1"} {
+	for _, want := range []string{
+		"no progress", "state", "t1",
+		// Escalation: the dump must cover BOTH processors, not just the
+		// blocked one, and report queue depths.
+		"machine state at timeout:",
+		"proc 0: state",
+		"proc 1: state",
+		"suspended sends",
+		"awaiting retransmission",
+	} {
 		if !strings.Contains(msg, want) {
 			t.Errorf("watchdog error missing %q: %v", want, err)
 		}

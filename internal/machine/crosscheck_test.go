@@ -171,6 +171,187 @@ func TestRandomizedEquivalence(t *testing.T) {
 	}
 }
 
+// TestLossDupEquivalence is the loss/duplication layer of the
+// backend-equivalence suite: at 25% message loss and 10% duplication the
+// reliability layer must make both backends terminate with every
+// protocol-determined quantity — per-processor MAP counts, per-processor
+// peak memory, delivered-message and address-package totals — identical to
+// each other AND to the fault-free run. Because drop/dup verdicts are pure
+// functions of (seed, message identity, attempt), the sender-side
+// reliability counters must also agree exactly between the backends, the
+// retransmit counters must be live, and a zero-Faults run must report zero
+// retransmits.
+func TestLossDupEquivalence(t *testing.T) {
+	rng := util.NewRNG(5151)
+	totalRetrans, totalDupDropped := 0, 0
+	for trial := 0; trial < 8; trial++ {
+		p := 2 + rng.Intn(4)
+		g := randomOwnerComputeDAG(rng, 30+rng.Intn(50), 8+rng.Intn(12), p)
+		assign, err := sched.OwnerComputeAssign(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := []sched.Heuristic{sched.RCP, sched.MPO, sched.DTS}[trial%3]
+		s, err := sched.ScheduleWith(h, g, assign, p, sched.T3D(), 1<<40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := mem.NewPlan(s, s.MinMem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pl.Executable {
+			pl, err = mem.NewPlan(s, s.TOT())
+			if err != nil || !pl.Executable {
+				t.Fatal("TOT plan must be executable")
+			}
+		}
+
+		run := func(f proto.Faults) (*Result, *exec.Result) {
+			simRes, err := Simulate(s, pl, sched.T3D(), Options{Faults: f})
+			if err != nil {
+				t.Fatalf("trial %d sim (faults %+v): %v", trial, f, err)
+			}
+			exRes, err := exec.Run(s, pl, exec.Config{Faults: f})
+			if err != nil {
+				t.Fatalf("trial %d exec (faults %+v): %v", trial, f, err)
+			}
+			return simRes, exRes
+		}
+
+		cleanSim, cleanEx := run(proto.Faults{})
+		for q := 0; q < p; q++ {
+			for _, r := range []proto.Reliability{cleanSim.Reliability[q], cleanEx.Reliability[q]} {
+				if r.Retransmits != 0 || r.Dropped != 0 || r.DupsSent != 0 || r.DupDropped != 0 {
+					t.Errorf("trial %d: zero-Faults run reports reliability activity on proc %d: %+v", trial, q, r)
+				}
+			}
+		}
+
+		lossySim, lossyEx := run(proto.Faults{Seed: uint64(trial) + 1, DropFrac: 0.25, DupFrac: 0.10})
+		for q := 0; q < p; q++ {
+			if lossySim.MAPsPerProc[q] != cleanSim.MAPsPerProc[q] || lossyEx.MAPsExecuted[q] != cleanSim.MAPsPerProc[q] {
+				t.Errorf("trial %d: proc %d MAPs under loss: sim %d exec %d, clean %d",
+					trial, q, lossySim.MAPsPerProc[q], lossyEx.MAPsExecuted[q], cleanSim.MAPsPerProc[q])
+			}
+			if lossySim.PeakUnits[q] != cleanSim.PeakUnits[q] || lossyEx.PeakUnits[q] != cleanSim.PeakUnits[q] {
+				t.Errorf("trial %d: proc %d peak under loss: sim %d exec %d, clean %d",
+					trial, q, lossySim.PeakUnits[q], lossyEx.PeakUnits[q], cleanSim.PeakUnits[q])
+			}
+			// Sender-side reliability counters are deterministic functions of
+			// the fault plan, so the backends must agree per processor.
+			sr, er := lossySim.Reliability[q], lossyEx.Reliability[q]
+			if sr.Retransmits != er.Retransmits || sr.Dropped != er.Dropped ||
+				sr.DupsSent != er.DupsSent || sr.Acked != er.Acked {
+				t.Errorf("trial %d: proc %d sender reliability diverges: sim %+v exec %+v", trial, q, sr, er)
+			}
+		}
+		if lossySim.Messages != cleanSim.Messages || lossyEx.Messages != cleanEx.Messages ||
+			lossySim.Messages != lossyEx.Messages {
+			t.Errorf("trial %d: delivered messages under loss: sim %d exec %d, clean %d (must all match)",
+				trial, lossySim.Messages, lossyEx.Messages, cleanSim.Messages)
+		}
+		if lossySim.AddrPackages != cleanSim.AddrPackages || lossyEx.AddrPackages != lossySim.AddrPackages {
+			t.Errorf("trial %d: addr packages under loss: sim %d exec %d, clean %d (must all match)",
+				trial, lossySim.AddrPackages, lossyEx.AddrPackages, cleanSim.AddrPackages)
+		}
+		simTot := proto.SumReliability(lossySim.Reliability)
+		exTot := proto.SumReliability(lossyEx.Reliability)
+		if simTot.Retransmits != simTot.Dropped {
+			t.Errorf("trial %d: sim %d retransmits for %d drops (every loss must be retransmitted)",
+				trial, simTot.Retransmits, simTot.Dropped)
+		}
+		// Every duplicate a receiver observed was discarded; a duplicated
+		// address package deposited after its receiver finished may stay in
+		// flight, so DupDropped is bounded by DupsSent rather than equal.
+		if simTot.DupDropped > simTot.DupsSent || exTot.DupDropped > exTot.DupsSent {
+			t.Errorf("trial %d: more duplicates discarded than injected (sim %+v, exec %+v)", trial, simTot, exTot)
+		}
+		totalRetrans += simTot.Retransmits + exTot.Retransmits
+		totalDupDropped += simTot.DupDropped + exTot.DupDropped
+	}
+	if totalRetrans == 0 {
+		t.Error("25% loss caused no retransmissions across all trials")
+	}
+	if totalDupDropped == 0 {
+		t.Error("10% duplication caused no receiver-side discards across all trials")
+	}
+}
+
+// TestSuspendedQueueUnderLoss combines forced suspension (DataFrac 1) with
+// message loss: every data message goes through the suspended-send queue
+// AND a quarter of all transmissions are lost, so every suspended message
+// must eventually be retransmitted and delivered exactly once — the
+// per-processor suspension totals still equal the communication tables and
+// the delivered-message totals still equal the fault-free run, in both
+// backends.
+func TestSuspendedQueueUnderLoss(t *testing.T) {
+	rng := util.NewRNG(7171)
+	sawRetrans := false
+	for trial := 0; trial < 4; trial++ {
+		p := 2 + rng.Intn(4)
+		g := randomOwnerComputeDAG(rng, 30+rng.Intn(40), 8+rng.Intn(10), p)
+		assign, err := sched.OwnerComputeAssign(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.ScheduleWith([]sched.Heuristic{sched.RCP, sched.MPO, sched.DTS}[trial%3],
+			g, assign, p, sched.T3D(), 1<<40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := mem.NewPlan(s, s.MinMem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pl.Executable {
+			pl, err = mem.NewPlan(s, s.TOT())
+			if err != nil || !pl.Executable {
+				t.Fatal("TOT plan must be executable")
+			}
+		}
+		cleanSim, err := Simulate(s, pl, sched.T3D(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := proto.Faults{Seed: uint64(trial) + 3, DataFrac: 1, DropFrac: 0.25}
+		simRes, err := Simulate(s, pl, sched.T3D(), Options{Faults: f})
+		if err != nil {
+			t.Fatalf("trial %d sim: %v", trial, err)
+		}
+		exRes, err := exec.Run(s, pl, exec.Config{Faults: f})
+		if err != nil {
+			t.Fatalf("trial %d exec: %v", trial, err)
+		}
+		tables := proto.Derive(s)
+		for q := 0; q < p; q++ {
+			want := 0
+			for _, task := range s.Order[q] {
+				want += len(tables.Sends[task])
+			}
+			if simRes.SuspendedSends[q] != want || exRes.SuspendedSends[q] != want {
+				t.Errorf("trial %d: proc %d suspensions sim %d exec %d, want %d (each message suspends exactly once)",
+					trial, q, simRes.SuspendedSends[q], exRes.SuspendedSends[q], want)
+			}
+		}
+		if simRes.Messages != cleanSim.Messages || exRes.Messages != cleanSim.Messages {
+			t.Errorf("trial %d: delivered messages sim %d exec %d, clean %d (each message delivered exactly once)",
+				trial, simRes.Messages, exRes.Messages, cleanSim.Messages)
+		}
+		for _, tot := range []proto.Reliability{proto.SumReliability(simRes.Reliability), proto.SumReliability(exRes.Reliability)} {
+			if tot.Retransmits != tot.Dropped {
+				t.Errorf("trial %d: %d retransmits for %d drops", trial, tot.Retransmits, tot.Dropped)
+			}
+			if tot.Retransmits > 0 {
+				sawRetrans = true
+			}
+		}
+	}
+	if !sawRetrans {
+		t.Error("25% loss caused no retransmissions across all trials")
+	}
+}
+
 // TestSimulatorDeterminism: identical inputs must give identical results
 // (the event queue is fully ordered by (time, seq)).
 func TestSimulatorDeterminism(t *testing.T) {

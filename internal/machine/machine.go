@@ -64,6 +64,9 @@ type Result struct {
 	// Occupancy is the virtual time each processor spent in each protocol
 	// state (indexed by proto.State).
 	Occupancy []proto.Occupancy
+	// Reliability is the per-processor ack/retransmit summary (sender-side
+	// counters plus the duplicate deliveries that processor discarded).
+	Reliability []proto.Reliability
 }
 
 // event kinds
@@ -81,6 +84,7 @@ type event struct {
 	kind int8
 	proc graph.Proc  // evWake/evTaskDone/evMAPDone/evMsg
 	obj  graph.ObjID // evMsg
+	mseq int32       // evMsg: the message's version sequence number
 	task graph.TaskID
 }
 
@@ -98,10 +102,12 @@ func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
 func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
 
 // slotFIFO is the queue of in-flight address packages for one
-// (receiver, sender) pair: arrival time and package contents.
+// (receiver, sender) pair: arrival time, package contents and the
+// package's per-(sender, receiver) sequence number for receiver dedup.
 type slotFIFO struct {
 	times []float64
 	pkgs  [][]graph.ObjID
+	seqs  []int32
 }
 
 // driver is one simulated processor: the shared protocol core plus its
@@ -134,6 +140,12 @@ type sim struct {
 func (m *sim) push(t float64, kind int8, p graph.Proc, o graph.ObjID, task graph.TaskID) {
 	m.seq++
 	heap.Push(&m.q, event{t: t, seq: m.seq, kind: kind, proc: p, obj: o, task: task})
+}
+
+// pushMsg enqueues a data-message arrival carrying its sequence number.
+func (m *sim) pushMsg(t float64, dst graph.Proc, o graph.ObjID, mseq int32) {
+	m.seq++
+	heap.Push(&m.q, event{t: t, seq: m.seq, kind: evMsg, proc: dst, obj: o, mseq: mseq})
 }
 
 func (m *sim) fail(err error) {
@@ -169,7 +181,7 @@ func Simulate(s *sched.Schedule, plan *mem.Plan, model sched.CostModel, opt Opti
 		m.now = ev.t
 		switch ev.kind {
 		case evMsg:
-			m.drv[ev.proc].be.arrive(ev.obj)
+			m.drv[ev.proc].be.arrive(ev.obj, ev.mseq)
 			m.step(ev.proc, ev.t)
 		case evCtl:
 			m.ctl[ev.task]++
@@ -205,6 +217,7 @@ func Simulate(s *sched.Schedule, plan *mem.Plan, model sched.CostModel, opt Opti
 		PeakUnits:      make([]int64, s.P),
 		SuspendedSends: make([]int, s.P),
 		Occupancy:      make([]proto.Occupancy, s.P),
+		Reliability:    make([]proto.Reliability, s.P),
 	}
 	totalMAPs := 0
 	for p := range m.drv {
@@ -216,6 +229,7 @@ func Simulate(s *sched.Schedule, plan *mem.Plan, model sched.CostModel, opt Opti
 		res.AddrPackages += st.AddrConsumed
 		res.PeakUnits[p] = m.drv[p].be.peak
 		res.Occupancy[p] = m.drv[p].core.Occupancy()
+		res.Reliability[p] = st.Reliability(m.drv[p].be.dupDropped)
 	}
 	res.AvgMAPs = float64(totalMAPs) / float64(s.P)
 	return res, nil
@@ -276,13 +290,27 @@ type simBackend struct {
 	p graph.Proc
 	// arrivals counts delivered data messages per local volatile object.
 	arrivals map[graph.ObjID]int32
-	alloc    map[graph.ObjID]bool
+	// lastSeq is the highest data-message sequence number delivered per
+	// local object; lower-or-equal arrivals are duplicates and are
+	// discarded. It deliberately survives free/realloc of the object (seqs
+	// are monotone per (object, receiver) across the whole run), so a
+	// duplicate landing after the buffer was recycled is still recognized —
+	// mirroring the executor, where the old rma.Buffer handle keeps its
+	// sequence watermark.
+	lastSeq map[graph.ObjID]int32
+	alloc   map[graph.ObjID]bool
 	// addr marks (object, destination) pairs whose remote buffer address
 	// this processor has learned through an address package.
 	addr map[[2]int32]bool
+	// addrSeen is the highest address-package sequence number consumed from
+	// each source processor; packages at or below it are duplicates.
+	addrSeen []int32
 	// slots holds the in-flight address packages to this processor,
 	// indexed by sender (FIFO, capacity = slotDepth).
-	slots      []slotFIFO
+	slots []slotFIFO
+	// dupDropped counts the duplicate deliveries (data + address packages)
+	// this processor discarded.
+	dupDropped int
 	used, peak int64
 }
 
@@ -291,8 +319,10 @@ func newSimBackend(m *sim, p graph.Proc) *simBackend {
 		m:        m,
 		p:        p,
 		arrivals: make(map[graph.ObjID]int32),
+		lastSeq:  make(map[graph.ObjID]int32),
 		alloc:    make(map[graph.ObjID]bool),
 		addr:     make(map[[2]int32]bool),
+		addrSeen: make([]int32, m.s.P),
 		slots:    make([]slotFIFO, m.s.P),
 	}
 	// Permanent objects live on their owners for the whole run.
@@ -305,13 +335,22 @@ func newSimBackend(m *sim, p graph.Proc) *simBackend {
 	return be
 }
 
-// arrive records a delivered data message (evMsg).
-func (be *simBackend) arrive(o graph.ObjID) {
+// arrive records a delivered data message (evMsg). The dedup check runs
+// before the allocation check: a duplicated copy may land after the
+// receiver consumed the original and freed the buffer, and must be
+// discarded rather than flagged as a consistency violation (the same
+// ordering rma.Buffer.Put uses).
+func (be *simBackend) arrive(o graph.ObjID, seq int32) {
+	if seq <= be.lastSeq[o] {
+		be.dupDropped++
+		return
+	}
 	if !be.m.opt.Baseline && !be.alloc[o] {
 		be.m.fail(fmt.Errorf("machine: proc %d received message for unallocated object %q",
 			be.p, be.m.s.G.Objects[o].Name))
 		return
 	}
+	be.lastSeq[o] = seq
 	be.arrivals[o]++
 }
 
@@ -345,7 +384,7 @@ func (be *simBackend) ApplyMAP(mp *mem.MAP) error {
 // the FIFO is at slot depth (the receiver has not run RA yet). In baseline
 // mode all addresses were exchanged during preprocessing, so the deposit is
 // free and instantaneous.
-func (be *simBackend) TryNotify(dst graph.Proc, objs []graph.ObjID) bool {
+func (be *simBackend) TryNotify(dst graph.Proc, objs []graph.ObjID, seq int32) bool {
 	if be.m.opt.Baseline {
 		return true
 	}
@@ -356,6 +395,7 @@ func (be *simBackend) TryNotify(dst graph.Proc, objs []graph.ObjID) bool {
 	at := be.m.now + be.m.model.AddrLatency
 	q.times = append(q.times, at)
 	q.pkgs = append(q.pkgs, objs)
+	q.seqs = append(q.seqs, seq)
 	// Wake the destination when the package lands so its RA can run.
 	be.m.push(at, evWake, dst, 0, 0)
 	return true
@@ -363,6 +403,8 @@ func (be *simBackend) TryNotify(dst graph.Proc, objs []graph.ObjID) bool {
 
 // ReadAddresses is RA: consume every address package that has arrived by
 // now, learn its addresses, and wake senders whose slot was freed.
+// Duplicated deliveries (sequence number at or below the highest consumed
+// from that source) free their slot but are otherwise discarded uncounted.
 func (be *simBackend) ReadAddresses() int {
 	if be.m.opt.Baseline {
 		return 0
@@ -372,12 +414,18 @@ func (be *simBackend) ReadAddresses() int {
 		q := &be.slots[src]
 		freed := false
 		for len(q.times) > 0 && q.times[0] <= be.m.now {
-			for _, o := range q.pkgs[0] {
-				be.addr[[2]int32{int32(o), int32(src)}] = true
+			if q.seqs[0] <= be.addrSeen[src] {
+				be.dupDropped++
+			} else {
+				be.addrSeen[src] = q.seqs[0]
+				for _, o := range q.pkgs[0] {
+					be.addr[[2]int32{int32(o), int32(src)}] = true
+				}
+				n++
 			}
 			q.times = q.times[1:]
 			q.pkgs = q.pkgs[1:]
-			n++
+			q.seqs = q.seqs[1:]
 			freed = true
 		}
 		if freed {
@@ -398,9 +446,10 @@ func (be *simBackend) AddrKnown(snd proto.Send) bool {
 	return be.addr[[2]int32{int32(snd.Obj), int32(snd.Dst)}]
 }
 
-// SendData dispatches one data message on the virtual network.
+// SendData dispatches one data message on the virtual network, tagged with
+// its version sequence number so the receiver can discard duplicates.
 func (be *simBackend) SendData(snd proto.Send) {
-	be.m.push(be.m.now+be.m.model.CommTime(be.m.s.G.Objects[snd.Obj].Size), evMsg, snd.Dst, snd.Obj, 0)
+	be.m.pushMsg(be.m.now+be.m.model.CommTime(be.m.s.G.Objects[snd.Obj].Size), snd.Dst, snd.Obj, snd.Seq)
 }
 
 // SendCtl delivers one control signal after the message latency.
@@ -419,7 +468,12 @@ func (be *simBackend) Arrived(o graph.ObjID) (int32, bool) {
 
 // FaultWake schedules a future wake: unlike the busy-polling executor,
 // nothing else is guaranteed to re-examine this processor after fault
-// injection delayed one of its messages.
-func (be *simBackend) FaultWake() {
-	be.m.push(be.m.now+be.m.model.AddrLatency, evWake, be.p, 0, 0)
+// injection delayed one of its messages or the reliability layer armed a
+// retransmission timer. delay 0 (a plain delay fault) wakes one address
+// latency later; a positive delay wakes exactly when the timer expires.
+func (be *simBackend) FaultWake(delay float64) {
+	if delay <= 0 {
+		delay = be.m.model.AddrLatency
+	}
+	be.m.push(be.m.now+delay, evWake, be.p, 0, 0)
 }

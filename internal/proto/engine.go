@@ -77,40 +77,121 @@ func (o Occupancy) Total() float64 {
 // attempt (the MAP retries exactly as if the peer's slot were occupied); a
 // delayed data message is forced through the suspended-send queue even
 // when its remote address is already known (the next CQ dispatches it).
-// Decisions are pure functions of (Seed, message identity), so the
-// wall-clock and virtual-clock backends delay the same messages, and a
-// perturbed run must still terminate with results identical to a
-// fault-free one — the protocol's liveness claim made checkable.
+// A *dropped* message is lost in transit — the receiver never sees it —
+// and the sender's reliability layer retransmits it after a timeout with
+// exponential backoff; a *duplicated* message is delivered twice and the
+// receiver's sequence-number dedup discards the second copy.
+// Decisions are pure functions of (Seed, message identity, attempt
+// number), so the wall-clock and virtual-clock backends fail the same
+// transmissions, and a perturbed run must still terminate with results
+// identical to a fault-free one — the protocol's liveness claim, and now
+// Theorem 1's every-message-is-delivered assumption, made checkable.
 type Faults struct {
-	// Seed selects the (deterministic) set of delayed messages.
+	// Seed selects the (deterministic) set of perturbed messages.
 	Seed uint64
 	// AddrFrac is the fraction of address packages delayed one round.
 	AddrFrac float64
 	// DataFrac is the fraction of data messages forced to suspend once.
 	DataFrac float64
+	// DropFrac is the fraction of transmissions (address packages and data
+	// messages) lost in transit. Each retransmission attempt rolls again,
+	// so a message is lost for good only when MaxRetries is exhausted.
+	DropFrac float64
+	// DupFrac is the fraction of delivered data messages and address
+	// packages that arrive twice; receivers discard the extra copy.
+	DupFrac float64
+	// RTO is the base retransmission timeout in clock seconds (wall-clock
+	// for the executor, virtual for the simulator). 0 means DefaultRTO.
+	RTO float64
+	// Backoff multiplies the timeout after every lost transmission.
+	// 0 means DefaultBackoff.
+	Backoff float64
+	// MaxRetries caps the retransmissions of one message; exceeding it
+	// aborts the run with an error. 0 means DefaultMaxRetries.
+	MaxRetries int
 }
 
+// Reliability-layer defaults (used when the corresponding Faults field is
+// zero). The RTO is deliberately far above the simulated network latency
+// and far below the executor watchdog window, so both clocks resolve a
+// retransmission without tripping liveness checks.
+const (
+	DefaultRTO        = 50e-6
+	DefaultBackoff    = 2.0
+	DefaultMaxRetries = 12
+)
+
 // Enabled reports whether any fault injection is configured.
-func (f Faults) Enabled() bool { return f.AddrFrac > 0 || f.DataFrac > 0 }
+func (f Faults) Enabled() bool {
+	return f.AddrFrac > 0 || f.DataFrac > 0 || f.DropFrac > 0 || f.DupFrac > 0
+}
+
+func (f Faults) maxRetries() int {
+	if f.MaxRetries <= 0 {
+		return DefaultMaxRetries
+	}
+	return f.MaxRetries
+}
+
+// rto returns the retransmission timeout after the attempt-th lost
+// transmission (1-based): RTO · Backoff^(attempt−1).
+func (f Faults) rto(attempt int32) float64 {
+	d := f.RTO
+	if d <= 0 {
+		d = DefaultRTO
+	}
+	b := f.Backoff
+	if b <= 0 {
+		b = DefaultBackoff
+	}
+	for i := int32(1); i < attempt; i++ {
+		d *= b
+	}
+	return d
+}
+
+// hit converts a hash to a [0,1) coin toss against frac.
+func hit(h uint64, frac float64) bool {
+	return frac > 0 && float64(h>>11)/float64(1<<53) < frac
+}
 
 // delayData decides whether the data message snd is delayed. The key
 // (Obj, Dst, Seq) identifies a message uniquely machine-wide.
 func (f Faults) delayData(snd Send) bool {
-	if f.DataFrac <= 0 {
-		return false
-	}
-	h := util.Hash64(f.Seed, 0xDA7A, uint64(snd.Obj), uint64(snd.Dst), uint64(snd.Seq))
-	return float64(h>>11)/float64(1<<53) < f.DataFrac
+	return hit(util.Hash64(f.Seed, 0xDA7A, uint64(snd.Obj), uint64(snd.Dst), uint64(snd.Seq)), f.DataFrac)
 }
 
 // delayAddr decides whether the address package of src's mapIdx-th MAP to
 // dst is delayed.
 func (f Faults) delayAddr(src, dst graph.Proc, mapIdx int) bool {
-	if f.AddrFrac <= 0 {
-		return false
-	}
-	h := util.Hash64(f.Seed, 0xADD2, uint64(src), uint64(dst), uint64(mapIdx))
-	return float64(h>>11)/float64(1<<53) < f.AddrFrac
+	return hit(util.Hash64(f.Seed, 0xADD2, uint64(src), uint64(dst), uint64(mapIdx)), f.AddrFrac)
+}
+
+// dropData decides whether the attempt-th transmission (1-based) of data
+// message snd is lost in transit. The attempt number is part of the key so
+// a retransmission can succeed where the original was lost — and because
+// the attempt sequence of a message is itself deterministic, both backends
+// lose exactly the same transmissions.
+func (f Faults) dropData(snd Send, attempt int32) bool {
+	return hit(util.Hash64(f.Seed, 0xD209, uint64(snd.Obj), uint64(snd.Dst), uint64(snd.Seq), uint64(attempt)), f.DropFrac)
+}
+
+// dupData decides whether the (eventually delivered) data message snd
+// arrives in duplicate.
+func (f Faults) dupData(snd Send) bool {
+	return hit(util.Hash64(f.Seed, 0xD0B1, uint64(snd.Obj), uint64(snd.Dst), uint64(snd.Seq)), f.DupFrac)
+}
+
+// dropAddr decides whether the attempt-th transmission of src's seq-th
+// address package to dst is lost in transit.
+func (f Faults) dropAddr(src, dst graph.Proc, seq, attempt int32) bool {
+	return hit(util.Hash64(f.Seed, 0xAD09, uint64(src), uint64(dst), uint64(seq), uint64(attempt)), f.DropFrac)
+}
+
+// dupAddr decides whether src's seq-th address package to dst arrives in
+// duplicate.
+func (f Faults) dupAddr(src, dst graph.Proc, seq int32) bool {
+	return hit(util.Hash64(f.Seed, 0xADB1, uint64(src), uint64(dst), uint64(seq)), f.DupFrac)
 }
 
 // Backend supplies a Core with the mechanics that differ between the
@@ -123,7 +204,9 @@ type Backend interface {
 	// TryNotify attempts to deposit the address package for the given
 	// freshly allocated objects into dst's slot; it reports false while
 	// dst has not consumed the previous package (single-slot handshake).
-	TryNotify(dst graph.Proc, objs []graph.ObjID) bool
+	// seq is the package's per-(src,dst) sequence number; receivers use it
+	// to discard duplicated deliveries.
+	TryNotify(dst graph.Proc, objs []graph.ObjID, seq int32) bool
 	// ReadAddresses is the RA operation: consume every address package
 	// currently pending for this processor. Returns the packages consumed.
 	ReadAddresses() int
@@ -139,11 +222,13 @@ type Backend interface {
 	// Arrived returns the arrival counter of local object o and whether o
 	// is currently allocated.
 	Arrived(o graph.ObjID) (int32, bool)
-	// FaultWake guarantees a future Poll on this processor after fault
-	// injection delayed a message. The wall-clock backend busy-polls
-	// anyway (no-op); the virtual-clock backend schedules a wake event,
-	// since nothing else might re-examine the processor.
-	FaultWake()
+	// FaultWake guarantees a Poll on this processor at least delay clock
+	// seconds from now (delay 0: as soon as convenient), after fault
+	// injection delayed a message or the reliability layer armed a
+	// retransmission timer. The wall-clock backend busy-polls anyway
+	// (no-op); the virtual-clock backend schedules a wake event, since
+	// nothing else might re-examine the processor.
+	FaultWake(delay float64)
 }
 
 // Engine is the immutable shared state of one protocol run: the schedule,
@@ -207,18 +292,98 @@ type Stats struct {
 	DataSuspended int
 	// CtlSent is the number of control signals issued.
 	CtlSent int
-	// AddrConsumed is the number of address packages read (RA).
+	// AddrConsumed is the number of address packages read (RA), net of
+	// discarded duplicates.
 	AddrConsumed int
 	// FaultsInjected is the number of messages fault injection delayed.
 	FaultsInjected int
+	// Dropped is the number of transmissions (data messages and address
+	// packages) this processor lost to injected message loss.
+	Dropped int
+	// Retransmits is the number of retransmissions this processor
+	// performed after losing a transmission (attempts beyond the first).
+	Retransmits int
+	// DupsSent is the number of duplicate copies injected into this
+	// processor's deliveries; every one is discarded by the receiver's
+	// sequence-number dedup.
+	DupsSent int
+	// Acked is the number of transmissions confirmed delivered exactly
+	// once (data messages plus address packages).
+	Acked int
+}
+
+// Reliability summarizes the ack/retransmit layer for one processor.
+// Retransmits, Dropped, DupsSent and Acked are sender-side (from Stats);
+// DupDropped is receiver-side, counted by the backend that discarded the
+// duplicate deliveries. Machine-wide, DupsSent must equal DupDropped.
+type Reliability struct {
+	// Retransmits is the number of retransmissions performed.
+	Retransmits int
+	// Dropped is the number of transmissions lost to injected faults.
+	Dropped int
+	// DupsSent is the number of duplicate copies injected into deliveries.
+	DupsSent int
+	// DupDropped is the number of duplicate deliveries this processor's
+	// receivers discarded via sequence-number dedup.
+	DupDropped int
+	// Acked is the number of transmissions confirmed delivered.
+	Acked int
+}
+
+// Reliability extracts the sender-side reliability counters, attaching the
+// receiver-side duplicate-discard count the backend observed.
+func (s Stats) Reliability(dupDropped int) Reliability {
+	return Reliability{
+		Retransmits: s.Retransmits,
+		Dropped:     s.Dropped,
+		DupsSent:    s.DupsSent,
+		DupDropped:  dupDropped,
+		Acked:       s.Acked,
+	}
+}
+
+// SumReliability folds per-processor reliability counters into a
+// machine-wide total.
+func SumReliability(rs []Reliability) Reliability {
+	var t Reliability
+	for _, r := range rs {
+		t.Retransmits += r.Retransmits
+		t.Dropped += r.Dropped
+		t.DupsSent += r.DupsSent
+		t.DupDropped += r.DupDropped
+		t.Acked += r.Acked
+	}
+	return t
 }
 
 // pendPkg is one not-yet-deposited address package of the current MAP.
 type pendPkg struct {
-	dst     graph.Proc
-	objs    []graph.ObjID
+	dst  graph.Proc
+	objs []graph.ObjID
+	// seq is the per-(src,dst) package sequence number (1-based).
+	seq     int32
 	delayed bool
+	// dup marks an injected duplicate copy of an already-delivered
+	// package; it skips loss/duplication rolls and is discarded by the
+	// receiver's dedup when it lands.
+	dup bool
+	// attempt counts transmissions lost so far; due is the time the next
+	// retransmission may go out.
+	attempt int32
+	due     float64
 }
+
+// outSend is one data message in the outbound (suspended-send) queue:
+// waiting for its remote address, for a retransmission timer, or for an
+// earlier message with the same (object, destination) to be delivered
+// first (per-key FIFO keeps versions arriving in sequence order).
+type outSend struct {
+	snd     Send
+	attempt int32
+	due     float64
+}
+
+func sendKey(snd Send) [2]int32 { return [2]int32{int32(snd.Obj), int32(snd.Dst)} }
 
 // Core is the per-processor protocol state machine. Drivers loop on
 // Advance, acting on the returned Status, and call Poll in every blocking
@@ -230,11 +395,22 @@ type Core struct {
 	order []graph.TaskID
 	maps  []mem.MAP
 
-	pos       int32
-	mapIdx    int
-	pend      []pendPkg
-	suspended []Send
-	curTask   graph.TaskID
+	pos     int32
+	mapIdx  int
+	pend    []pendPkg
+	curTask graph.TaskID
+
+	// outq is the outbound data-message queue (the paper's suspended-send
+	// queue, extended with retransmission state); outKeys counts queued
+	// entries per (object, destination) so fresh sends cannot overtake a
+	// queued predecessor of the same key.
+	outq    []outSend
+	outKeys map[[2]int32]int
+	// addrSeq numbers the address packages sent to each destination.
+	addrSeq []int32
+	// err latches a fatal protocol error (retry budget exhausted) that the
+	// next Advance surfaces.
+	err error
 
 	// Stats accumulates protocol event counts; read it after Finished.
 	Stats Stats
@@ -248,11 +424,12 @@ type Core struct {
 // NewCore returns the protocol state machine for processor p backed by be.
 func (e *Engine) NewCore(p graph.Proc, be Backend) *Core {
 	return &Core{
-		eng:   e,
-		be:    be,
-		p:     p,
-		order: e.S.Order[p],
-		maps:  e.Plan.Procs[p].MAPs,
+		eng:     e,
+		be:      be,
+		p:       p,
+		order:   e.S.Order[p],
+		maps:    e.Plan.Procs[p].MAPs,
+		addrSeq: make([]int32, e.S.P),
 	}
 }
 
@@ -262,8 +439,27 @@ func (c *Core) Proc() graph.Proc { return c.p }
 // Pos returns the current position in the processor's task order.
 func (c *Core) Pos() int32 { return c.pos }
 
-// SuspendedLen returns the current suspended-send queue length.
-func (c *Core) SuspendedLen() int { return len(c.suspended) }
+// SuspendedLen returns the current outbound (suspended-send) queue length.
+func (c *Core) SuspendedLen() int { return len(c.outq) }
+
+// RetransPending returns the number of queued messages — data sends plus
+// address packages — currently awaiting a retransmission timer after an
+// injected loss. Watchdogs report it to make loss-induced stalls
+// diagnosable.
+func (c *Core) RetransPending() int {
+	n := 0
+	for i := range c.outq {
+		if c.outq[i].attempt > 0 {
+			n++
+		}
+	}
+	for i := range c.pend {
+		if c.pend[i].attempt > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // CurrentState returns the protocol state the core last entered.
 func (c *Core) CurrentState() State { return c.cur }
@@ -290,10 +486,17 @@ func (c *Core) closeOcc(now float64) {
 // Advance moves the processor to its next protocol decision point and
 // tells the driver what to do. It never blocks.
 func (c *Core) Advance(now float64) (Status, error) {
+	if c.err != nil {
+		return Status{}, c.err
+	}
 	// Finish the MAP handshake: deposit queued address packages, retrying
-	// while a destination's single slot is occupied.
+	// while a destination's single slot is occupied (or, after an injected
+	// loss, while the retransmission timer runs).
 	if len(c.pend) > 0 {
-		if !c.flushNotify() {
+		if !c.flushNotify(now) {
+			if c.err != nil {
+				return Status{}, c.err
+			}
 			c.enter(StateMAP, now)
 			return Status{Kind: Blocked, State: StateMAP}, nil
 		}
@@ -310,9 +513,9 @@ func (c *Core) Advance(now float64) (Status, error) {
 		c.queueNotify(m)
 		return Status{Kind: RunMAP, MAP: m}, nil
 	}
-	// END state: out of tasks, drain the suspended queue.
+	// END state: out of tasks, drain the outbound queue.
 	if int(c.pos) >= len(c.order) {
-		if len(c.suspended) > 0 {
+		if len(c.outq) > 0 {
 			c.enter(StateEND, now)
 			return Status{Kind: Blocked, State: StateEND}, nil
 		}
@@ -347,33 +550,119 @@ func (c *Core) queueNotify(m *mem.MAP) {
 	}
 	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
 	for _, dst := range dsts {
+		c.addrSeq[dst]++
 		c.pend = append(c.pend, pendPkg{
 			dst:     dst,
 			objs:    m.Notify[dst],
+			seq:     c.addrSeq[dst],
 			delayed: c.eng.Faults.delayAddr(c.p, dst, c.mapIdx-1),
 		})
 	}
 }
 
 // flushNotify attempts every pending address package once and reports
-// whether all went out. A fault-delayed package skips one attempt.
-func (c *Core) flushNotify() bool {
+// whether all went out. A fault-delayed package skips one attempt; a
+// dropped transmission stays queued until its retransmission timer (RTO
+// with exponential backoff) expires; a successfully deposited package may
+// be followed by an injected duplicate copy, which travels through the
+// same single-slot handshake and is discarded by the receiver's dedup.
+func (c *Core) flushNotify(now float64) bool {
 	kept := c.pend[:0]
 	for i := range c.pend {
 		pk := c.pend[i]
 		if pk.delayed {
 			pk.delayed = false
 			c.Stats.FaultsInjected++
-			c.be.FaultWake()
+			c.be.FaultWake(0)
 			kept = append(kept, pk)
 			continue
 		}
-		if !c.be.TryNotify(pk.dst, pk.objs) {
+		if pk.due > now {
+			c.be.FaultWake(pk.due - now)
 			kept = append(kept, pk)
+			continue
+		}
+		if !pk.dup && c.eng.Faults.dropAddr(c.p, pk.dst, pk.seq, pk.attempt+1) {
+			// This transmission is lost in transit: the slot is untouched
+			// and the receiver sees nothing. Arm the retransmission timer.
+			pk.attempt++
+			if pk.attempt > 1 {
+				c.Stats.Retransmits++
+			}
+			c.Stats.Dropped++
+			if int(pk.attempt) > c.eng.Faults.maxRetries() {
+				c.err = fmt.Errorf("proto: proc %d: address package %d to processor %d lost %d times, retry budget %d exhausted",
+					c.p, pk.seq, pk.dst, pk.attempt, c.eng.Faults.maxRetries())
+				kept = append(kept, pk)
+				continue
+			}
+			pk.due = now + c.eng.Faults.rto(pk.attempt)
+			c.be.FaultWake(pk.due - now)
+			kept = append(kept, pk)
+			continue
+		}
+		if !c.be.TryNotify(pk.dst, pk.objs, pk.seq) {
+			// Slot occupied: the ordinary MAP handshake retry, not a loss.
+			kept = append(kept, pk)
+			continue
+		}
+		if pk.dup {
+			c.Stats.DupsSent++
+			continue
+		}
+		if pk.attempt > 0 {
+			c.Stats.Retransmits++
+		}
+		c.Stats.Acked++
+		if c.eng.Faults.dupAddr(c.p, pk.dst, pk.seq) {
+			// Queue an identical second copy; it deposits once the slot
+			// frees and the receiver discards it by sequence number.
+			kept = append(kept, pendPkg{dst: pk.dst, objs: pk.objs, seq: pk.seq, dup: true})
 		}
 	}
 	c.pend = kept
 	return len(c.pend) == 0
+}
+
+// pushOut appends a data message to the outbound queue.
+func (c *Core) pushOut(m outSend) {
+	if c.outKeys == nil {
+		c.outKeys = make(map[[2]int32]int)
+	}
+	c.outKeys[sendKey(m.snd)]++
+	c.outq = append(c.outq, m)
+}
+
+// transmit performs one transmission attempt of m's data message and
+// reports whether it was delivered. A lost attempt arms m's retransmission
+// timer (exponential backoff, capped retry budget); a delivered message may
+// be followed by an injected duplicate copy that the receiver discards.
+func (c *Core) transmit(m *outSend, now float64) bool {
+	m.attempt++
+	if m.attempt > 1 {
+		c.Stats.Retransmits++
+	}
+	if c.eng.Faults.dropData(m.snd, m.attempt) {
+		c.Stats.Dropped++
+		if int(m.attempt) > c.eng.Faults.maxRetries() {
+			c.err = fmt.Errorf("proto: proc %d: data message (object %d seq %d to processor %d) lost %d times, retry budget %d exhausted",
+				c.p, m.snd.Obj, m.snd.Seq, m.snd.Dst, m.attempt, c.eng.Faults.maxRetries())
+			return false
+		}
+		m.due = now + c.eng.Faults.rto(m.attempt)
+		c.be.FaultWake(m.due - now)
+		return false
+	}
+	c.be.SendData(m.snd)
+	c.Stats.DataSent++
+	c.Stats.Acked++
+	if c.eng.Faults.dupData(m.snd) {
+		// Deliver a second copy; the receiver's per-buffer sequence check
+		// discards it without touching the arrival counter.
+		c.be.SendData(m.snd)
+		c.Stats.DupsSent++
+	}
+	return true
 }
 
 // ready implements the REC condition for task t: all cross-processor
@@ -398,7 +687,10 @@ func (c *Core) ready(t graph.TaskID) (bool, error) {
 
 // TaskDone records completion of the task last returned by Advance and
 // performs the SND state: data messages whose remote address is unknown —
-// or that fault injection delays — go onto the suspended-send queue.
+// or that fault injection delays, or whose (object, destination) key has a
+// queued predecessor awaiting retransmission — go onto the outbound queue;
+// the rest transmit immediately (and join the queue if that transmission
+// is lost).
 func (c *Core) TaskDone(now float64) {
 	c.enter(StateSND, now)
 	t := c.curTask
@@ -407,17 +699,19 @@ func (c *Core) TaskDone(now float64) {
 		if c.eng.Faults.delayData(snd) {
 			c.Stats.FaultsInjected++
 			c.Stats.DataSuspended++
-			c.suspended = append(c.suspended, snd)
-			c.be.FaultWake()
+			c.pushOut(outSend{snd: snd})
+			c.be.FaultWake(0)
 			continue
 		}
-		if !c.be.AddrKnown(snd) {
+		if (len(c.outq) > 0 && c.outKeys[sendKey(snd)] > 0) || !c.be.AddrKnown(snd) {
 			c.Stats.DataSuspended++
-			c.suspended = append(c.suspended, snd)
+			c.pushOut(outSend{snd: snd})
 			continue
 		}
-		c.be.SendData(snd)
-		c.Stats.DataSent++
+		m := outSend{snd: snd}
+		if !c.transmit(&m, now) {
+			c.pushOut(m)
+		}
 	}
 	for _, v := range c.eng.Tables.CtlSends[t] {
 		c.be.SendCtl(v)
@@ -426,32 +720,47 @@ func (c *Core) TaskDone(now float64) {
 	c.pos++
 }
 
-// Poll runs RA (read address packages) then CQ (dispatch suspended sends
-// whose addresses are now known, FIFO per (object, destination)) — the two
-// operations the protocol requires in every blocking state. It reports
-// whether any message moved, which drivers use as a progress signal.
+// Poll runs RA (read address packages) then CQ (dispatch queued sends
+// whose addresses are known and whose retransmission timers have expired,
+// FIFO per (object, destination)) — the two operations the protocol
+// requires in every blocking state. It reports whether any message moved,
+// which drivers use as a progress signal.
 func (c *Core) Poll(now float64) bool {
-	_ = now
 	progress := false
 	if n := c.be.ReadAddresses(); n > 0 {
 		c.Stats.AddrConsumed += n
 		progress = true
 	}
-	if len(c.suspended) > 0 {
+	if len(c.outq) > 0 {
 		blocked := make(map[[2]int32]bool)
-		kept := c.suspended[:0]
-		for _, snd := range c.suspended {
-			k := [2]int32{int32(snd.Obj), int32(snd.Dst)}
-			if blocked[k] || !c.be.AddrKnown(snd) {
+		kept := c.outq[:0]
+		for i := range c.outq {
+			m := c.outq[i]
+			k := sendKey(m.snd)
+			if blocked[k] || !c.be.AddrKnown(m.snd) {
 				blocked[k] = true
-				kept = append(kept, snd)
+				kept = append(kept, m)
 				continue
 			}
-			c.be.SendData(snd)
-			c.Stats.DataSent++
+			if m.due > now {
+				// Retransmission timer still running; later messages of the
+				// same key must wait behind it to keep versions in order.
+				blocked[k] = true
+				kept = append(kept, m)
+				c.be.FaultWake(m.due - now)
+				continue
+			}
+			if !c.transmit(&m, now) {
+				blocked[k] = true
+				kept = append(kept, m)
+				continue
+			}
+			if c.outKeys[k]--; c.outKeys[k] == 0 {
+				delete(c.outKeys, k)
+			}
 			progress = true
 		}
-		c.suspended = kept
+		c.outq = kept
 	}
 	return progress
 }
@@ -463,15 +772,23 @@ func (c *Core) BlockedInfo() string {
 	switch {
 	case len(c.pend) > 0:
 		dsts := make([]graph.Proc, len(c.pend))
+		retrans := 0
 		for i, pk := range c.pend {
 			dsts[i] = pk.dst
+			if pk.attempt > 0 {
+				retrans++
+			}
 		}
-		return fmt.Sprintf("MAP state: waiting to deposit address packages to processors %v (previous package not yet consumed)", dsts)
+		return fmt.Sprintf("MAP state: waiting to deposit address packages to processors %v (previous package not yet consumed; %d awaiting retransmission)", dsts, retrans)
 	case int(c.pos) >= len(c.order):
-		if len(c.suspended) > 0 {
-			snd := c.suspended[0]
-			return fmt.Sprintf("END state: draining %d suspended sends, head is object %q to processor %d (address not yet received)",
-				len(c.suspended), g.Objects[snd.Obj].Name, snd.Dst)
+		if len(c.outq) > 0 {
+			m := c.outq[0]
+			why := "address not yet received"
+			if m.attempt > 0 {
+				why = fmt.Sprintf("lost %d times, awaiting retransmission", m.attempt)
+			}
+			return fmt.Sprintf("END state: draining %d suspended sends, head is object %q to processor %d (%s)",
+				len(c.outq), g.Objects[m.snd.Obj].Name, m.snd.Dst, why)
 		}
 		return "finished"
 	default:

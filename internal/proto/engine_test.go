@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -26,11 +27,19 @@ type loopBackend struct {
 	m        *loopMachine
 	p        graph.Proc
 	arrivals map[graph.ObjID]int32
-	alloc    map[graph.ObjID]bool
-	addr     map[[2]int32]bool
+	// lastSeq is the highest data-message sequence delivered per object
+	// (receiver-side dedup).
+	lastSeq map[graph.ObjID]int32
+	alloc   map[graph.ObjID]bool
+	addr    map[[2]int32]bool
 	// slots[src] holds the at-most-one in-flight package from src.
-	slots []([]graph.ObjID)
-	full  []bool
+	slots   []([]graph.ObjID)
+	slotSeq []int32
+	full    []bool
+	// seen is the highest address-package sequence consumed per source.
+	seen []int32
+	// dupDrop counts duplicate deliveries this processor discarded.
+	dupDrop int
 }
 
 func newLoopMachine(t *testing.T, s *sched.Schedule, pl *mem.Plan, f Faults) *loopMachine {
@@ -44,10 +53,13 @@ func newLoopMachine(t *testing.T, s *sched.Schedule, pl *mem.Plan, f Faults) *lo
 		be := &loopBackend{
 			m: m, p: graph.Proc(p),
 			arrivals: make(map[graph.ObjID]int32),
+			lastSeq:  make(map[graph.ObjID]int32),
 			alloc:    make(map[graph.ObjID]bool),
 			addr:     make(map[[2]int32]bool),
 			slots:    make([][]graph.ObjID, s.P),
+			slotSeq:  make([]int32, s.P),
 			full:     make([]bool, s.P),
+			seen:     make([]int32, s.P),
 		}
 		m.be = append(m.be, be)
 		m.cores = append(m.cores, eng.NewCore(graph.Proc(p), be))
@@ -59,10 +71,18 @@ func newLoopMachine(t *testing.T, s *sched.Schedule, pl *mem.Plan, f Faults) *lo
 // test if no core makes progress for a full sweep repeatedly (deadlock).
 func (m *loopMachine) run(t *testing.T) {
 	t.Helper()
+	if err := m.runE(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runE is run returning errors instead of failing the test, for tests that
+// expect the protocol to abort (e.g. retry-budget exhaustion).
+func (m *loopMachine) runE() error {
 	done := make([]bool, len(m.cores))
 	for round := 0; ; round++ {
 		if round > 100000 {
-			t.Fatal("loop harness: no termination after 100000 rounds")
+			return fmt.Errorf("loop harness: no termination after 100000 rounds")
 		}
 		allDone := true
 		for i, c := range m.cores {
@@ -73,7 +93,7 @@ func (m *loopMachine) run(t *testing.T) {
 			m.tick++
 			st, err := c.Advance(m.tick)
 			if err != nil {
-				t.Fatal(err)
+				return err
 			}
 			switch st.Kind {
 			case RunMAP:
@@ -89,7 +109,7 @@ func (m *loopMachine) run(t *testing.T) {
 			}
 		}
 		if allDone {
-			return
+			return nil
 		}
 	}
 }
@@ -106,12 +126,13 @@ func (be *loopBackend) ApplyMAP(mp *mem.MAP) error {
 	return nil
 }
 
-func (be *loopBackend) TryNotify(dst graph.Proc, objs []graph.ObjID) bool {
+func (be *loopBackend) TryNotify(dst graph.Proc, objs []graph.ObjID, seq int32) bool {
 	peer := be.m.be[dst]
 	if peer.full[be.p] {
 		return false
 	}
 	peer.slots[be.p] = objs
+	peer.slotSeq[be.p] = seq
 	peer.full[be.p] = true
 	return true
 }
@@ -122,10 +143,15 @@ func (be *loopBackend) ReadAddresses() int {
 		if !be.full[src] {
 			continue
 		}
+		be.full[src] = false
+		if be.slotSeq[src] <= be.seen[src] {
+			be.dupDrop++
+			continue
+		}
+		be.seen[src] = be.slotSeq[src]
 		for _, o := range be.slots[src] {
 			be.addr[[2]int32{int32(o), int32(src)}] = true
 		}
-		be.full[src] = false
 		n++
 	}
 	return n
@@ -135,7 +161,15 @@ func (be *loopBackend) AddrKnown(snd Send) bool {
 	return be.addr[[2]int32{int32(snd.Obj), int32(snd.Dst)}]
 }
 
-func (be *loopBackend) SendData(snd Send) { be.m.be[snd.Dst].arrivals[snd.Obj]++ }
+func (be *loopBackend) SendData(snd Send) {
+	peer := be.m.be[snd.Dst]
+	if snd.Seq <= peer.lastSeq[snd.Obj] {
+		peer.dupDrop++
+		return
+	}
+	peer.lastSeq[snd.Obj] = snd.Seq
+	peer.arrivals[snd.Obj]++
+}
 
 func (be *loopBackend) SendCtl(t graph.TaskID) { be.m.ctl[t]++ }
 
@@ -148,7 +182,7 @@ func (be *loopBackend) Arrived(o graph.ObjID) (int32, bool) {
 	return be.arrivals[o], true
 }
 
-func (be *loopBackend) FaultWake() {} // round-robin re-examines everyone
+func (be *loopBackend) FaultWake(delay float64) {} // round-robin re-examines everyone
 
 func planFor(t *testing.T, s *sched.Schedule) *mem.Plan {
 	t.Helper()
@@ -273,6 +307,170 @@ func TestFaultsDeterministic(t *testing.T) {
 		snd := Send{Obj: graph.ObjID(i), Dst: 1, Seq: int32(i)}
 		if !all.delayData(snd) || none.delayData(snd) {
 			t.Fatalf("send %d: frac-1 must delay, frac-0 must not", i)
+		}
+	}
+}
+
+// TestCoreLossAndDup drives random schedules under heavy message loss and
+// duplication: every message must still be delivered exactly once (totals
+// equal the communication tables), every lost transmission must be
+// retransmitted, every injected duplicate must be discarded by a receiver,
+// and the acked count must equal the messages actually delivered.
+func TestCoreLossAndDup(t *testing.T) {
+	rng := util.NewRNG(123)
+	totalDropped := 0
+	for trial := 0; trial < 6; trial++ {
+		p := 2 + rng.Intn(3)
+		g := randomDAG(rng, 25+rng.Intn(30), 6+rng.Intn(8), p)
+		assign, err := sched.OwnerComputeAssign(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.ScheduleWith([]sched.Heuristic{sched.RCP, sched.MPO, sched.DTS}[trial%3],
+			g, assign, p, sched.Unit(), 1<<40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := planFor(t, s)
+		m := newLoopMachine(t, s, pl, Faults{Seed: uint64(trial + 1), DropFrac: 0.3, DupFrac: 0.2})
+		m.run(t)
+
+		totalSends := 0
+		for v := 0; v < g.NumTasks(); v++ {
+			totalSends += len(m.eng.Tables.Sends[v])
+		}
+		gotSends, dropped, retrans, dupsSent, dupDropped, acked, addrConsumed, leftover := 0, 0, 0, 0, 0, 0, 0, 0
+		for q, c := range m.cores {
+			if c.SuspendedLen() != 0 {
+				t.Errorf("trial %d: proc %d finished with %d suspended sends", trial, q, c.SuspendedLen())
+			}
+			gotSends += c.Stats.DataSent
+			dropped += c.Stats.Dropped
+			retrans += c.Stats.Retransmits
+			dupsSent += c.Stats.DupsSent
+			acked += c.Stats.Acked
+			addrConsumed += c.Stats.AddrConsumed
+			dupDropped += m.be[q].dupDrop
+			// A duplicated address package deposited after its receiver
+			// finished stays in the slot unconsumed; it is the only kind of
+			// message legitimately in flight at termination.
+			for src, f := range m.be[q].full {
+				if f {
+					if m.be[q].slotSeq[src] > m.be[q].seen[src] {
+						t.Errorf("trial %d: proc %d finished with a non-duplicate package from %d unconsumed", trial, q, src)
+					}
+					leftover++
+				}
+			}
+		}
+		if gotSends != totalSends {
+			t.Errorf("trial %d: %d messages delivered, tables have %d", trial, gotSends, totalSends)
+		}
+		if retrans != dropped {
+			t.Errorf("trial %d: %d retransmits for %d drops (must be equal when every message is eventually delivered)",
+				trial, retrans, dropped)
+		}
+		if dupsSent != dupDropped+leftover {
+			t.Errorf("trial %d: %d duplicates injected, %d discarded + %d in flight at termination",
+				trial, dupsSent, dupDropped, leftover)
+		}
+		if acked != totalSends+addrConsumed {
+			t.Errorf("trial %d: %d acked, want %d data + %d address packages", trial, acked, totalSends, addrConsumed)
+		}
+		totalDropped += dropped
+	}
+	if totalDropped == 0 {
+		t.Error("DropFrac 0.3 lost no transmissions across all trials")
+	}
+}
+
+// TestCoreLossDeterministic: two runs with the same seed produce identical
+// reliability counters.
+func TestCoreLossDeterministic(t *testing.T) {
+	s := figure2Schedule(t)
+	pl := planFor(t, s)
+	f := Faults{Seed: 7, DropFrac: 0.4, DupFrac: 0.3}
+	m1 := newLoopMachine(t, s, pl, f)
+	m1.run(t)
+	m2 := newLoopMachine(t, s, pl, f)
+	m2.run(t)
+	for q := range m1.cores {
+		if m1.cores[q].Stats != m2.cores[q].Stats {
+			t.Errorf("proc %d: same seed, different stats:\n%+v\n%+v", q, m1.cores[q].Stats, m2.cores[q].Stats)
+		}
+	}
+}
+
+// TestCoreRetryBudgetExhaustion: with DropFrac 1 every transmission is
+// lost, so the first message must exhaust its retry budget and abort the
+// run with a descriptive error instead of hanging.
+func TestCoreRetryBudgetExhaustion(t *testing.T) {
+	s := figure2Schedule(t)
+	pl := planFor(t, s)
+	m := newLoopMachine(t, s, pl, Faults{Seed: 9, DropFrac: 1, MaxRetries: 3})
+	err := m.runE()
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("want retry-budget error, got %v", err)
+	}
+}
+
+// TestRTOBackoff: the retransmission timeout grows exponentially and the
+// zero-value Faults fall back to the documented defaults.
+func TestRTOBackoff(t *testing.T) {
+	f := Faults{RTO: 1, Backoff: 2}
+	for attempt, want := range map[int32]float64{1: 1, 2: 2, 3: 4, 4: 8} {
+		if got := f.rto(attempt); got != want {
+			t.Errorf("rto(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	var d Faults
+	if d.rto(1) != DefaultRTO {
+		t.Errorf("default rto(1) = %v, want %v", d.rto(1), DefaultRTO)
+	}
+	if d.rto(2) != DefaultRTO*DefaultBackoff {
+		t.Errorf("default rto(2) = %v, want %v", d.rto(2), DefaultRTO*DefaultBackoff)
+	}
+	if d.maxRetries() != DefaultMaxRetries {
+		t.Errorf("default maxRetries = %d, want %d", d.maxRetries(), DefaultMaxRetries)
+	}
+	if (Faults{MaxRetries: 5}).maxRetries() != 5 {
+		t.Error("explicit MaxRetries ignored")
+	}
+	if !(Faults{DropFrac: 0.1}).Enabled() || !(Faults{DupFrac: 0.1}).Enabled() {
+		t.Error("drop/dup fractions must enable injection")
+	}
+}
+
+// TestDropDupDeterministic: loss and duplication verdicts are pure
+// functions of (seed, message identity, attempt); a retransmission rolls a
+// fresh verdict, and fraction 1/0 drop everything/nothing.
+func TestDropDupDeterministic(t *testing.T) {
+	f1 := Faults{Seed: 42, DropFrac: 0.5, DupFrac: 0.5}
+	f2 := Faults{Seed: 42, DropFrac: 0.5, DupFrac: 0.5}
+	for i := 0; i < 100; i++ {
+		snd := Send{Obj: graph.ObjID(i % 7), Dst: graph.Proc(i % 3), Seq: int32(i)}
+		for attempt := int32(1); attempt <= 3; attempt++ {
+			if f1.dropData(snd, attempt) != f2.dropData(snd, attempt) {
+				t.Fatalf("send %d attempt %d: same seed, different drop verdicts", i, attempt)
+			}
+			if f1.dropAddr(graph.Proc(i%3), graph.Proc(i%5), int32(i), attempt) !=
+				f2.dropAddr(graph.Proc(i%3), graph.Proc(i%5), int32(i), attempt) {
+				t.Fatalf("addr %d attempt %d: same seed, different drop verdicts", i, attempt)
+			}
+		}
+		if f1.dupData(snd) != f2.dupData(snd) || f1.dupAddr(graph.Proc(i%3), graph.Proc(i%5), int32(i)) != f2.dupAddr(graph.Proc(i%3), graph.Proc(i%5), int32(i)) {
+			t.Fatalf("message %d: same seed, different dup verdicts", i)
+		}
+	}
+	all := Faults{Seed: 1, DropFrac: 1, DupFrac: 1}
+	var none Faults
+	for i := 0; i < 20; i++ {
+		snd := Send{Obj: graph.ObjID(i), Dst: 1, Seq: int32(i)}
+		if !all.dropData(snd, 1) || none.dropData(snd, 1) {
+			t.Fatalf("send %d: frac-1 must drop, frac-0 must not", i)
+		}
+		if !all.dupData(snd) || none.dupData(snd) {
+			t.Fatalf("send %d: frac-1 must duplicate, frac-0 must not", i)
 		}
 	}
 }

@@ -51,6 +51,20 @@ type Config struct {
 	// whose planned footprint would overflow it queue until space frees.
 	// 0 disables admission control.
 	AvailMem int64
+	// JobTimeout bounds each execution attempt: it becomes the executor's
+	// watchdog BlockTimeout, so a job stalled by faults (or a kernel bug)
+	// fails with a machine-state dump instead of wedging a worker forever.
+	// 0 uses the executor default.
+	JobTimeout time.Duration
+	// MaxJobRetries bounds re-execution of jobs that fail under injected
+	// faults; each retry uses a different fault seed so it does not replay
+	// the loss pattern that killed the previous attempt. 0 means the
+	// default (2); negative disables retries. Fault-free jobs never retry:
+	// their failures are deterministic.
+	MaxJobRetries int
+	// RetryBackoff is the delay before the first retry (default 10ms),
+	// doubled on each subsequent attempt.
+	RetryBackoff time.Duration
 	// Metrics receives cache and job counters (nil: a fresh registry).
 	Metrics *trace.Metrics
 }
@@ -79,6 +93,16 @@ type JobSpec struct {
 	// HoldMS keeps the job's memory booked for this long after execution
 	// (demos and tests of the admission queue).
 	HoldMS int `json:"hold_ms"`
+	// DropFrac injects deterministic message loss: this fraction of
+	// protocol transmissions is dropped in transit and recovered by the
+	// engine's retransmit layer. Range [0, 1]; 1 exhausts the retry budget
+	// and fails the job (chaos testing).
+	DropFrac float64 `json:"drop_frac"`
+	// DupFrac injects duplicate deliveries, discarded by receiver dedup.
+	DupFrac float64 `json:"dup_frac"`
+	// FaultSeed selects the deterministic fault plan (default 1 when any
+	// fault fraction is nonzero). Retries add the attempt number.
+	FaultSeed uint64 `json:"fault_seed"`
 }
 
 // JobStatus enumerates a job's lifecycle. Pending → (Queued →) Running →
@@ -112,6 +136,12 @@ type Job struct {
 	// Tasks and Objects describe the compiled graph.
 	Tasks   int `json:"tasks,omitempty"`
 	Objects int `json:"objects,omitempty"`
+	// Attempts counts execution attempts; >1 means fault-failed runs were
+	// retried with fresh fault seeds.
+	Attempts int `json:"attempts,omitempty"`
+	// Retransmits is the machine-wide retransmission count of the engine's
+	// reliability layer (nonzero only under injected loss).
+	Retransmits int64 `json:"retransmits,omitempty"`
 	// MAPs is the total number of memory allocation points executed.
 	MAPs int `json:"maps,omitempty"`
 	// PeakUnits is the max per-processor peak observed by the executor.
@@ -138,12 +168,25 @@ type Server struct {
 	jobs map[string]*Job
 	done map[string]chan struct{}
 	seq  int
+
+	// execHook, when set (tests), runs after admission just before the
+	// executor; a panic here exercises the job-level recovery path.
+	execHook func(spec JobSpec)
 }
 
 // New creates a Server.
 func New(cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = trace.NewMetrics()
+	}
+	if cfg.MaxJobRetries == 0 {
+		cfg.MaxJobRetries = 2
+	}
+	if cfg.MaxJobRetries < 0 {
+		cfg.MaxJobRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 10 * time.Millisecond
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -304,7 +347,30 @@ func normalizeSpec(spec *JobSpec) error {
 	if spec.HoldMS < 0 || spec.HoldMS > 60000 {
 		return fmt.Errorf("rapidd: hold_ms=%d out of range [0, 60000]", spec.HoldMS)
 	}
+	if spec.DropFrac < 0 || spec.DropFrac > 1 {
+		return fmt.Errorf("rapidd: drop_frac=%g out of range [0, 1]", spec.DropFrac)
+	}
+	if spec.DupFrac < 0 || spec.DupFrac > 1 {
+		return fmt.Errorf("rapidd: dup_frac=%g out of range [0, 1]", spec.DupFrac)
+	}
+	if (spec.DropFrac > 0 || spec.DupFrac > 0) && spec.FaultSeed == 0 {
+		spec.FaultSeed = 1
+	}
 	return nil
+}
+
+// faultsFor derives the fault plan of one execution attempt. Retries shift
+// the seed so a re-run does not deterministically replay the exact loss
+// pattern that exhausted the previous attempt's retry budget.
+func faultsFor(spec JobSpec, attempt int) rapid.Faults {
+	if spec.DropFrac == 0 && spec.DupFrac == 0 {
+		return rapid.Faults{}
+	}
+	return rapid.Faults{
+		Seed:     spec.FaultSeed + uint64(attempt),
+		DropFrac: spec.DropFrac,
+		DupFrac:  spec.DupFrac,
+	}
 }
 
 func parseHeuristic(name string) (rapid.Heuristic, error) {
@@ -335,24 +401,50 @@ func (s *Server) update(id string, f func(*Job)) {
 	s.mu.Unlock()
 }
 
-// run drives one job through compile → admit → execute → verify.
+// run drives one job through compile → admit → execute → verify, retrying
+// fault-injected jobs (with exponential backoff and a fresh fault seed per
+// attempt) up to MaxJobRetries. A job that fails without injected faults is
+// deterministic, so it fails immediately.
 func (s *Server) run(id string, done chan struct{}) {
 	defer close(done)
 	s.mu.Lock()
 	spec := s.jobs[id].Spec
 	s.mu.Unlock()
 
-	err := s.solve(id, spec)
-	if err != nil {
-		s.update(id, func(j *Job) {
-			j.Status = StatusFailed
-			j.Error = err.Error()
-		})
-		s.metrics.Inc("rapidd.jobs.failed", 1)
-		return
+	var err error
+	for attempt := 0; ; attempt++ {
+		s.update(id, func(j *Job) { j.Attempts = attempt + 1 })
+		err = s.attempt(id, spec, attempt)
+		if err == nil {
+			s.setStatus(id, StatusDone)
+			s.metrics.Inc("rapidd.jobs.completed", 1)
+			return
+		}
+		if !faultsFor(spec, attempt).Enabled() || attempt >= s.cfg.MaxJobRetries {
+			break
+		}
+		s.metrics.Inc("rapidd.jobs.retried", 1)
+		time.Sleep(s.cfg.RetryBackoff << attempt)
 	}
-	s.setStatus(id, StatusDone)
-	s.metrics.Inc("rapidd.jobs.completed", 1)
+	s.update(id, func(j *Job) {
+		j.Status = StatusFailed
+		j.Error = err.Error()
+	})
+	s.metrics.Inc("rapidd.jobs.failed", 1)
+}
+
+// attempt runs one execution attempt, converting a panic anywhere in the
+// compile/execute path into a job failure instead of a daemon crash. The
+// booked admission units are released during unwinding (solve defers the
+// release), so a panicking job cannot leak budget.
+func (s *Server) attempt(id string, spec JobSpec, attempt int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.Inc("rapidd.jobs.panics", 1)
+			err = fmt.Errorf("rapidd: job panicked: %v", r)
+		}
+	}()
+	return s.solve(id, spec, attempt)
 }
 
 // problem abstracts the two factorization kinds for the executor.
@@ -364,7 +456,7 @@ type problem struct {
 	verify func(rep *rapid.Report) float64
 }
 
-func (s *Server) solve(id string, spec JobSpec) error {
+func (s *Server) solve(id string, spec JobSpec, attempt int) error {
 	h, _ := parseHeuristic(spec.Heuristic)
 	pb, err := buildProblem(spec)
 	if err != nil {
@@ -419,9 +511,14 @@ func (s *Server) solve(id string, spec JobSpec) error {
 	defer s.adm.release(demand)
 	s.setStatus(id, StatusRunning)
 
+	if s.execHook != nil {
+		s.execHook(spec)
+	}
 	t1 := time.Now()
 	rep, err := rapid.Execute(pb.prog, plan, rapid.ExecOptions{
 		Kernel: pb.kernel, Init: pb.init, BufLen: pb.bufLen,
+		Faults:       faultsFor(spec, attempt),
+		BlockTimeout: s.cfg.JobTimeout,
 	})
 	if err != nil {
 		return err
@@ -449,7 +546,14 @@ func (s *Server) solve(id string, spec JobSpec) error {
 	for name, us := range stateUS {
 		s.metrics.Inc("rapidd.state."+strings.ToLower(name)+"_us", us)
 	}
+	rel := rapid.SumReliability(rep.Reliability)
+	s.metrics.Inc("rapidd.reliability.retransmits", int64(rel.Retransmits))
+	s.metrics.Inc("rapidd.reliability.dropped", int64(rel.Dropped))
+	s.metrics.Inc("rapidd.reliability.dups_sent", int64(rel.DupsSent))
+	s.metrics.Inc("rapidd.reliability.dups_dropped", int64(rel.DupDropped))
+	s.metrics.Inc("rapidd.reliability.acked", int64(rel.Acked))
 	s.update(id, func(j *Job) {
+		j.Retransmits = int64(rel.Retransmits)
 		j.MAPs = maps
 		j.PeakUnits = peak
 		j.Residual = residual

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -289,6 +290,8 @@ func TestServerValidation(t *testing.T) {
 		`{"procs":-1}`,
 		`{"heuristic":"fifo"}`,
 		`{"mem_percent":200}`,
+		`{"drop_frac":1.5}`,
+		`{"dup_frac":-0.2}`,
 		`not json`,
 	} {
 		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader([]byte(body)))
@@ -417,5 +420,119 @@ func TestServerStateOccupancyMetrics(t *testing.T) {
 	}
 	if stats.Counters["rapidd.state.exe_us"] != j.StateUS["EXE"] {
 		t.Errorf("stats exe_us %d != job EXE %d", stats.Counters["rapidd.state.exe_us"], j.StateUS["EXE"])
+	}
+}
+
+// TestServerFaultInjectedJobRetransmits runs a job under injected message
+// loss and duplication: the reliability layer must absorb the faults (the
+// residual is still exact), and the retransmit activity must be visible on
+// the job record and in the rapidd.reliability.* counters.
+func TestServerFaultInjectedJobRetransmits(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{Metrics: metrics})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	j := solveSync(t, ts, JobSpec{
+		Kind: "chol", N: 100, Seed: 3, Procs: 3, Verify: true,
+		DropFrac: 0.25, DupFrac: 0.10, FaultSeed: 2,
+	})
+	if j.Status != StatusDone {
+		t.Fatalf("faulty job: %s (%s)", j.Status, j.Error)
+	}
+	if j.Residual > 1e-8 {
+		t.Fatalf("residual %g under faults, want exact factorization", j.Residual)
+	}
+	if j.Retransmits == 0 {
+		t.Error("25%% loss injected but job reports zero retransmits")
+	}
+	if j.Attempts != 1 {
+		t.Errorf("job took %d attempts, want 1 (the reliability layer, not retries, absorbs loss)", j.Attempts)
+	}
+	if metrics.Get("rapidd.reliability.retransmits") != j.Retransmits {
+		t.Errorf("reliability counter %d != job retransmits %d",
+			metrics.Get("rapidd.reliability.retransmits"), j.Retransmits)
+	}
+	if metrics.Get("rapidd.reliability.acked") == 0 {
+		t.Error("acked counter not bumped")
+	}
+
+	// A fault-free job reports zero retransmits.
+	clean := solveSync(t, ts, JobSpec{Kind: "chol", N: 100, Seed: 3, Procs: 3})
+	if clean.Status != StatusDone || clean.Retransmits != 0 {
+		t.Fatalf("clean job: %s retransmits=%d, want done with 0", clean.Status, clean.Retransmits)
+	}
+}
+
+// TestServerFailingJobReleasesAdmission is the admission-leak regression
+// test: a job whose fault plan is unsurvivable (every transmission dropped,
+// so the engine's retry budget is exhausted on every attempt) must fail —
+// after its bounded retries — without leaking one unit of booked admission
+// budget, and the machine must still run subsequent jobs.
+func TestServerFailingJobReleasesAdmission(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{
+		AvailMem:      1 << 40,
+		MaxJobRetries: 1,
+		RetryBackoff:  time.Millisecond,
+		JobTimeout:    10 * time.Second,
+		Metrics:       metrics,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	j := solveSync(t, ts, JobSpec{Kind: "chol", N: 100, Seed: 3, Procs: 3, DropFrac: 1})
+	if j.Status != StatusFailed {
+		t.Fatalf("unsurvivable job: %s, want failed", j.Status)
+	}
+	if j.Attempts != 2 {
+		t.Errorf("job took %d attempts, want 2 (1 retry with a fresh fault seed)", j.Attempts)
+	}
+	if metrics.Get("rapidd.jobs.retried") != 1 {
+		t.Errorf("retried counter %d, want 1", metrics.Get("rapidd.jobs.retried"))
+	}
+	if _, inUse, _, queued := srv.adm.snapshot(); inUse != 0 || queued != 0 {
+		t.Fatalf("failed job leaked admission budget: inUse=%d queued=%d", inUse, queued)
+	}
+
+	// The budget is intact: a normal job still runs to completion.
+	ok := solveSync(t, ts, JobSpec{Kind: "chol", N: 100, Seed: 3, Procs: 3})
+	if ok.Status != StatusDone {
+		t.Fatalf("follow-up job: %s (%s)", ok.Status, ok.Error)
+	}
+	if _, inUse, _, _ := srv.adm.snapshot(); inUse != 0 {
+		t.Fatalf("inUse=%d after completion", inUse)
+	}
+}
+
+// TestServerPanicRecoveryReleasesAdmission injects a panic into the
+// execution path: the job must fail (not crash the daemon), its booked
+// DemandUnits must be released during unwinding, and the server must keep
+// serving jobs afterwards.
+func TestServerPanicRecoveryReleasesAdmission(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{AvailMem: 1 << 40, Metrics: metrics})
+	srv.execHook = func(spec JobSpec) {
+		if spec.Seed == 99 {
+			panic("injected kernel fault")
+		}
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	j := solveSync(t, ts, JobSpec{Kind: "chol", N: 100, Seed: 99, Procs: 3})
+	if j.Status != StatusFailed || !strings.Contains(j.Error, "panicked") {
+		t.Fatalf("panicking job: %s (%q), want failed with panic message", j.Status, j.Error)
+	}
+	if metrics.Get("rapidd.jobs.panics") != 1 {
+		t.Errorf("panics counter %d, want 1", metrics.Get("rapidd.jobs.panics"))
+	}
+	if _, inUse, _, queued := srv.adm.snapshot(); inUse != 0 || queued != 0 {
+		t.Fatalf("panicking job leaked admission budget: inUse=%d queued=%d", inUse, queued)
+	}
+
+	ok := solveSync(t, ts, JobSpec{Kind: "chol", N: 100, Seed: 3, Procs: 3})
+	if ok.Status != StatusDone {
+		t.Fatalf("daemon did not survive the panic: follow-up job %s (%s)", ok.Status, ok.Error)
 	}
 }

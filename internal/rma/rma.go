@@ -29,11 +29,14 @@ import (
 )
 
 // Buffer is an exported memory region on some processor. The receiver
-// polls Arrivals; producers Put into it.
+// polls Arrivals; producers Put into it. Every deposit carries the
+// message's version sequence number; the buffer discards duplicates
+// (retransmission-layer dedup: at most one arrival per sequence number).
 type Buffer struct {
 	Obj      graph.ObjID
 	Data     []float64
 	arrivals atomic.Int32
+	lastSeq  atomic.Int32
 	freed    atomic.Bool
 }
 
@@ -41,31 +44,51 @@ type Buffer struct {
 func (b *Buffer) Arrivals() int32 { return b.arrivals.Load() }
 
 // Put copies data into the buffer and increments the arrival counter with
-// release semantics. Putting into a freed buffer panics: it means the
-// protocol invalidated an address that was still in use.
-func (b *Buffer) Put(data []float64) {
+// release semantics. seq is the deposit's version sequence number; a
+// duplicate delivery (seq not above the highest already deposited — the
+// reliability layer delivers versions in order) is discarded and Put
+// reports false. The dedup check runs before the freed check on purpose: a
+// duplicated copy may land after the receiver consumed the original and
+// freed the buffer, and must be discarded, not treated as a consistency
+// violation. A non-duplicate Put into a freed buffer still panics: it means
+// the protocol invalidated an address that was in use.
+func (b *Buffer) Put(data []float64, seq int32) bool {
+	if seq <= b.lastSeq.Load() {
+		return false
+	}
 	if b.freed.Load() {
 		panic(fmt.Sprintf("rma: Put into freed buffer for object %d (address consistency violated)", b.Obj))
 	}
+	b.lastSeq.Store(seq)
 	if b.Data != nil {
 		copy(b.Data, data)
 	}
 	b.arrivals.Add(1)
+	return true
 }
 
 // PutFlagOnly increments the arrival counter without copying (used when the
-// executor runs structure-only, with no numeric payloads).
-func (b *Buffer) PutFlagOnly() {
+// executor runs structure-only, with no numeric payloads). Duplicate
+// sequence numbers are discarded exactly as in Put.
+func (b *Buffer) PutFlagOnly(seq int32) bool {
+	if seq <= b.lastSeq.Load() {
+		return false
+	}
 	if b.freed.Load() {
 		panic(fmt.Sprintf("rma: Put into freed buffer for object %d (address consistency violated)", b.Obj))
 	}
+	b.lastSeq.Store(seq)
 	b.arrivals.Add(1)
+	return true
 }
 
 // AddrPackage is one address-notification message: the exported buffers a
-// consumer tells a producer about.
+// consumer tells a producer about. Seq is the package's per-(sender,
+// receiver) sequence number, used by the receiver to discard duplicated
+// deliveries.
 type AddrPackage struct {
 	From    graph.Proc
+	Seq     int32
 	Buffers []*Buffer
 }
 

@@ -52,20 +52,58 @@ func TestPutAndArrivals(t *testing.T) {
 	if b.Arrivals() != 0 {
 		t.Fatalf("fresh buffer has arrivals")
 	}
-	b.Put([]float64{1, 2, 3, 4})
+	if !b.Put([]float64{1, 2, 3, 4}, 1) {
+		t.Fatalf("first deposit rejected")
+	}
 	if b.Arrivals() != 1 {
 		t.Fatalf("arrivals %d", b.Arrivals())
 	}
 	if b.Data[2] != 3 {
 		t.Fatalf("data not deposited")
 	}
-	b.Put([]float64{5, 6, 7, 8})
+	if !b.Put([]float64{5, 6, 7, 8}, 2) {
+		t.Fatalf("second deposit rejected")
+	}
 	if b.Arrivals() != 2 || b.Data[0] != 5 {
 		t.Fatalf("second deposit wrong")
 	}
-	b.PutFlagOnly()
+	if !b.PutFlagOnly(3) {
+		t.Fatalf("flag-only deposit rejected")
+	}
 	if b.Arrivals() != 3 {
 		t.Fatalf("flag-only deposit not counted")
+	}
+}
+
+// TestPutDedup: a deposit whose sequence number is not above the highest
+// already delivered is a duplicate — discarded without copying data or
+// touching the arrival counter, even after the buffer is freed.
+func TestPutDedup(t *testing.T) {
+	m := NewMemory(100)
+	b, err := Alloc2(m, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Put([]float64{1, 2}, 1) {
+		t.Fatal("original deposit rejected")
+	}
+	if b.Put([]float64{9, 9}, 1) {
+		t.Fatal("duplicate deposit accepted")
+	}
+	if b.Arrivals() != 1 || b.Data[0] != 1 {
+		t.Fatalf("duplicate touched the buffer: arrivals %d data %v", b.Arrivals(), b.Data)
+	}
+	if b.PutFlagOnly(1) {
+		t.Fatal("duplicate flag-only deposit accepted")
+	}
+	// A duplicate may even arrive after the receiver consumed the original
+	// and freed the buffer; it must be discarded, not treated as a
+	// consistency violation.
+	if err := m.Free(7, 2); err != nil {
+		t.Fatal(err)
+	}
+	if b.Put([]float64{9, 9}, 1) {
+		t.Fatal("duplicate deposit into freed buffer accepted")
 	}
 }
 
@@ -83,7 +121,7 @@ func TestPutAfterFreePanics(t *testing.T) {
 			t.Fatalf("Put into freed buffer did not panic")
 		}
 	}()
-	b.Put([]float64{1, 2})
+	b.Put([]float64{1, 2}, 1)
 }
 
 func TestAddrSlotsSingleSlot(t *testing.T) {

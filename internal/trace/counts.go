@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CountTable renders a per-processor integer-counter table: one column per
+// counter name, one row per processor, and a final "all" row with per-column
+// totals. perProc is indexed [processor][counter] and must be rectangular
+// with len(cols) columns. It is the text form of the engine's reliability
+// counters (retransmits, drops, duplicates, acks), used by cmd/rapidsolve's
+// report; like StateTable it is deliberately independent of internal/proto.
+func CountTable(cols []string, perProc [][]int64) string {
+	width := 10
+	for _, c := range cols {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	var b strings.Builder
+	b.WriteString("proc")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%*s", width, c)
+	}
+	b.WriteByte('\n')
+	totals := make([]int64, len(cols))
+	for p, row := range perProc {
+		fmt.Fprintf(&b, "P%-3d", p)
+		for i := range cols {
+			v := int64(0)
+			if i < len(row) {
+				v = row[i]
+			}
+			totals[i] += v
+			fmt.Fprintf(&b, "%*d", width, v)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("all ")
+	for i := range cols {
+		fmt.Fprintf(&b, "%*d", width, totals[i])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

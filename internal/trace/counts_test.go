@@ -1,0 +1,31 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountTable(t *testing.T) {
+	out := CountTable([]string{"retrans", "dropped"}, [][]int64{{3, 3}, {0, 0}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + 2 procs + totals, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "retrans") || !strings.Contains(lines[0], "dropped") {
+		t.Errorf("header missing columns: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "P0") || !strings.Contains(lines[1], "3") {
+		t.Errorf("P0 row wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "all") {
+		t.Errorf("totals row wrong: %q", lines[3])
+	}
+	cells := strings.Fields(lines[3])
+	if len(cells) != 3 || cells[1] != "3" || cells[2] != "3" {
+		t.Errorf("totals row should sum columns: %q", lines[3])
+	}
+	// A short row is padded with zeros rather than panicking.
+	if out := CountTable([]string{"a", "b"}, [][]int64{{1}}); !strings.Contains(out, "0") {
+		t.Errorf("short row not zero-padded:\n%s", out)
+	}
+}

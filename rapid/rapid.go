@@ -29,6 +29,7 @@ package rapid
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/graph"
@@ -248,11 +249,22 @@ type KernelFunc = exec.KernelFunc
 type InitFunc = exec.InitFunc
 
 // Faults configures deterministic fault injection at the protocol's message
-// choke points (delayed address packages and data messages). Both Execute
-// and Simulate accept the same Faults and delay the same messages for the
-// same Seed; a perturbed run must terminate with results identical to a
+// choke points: delayed, lost (DropFrac) and duplicated (DupFrac) address
+// packages and data messages. Both Execute and Simulate accept the same
+// Faults and perturb the same messages for the same Seed; the engine's
+// reliability layer (sequence numbers, ack/retransmit with exponential
+// backoff) makes a perturbed run terminate with results identical to a
 // fault-free one.
 type Faults = proto.Faults
+
+// ReliabilityStats summarizes the engine's ack/retransmit layer for one
+// processor: retransmissions performed, transmissions lost to injected
+// faults, duplicates injected and discarded, and deliveries acknowledged.
+type ReliabilityStats = proto.Reliability
+
+// SumReliability folds per-processor reliability counters into a
+// machine-wide total.
+func SumReliability(rs []ReliabilityStats) ReliabilityStats { return proto.SumReliability(rs) }
 
 // StateOccupancy is the time one processor spent in each protocol state
 // (REC/EXE/SND/MAP/END), indexed in StateNames order. The unit is wall-clock
@@ -272,6 +284,10 @@ type ExecOptions struct {
 	BufLen func(o ObjID) int64
 	// Faults injects protocol perturbations (zero value: none).
 	Faults Faults
+	// BlockTimeout aborts the run when a processor makes no protocol
+	// progress for this long (the liveness watchdog; 0 means the executor's
+	// 30-second default).
+	BlockTimeout time.Duration
 }
 
 // Report summarizes an execution.
@@ -292,16 +308,19 @@ type Report struct {
 	// Messages and AddrPackages delivered machine-wide.
 	Messages     int
 	AddrPackages int
+	// Reliability is the per-processor ack/retransmit summary.
+	Reliability []ReliabilityStats
 }
 
 // Execute runs the plan concurrently with one goroutine per processor,
 // under the full active-memory-management protocol.
 func Execute(prog *Program, plan *Plan, opt ExecOptions) (*Report, error) {
 	res, err := exec.Run(plan.Schedule, plan.Mem, exec.Config{
-		Kernel: opt.Kernel,
-		Init:   opt.Init,
-		BufLen: opt.BufLen,
-		Faults: opt.Faults,
+		Kernel:       opt.Kernel,
+		Init:         opt.Init,
+		BufLen:       opt.BufLen,
+		Faults:       opt.Faults,
+		BlockTimeout: opt.BlockTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -314,6 +333,7 @@ func Execute(prog *Program, plan *Plan, opt ExecOptions) (*Report, error) {
 		SuspendedSends: res.SuspendedSends,
 		Messages:       res.Messages,
 		AddrPackages:   res.AddrPackages,
+		Reliability:    res.Reliability,
 	}, nil
 }
 
@@ -348,6 +368,8 @@ type SimReport struct {
 	// Occupancy is the virtual time each processor spent in each protocol
 	// state.
 	Occupancy []StateOccupancy
+	// Reliability is the per-processor ack/retransmit summary.
+	Reliability []ReliabilityStats
 }
 
 // Simulate runs the plan on the discrete-event machine simulator.
@@ -369,5 +391,6 @@ func Simulate(prog *Program, plan *Plan, opt SimOptions) (*SimReport, error) {
 		PeakUnits:      res.PeakUnits,
 		SuspendedSends: res.SuspendedSends,
 		Occupancy:      res.Occupancy,
+		Reliability:    res.Reliability,
 	}, nil
 }
