@@ -8,13 +8,16 @@
 //
 //	rapidsolve [-kind chol|lu] [-n 300] [-procs 4] [-block 8]
 //	           [-heuristic rcp|mpo|dts|dtsmerge] [-mem 60]
-//	           [-file matrix.mtx]
+//	           [-file matrix.mtx] [-verify]
 //	           [-drop 0.25] [-dup 0.1] [-addrdelay 0.3] [-datadelay 0.3]
 //	           [-faultseed 1]
 //
 // -n is the approximate matrix order (ignored when -file loads a
 // MatrixMarket matrix); -mem the memory budget as a percentage of the
-// no-recycling requirement. The -drop/-dup/-addrdelay/-datadelay flags
+// no-recycling requirement. -verify runs the static plan verifier
+// (internal/verify) on the compiled plan before execution: on findings the
+// table is printed to stderr and the process exits non-zero without
+// executing. The -drop/-dup/-addrdelay/-datadelay flags
 // inject deterministic message faults (loss, duplication, delay) selected
 // by -faultseed; the engine's reliability layer must absorb them, the
 // residual must be unchanged, and the per-processor retransmit/dedup
@@ -72,7 +75,9 @@ func main() {
 	addrDelay := flag.Float64("addrdelay", 0, "fault injection: fraction of address packages delayed one round")
 	dataDelay := flag.Float64("datadelay", 0, "fault injection: fraction of data messages forced through the suspended-send queue")
 	faultSeed := flag.Uint64("faultseed", 1, "fault injection seed (deterministic fault plan)")
+	doVerify := flag.Bool("verify", false, "statically verify the compiled plan; on findings, print the table to stderr and exit non-zero without executing")
 	flag.Parse()
+	verifyPlans = *doVerify
 
 	faults := rapid.Faults{
 		Seed:     *faultSeed,
@@ -137,6 +142,10 @@ func main() {
 	}
 }
 
+// verifyPlans mirrors the -verify flag: compiled plans are statically
+// verified and a defective one aborts the run before execution.
+var verifyPlans bool
+
 func compile(prog *rapid.Program, procs int, h rapid.Heuristic, memPct int) *rapid.Plan {
 	free, err := rapid.Compile(prog, rapid.Options{Procs: procs, Heuristic: h})
 	if err != nil {
@@ -154,6 +163,16 @@ func compile(prog *rapid.Program, procs int, h rapid.Heuristic, memPct int) *rap
 		log.Fatalf("schedule is NOT executable under %d%% memory; try -heuristic dtsmerge or a larger -mem", memPct)
 	}
 	fmt.Printf("plan:     %.2f MAPs/processor\n", plan.AvgMAPs())
+	if verifyPlans {
+		res := rapid.VerifyPlan(plan)
+		if !res.OK() {
+			fmt.Fprintf(os.Stderr, "plan failed static verification (%d findings, %d checks):\n", len(res.Findings), res.Checks)
+			cols, rows := res.Rows()
+			fmt.Fprint(os.Stderr, trace.Grid(cols, rows))
+			os.Exit(1)
+		}
+		fmt.Printf("verified: %d static checks passed, replayed peaks %v\n", res.Checks, res.Peaks)
+	}
 	return plan
 }
 

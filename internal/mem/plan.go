@@ -174,7 +174,7 @@ func NewPlanOpts(s *sched.Schedule, capacity int64, opt Options) (*Plan, error) 
 			first, last int32
 		}
 		lives := make([]life, 0, len(lt))
-		for o, r := range lt {
+		for o, r := range lt { //det:ok collected then sorted below
 			lives = append(lives, life{o, r[0], r[1]})
 		}
 		// The lifetime table is a map; order the scan by (first use, object)
@@ -232,7 +232,7 @@ func NewPlanOpts(s *sched.Schedule, capacity int64, opt Options) (*Plan, error) 
 					allocated[o] = true
 					inUse += s.G.Objects[o].Size
 					m.Allocs = append(m.Allocs, o)
-					for q := range producers[o] {
+					for q := range producers[o] { //det:ok one append per distinct q; per-q list order set by the o loop
 						m.Notify[q] = append(m.Notify[q], o)
 					}
 				}

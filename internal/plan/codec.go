@@ -25,6 +25,24 @@ func Encode(a *Artifact) ([]byte, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
+	return encode(a)
+}
+
+// EncodeLenient serializes without the semantic Validate pass, so that
+// deliberately defective plans (verifier test corpora, crash repros) can be
+// persisted. The byte format and checksum are identical to Encode's; only
+// plans the encoder cannot represent at all are rejected.
+func EncodeLenient(a *Artifact) ([]byte, error) {
+	if a == nil || a.Schedule == nil || a.Schedule.G == nil || a.Mem == nil {
+		return nil, fmt.Errorf("plan: artifact missing schedule, graph or memory plan")
+	}
+	if len(a.Mem.Procs) != a.Schedule.P || len(a.Schedule.Order) != a.Schedule.P {
+		return nil, fmt.Errorf("plan: processor counts disagree; cannot encode")
+	}
+	return encode(a)
+}
+
+func encode(a *Artifact) ([]byte, error) {
 	e := &encoder{}
 	e.raw(magic[:])
 	e.u64(Version)
@@ -42,6 +60,26 @@ func Encode(a *Artifact) ([]byte, error) {
 // Decode parses a serialized artifact, verifying version, checksum and all
 // structural invariants. Corrupted or truncated input yields an error.
 func Decode(data []byte) (*Artifact, error) {
+	a, err := decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// DecodeLenient parses a serialized artifact, verifying version, checksum
+// and the decoder's structural invariants but skipping the final semantic
+// Validate. Use it to load plans destined for the static verifier (which
+// reports semantic defects as findings instead of a bare decode error) and
+// for the defective-plan test corpus.
+func DecodeLenient(data []byte) (*Artifact, error) {
+	return decode(data)
+}
+
+func decode(data []byte) (*Artifact, error) {
 	if len(data) < len(magic)+sha256.Size {
 		return nil, fmt.Errorf("plan: input too short (%d bytes)", len(data))
 	}
@@ -82,9 +120,6 @@ func Decode(data []byte) (*Artifact, error) {
 	}
 	a.Schedule = s
 	a.Mem = mp
-	if err := a.Validate(); err != nil {
-		return nil, err
-	}
 	return a, nil
 }
 
@@ -282,7 +317,7 @@ func encodeMemPlan(e *encoder, pl *mem.Plan) {
 			// Notify in sorted destination order: the map itself has no
 			// canonical order.
 			dests := make([]graph.Proc, 0, len(m.Notify))
-			for q := range m.Notify {
+			for q := range m.Notify { //det:ok keys collected then sorted below
 				dests = append(dests, q)
 			}
 			sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })

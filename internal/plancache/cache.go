@@ -10,9 +10,10 @@
 //     fingerprint under a cache directory) that survives process restarts.
 //
 // Lookups are single-flight: concurrent requests for the same fingerprint
-// compile once and share the result. Corrupted or unreadable disk entries
-// are deleted and fall back to recompilation — the cache can only ever
-// trade time, never correctness.
+// compile once and share the result. Disk entries are statically verified
+// on load (internal/verify); corrupted, unreadable, mis-keyed or
+// semantically defective entries are deleted and fall back to
+// recompilation — the cache can only ever trade time, never correctness.
 //
 // Counters are reported through a trace.Metrics registry:
 //
@@ -21,6 +22,7 @@
 //	plancache.miss       lookups that had to compile
 //	plancache.evict      entries evicted from the LRU
 //	plancache.corrupt    disk entries dropped as corrupted/unreadable
+//	plancache.rejected   disk entries dropped by the static verifier
 //	plancache.shared     lookups that piggybacked on an in-flight compile
 package plancache
 
@@ -34,6 +36,7 @@ import (
 
 	"repro/internal/plan"
 	"repro/internal/trace"
+	"repro/internal/verify"
 )
 
 // DefaultMemBudget bounds the in-memory tier when Config.MemBudget is 0:
@@ -227,8 +230,11 @@ func (c *Cache) insertMem(key string, art *plan.Artifact, size int64) {
 	}
 }
 
-// loadDisk reads and decodes the disk entry for key. Corrupted entries are
-// removed. Returns (nil, nil) when the disk tier misses.
+// loadDisk reads, decodes and statically verifies the disk entry for key.
+// Corrupted entries are removed; entries that decode but fail verification
+// (a poisoned plan: the bytes are intact, the semantics are not) are
+// likewise evicted so the caller falls back to recompilation. Returns
+// (nil, nil) when the disk tier misses.
 func (c *Cache) loadDisk(key string) (*plan.Artifact, []byte) {
 	if c.dir == "" {
 		return nil, nil
@@ -242,9 +248,21 @@ func (c *Cache) loadDisk(key string) (*plan.Artifact, []byte) {
 		}
 		return nil, nil
 	}
-	art, err := plan.Decode(enc)
+	// Lenient decode: semantic defects are the verifier's to report (and
+	// count) rather than surfacing as a bare decode error.
+	art, err := plan.DecodeLenient(enc)
 	if err != nil {
 		c.metrics.Inc("plancache.corrupt", 1)
+		os.Remove(path)
+		return nil, nil
+	}
+	if art.Fingerprint != key {
+		c.metrics.Inc("plancache.rejected", 1)
+		os.Remove(path)
+		return nil, nil
+	}
+	if res := verify.CheckArtifact(art); !res.OK() {
+		c.metrics.Inc("plancache.rejected", 1)
 		os.Remove(path)
 		return nil, nil
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/verify"
 )
 
 // compileArtifact builds a small chain program whose structure varies with
@@ -245,5 +246,85 @@ func TestInvalidKeyRejected(t *testing.T) {
 		if _, _, err := c.GetOrCompile(key, nil); err == nil {
 			t.Errorf("key %q accepted", key)
 		}
+	}
+}
+
+// TestPoisonedDiskEntryRejected seeds the disk tier with a plan whose bytes
+// are intact (checksum passes) but whose semantics are defective: the MAP
+// allocations were stripped, so every volatile use is use-before-MAP. The
+// cache must reject it via the static verifier and recompile instead of
+// serving the poisoned plan.
+func TestPoisonedDiskEntryRejected(t *testing.T) {
+	dir := t.TempDir()
+	m := trace.NewMetrics()
+	key, art := compileArtifact(t, 0)
+	poisoned := func() *plan.Artifact {
+		_, a := compileArtifact(t, 0)
+		for p := range a.Mem.Procs {
+			for mi := range a.Mem.Procs[p].MAPs {
+				a.Mem.Procs[p].MAPs[mi].Allocs = nil
+				a.Mem.Procs[p].MAPs[mi].Notify = nil
+			}
+		}
+		return a
+	}()
+	if res := verify.CheckArtifact(poisoned); res.OK() {
+		t.Fatal("poisoned artifact unexpectedly verifies clean")
+	}
+	enc, err := plan.EncodeLenient(poisoned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".rplan")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Dir: dir, Metrics: m})
+	recompiled := false
+	got, src, err := c.GetOrCompile(key, func() (*plan.Artifact, error) {
+		recompiled = true
+		return art, nil
+	})
+	if err != nil || src != SourceCompiled || !recompiled || got != art {
+		t.Fatalf("poisoned entry served: src=%v err=%v recompiled=%v", src, err, recompiled)
+	}
+	if m.Get("plancache.rejected") != 1 {
+		t.Errorf("rejected counter = %d, want 1", m.Get("plancache.rejected"))
+	}
+	// The recompiled plan replaced the poisoned bytes on disk.
+	c2 := New(Config{Dir: dir, Metrics: m})
+	if _, src, err := c2.GetOrCompile(key, nil); err != nil || src != SourceDisk {
+		t.Errorf("after heal: src=%v err=%v", src, err)
+	}
+}
+
+// TestMiskeyedDiskEntryRejected stores a valid plan under the wrong
+// fingerprint: content addressing must notice the stored fingerprint does
+// not match the key.
+func TestMiskeyedDiskEntryRejected(t *testing.T) {
+	dir := t.TempDir()
+	m := trace.NewMetrics()
+	keyA, artA := compileArtifact(t, 0)
+	_, artB := compileArtifact(t, 1)
+	enc, err := plan.Encode(artB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, keyA+".rplan"), enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Dir: dir, Metrics: m})
+	got, src, err := c.GetOrCompile(keyA, func() (*plan.Artifact, error) { return artA, nil })
+	if err != nil || src != SourceCompiled || got != artA {
+		t.Fatalf("mis-keyed entry served: src=%v err=%v", src, err)
+	}
+	if m.Get("plancache.rejected") != 1 {
+		t.Errorf("rejected counter = %d, want 1", m.Get("plancache.rejected"))
 	}
 }

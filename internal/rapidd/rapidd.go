@@ -148,6 +148,9 @@ type Job struct {
 	PeakUnits int64 `json:"peak_units,omitempty"`
 	// Residual is the verification residual (Verify jobs only).
 	Residual float64 `json:"residual,omitempty"`
+	// VerifyFindings carries the static verifier's diagnostics when the
+	// plan was rejected before admission (Status failed).
+	VerifyFindings []rapid.VerifyFinding `json:"verify_findings,omitempty"`
 	// InspectMS and ExecMS time the two phases.
 	InspectMS float64 `json:"inspect_ms"`
 	ExecMS    float64 `json:"exec_ms"`
@@ -169,9 +172,20 @@ type Server struct {
 	done map[string]chan struct{}
 	seq  int
 
+	// verified memoizes static-verifier verdicts by plan fingerprint, so
+	// only the first serve of a plan pays for verification; repeat hits of
+	// a cached plan (the steady-state serve path) pay a map lookup. Only
+	// passing verdicts are recorded. Entries are a few dozen bytes per
+	// distinct job shape, same growth as the plan cache keyspace.
+	verifiedMu sync.Mutex
+	verified   map[string]bool
+
 	// execHook, when set (tests), runs after admission just before the
 	// executor; a panic here exercises the job-level recovery path.
 	execHook func(spec JobSpec)
+	// planHook, when set (tests), may tamper with the compiled plan before
+	// static verification, exercising the rejection path.
+	planHook func(p *rapid.Plan)
 }
 
 // New creates a Server.
@@ -196,9 +210,10 @@ func New(cfg Config) *Server {
 			MemBudget: cfg.CacheMemBudget,
 			Metrics:   cfg.Metrics,
 		}),
-		adm:  newAdmission(cfg.AvailMem),
-		jobs: make(map[string]*Job),
-		done: make(map[string]chan struct{}),
+		adm:      newAdmission(cfg.AvailMem),
+		jobs:     make(map[string]*Job),
+		done:     make(map[string]chan struct{}),
+		verified: make(map[string]bool),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
@@ -487,6 +502,34 @@ func (s *Server) solve(id string, spec JobSpec, attempt int) error {
 	}
 	if !plan.Executable() {
 		return fmt.Errorf("rapidd: plan not executable under memory budget %d (MIN_MEM %d); try dtsmerge or a larger budget", opt.Memory, plan.MinMem())
+	}
+	if s.planHook != nil {
+		s.planHook(plan)
+	}
+	// Static verification gates admission: a defective plan (stale cache,
+	// planner bug, tampering) is rejected with its findings before any
+	// budget is booked or any executor started. Verdicts are memoized by
+	// fingerprint so repeat serves of a cached plan skip re-verification.
+	already := false
+	if plan.Fingerprint != "" {
+		s.verifiedMu.Lock()
+		already = s.verified[plan.Fingerprint]
+		s.verifiedMu.Unlock()
+	}
+	if already {
+		s.metrics.Inc("rapidd.verify.cached", 1)
+	} else {
+		if res := rapid.VerifyPlan(plan); !res.OK() {
+			s.metrics.Inc("rapidd.verify.rejected", 1)
+			s.update(id, func(j *Job) { j.VerifyFindings = res.Findings })
+			return fmt.Errorf("rapidd: plan rejected by static verifier: %v", res.Err())
+		}
+		s.metrics.Inc("rapidd.verify.passed", 1)
+		if plan.Fingerprint != "" {
+			s.verifiedMu.Lock()
+			s.verified[plan.Fingerprint] = true
+			s.verifiedMu.Unlock()
+		}
 	}
 	inspectMS := float64(time.Since(t0).Microseconds()) / 1000
 	demand := aggregateDemand(plan)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/trace"
+	"repro/rapid"
 )
 
 // TestAdmissionFIFO exercises the controller deterministically: a job that
@@ -534,5 +535,91 @@ func TestServerPanicRecoveryReleasesAdmission(t *testing.T) {
 	ok := solveSync(t, ts, JobSpec{Kind: "chol", N: 100, Seed: 3, Procs: 3})
 	if ok.Status != StatusDone {
 		t.Fatalf("daemon did not survive the panic: follow-up job %s (%s)", ok.Status, ok.Error)
+	}
+}
+
+// TestVerifyRejectsTamperedPlan tampers the compiled plan between compile
+// and admission (via the test hook): the static verifier must reject the
+// job before any budget is booked, surface the findings in the job record
+// and bump the rejection counter.
+func TestVerifyRejectsTamperedPlan(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{Metrics: metrics, AvailMem: 1 << 40})
+	srv.planHook = func(p *rapid.Plan) {
+		// A peak that disagrees with the symbolic replay: the stale-plan
+		// signature.
+		p.Mem.Procs[0].Peak += 1 << 20
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	j := solveSync(t, ts, JobSpec{Kind: "chol", N: 60, Seed: 1, Procs: 2})
+	if j.Status != StatusFailed {
+		t.Fatalf("tampered plan ran: %s", j.Status)
+	}
+	if !strings.Contains(j.Error, "static verifier") {
+		t.Fatalf("error does not name the verifier: %q", j.Error)
+	}
+	if len(j.VerifyFindings) == 0 {
+		t.Fatal("job record carries no findings")
+	}
+	found := false
+	for _, f := range j.VerifyFindings {
+		if f.Class == "peak-mismatch" && f.Proc == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("findings lack the seeded peak-mismatch: %+v", j.VerifyFindings)
+	}
+	if metrics.Get("rapidd.verify.rejected") != 1 {
+		t.Fatalf("verify.rejected = %d, want 1", metrics.Get("rapidd.verify.rejected"))
+	}
+	// No admission units may remain booked after the rejection.
+	if _, inUse, _, _ := srv.adm.snapshot(); inUse != 0 {
+		t.Fatalf("rejected job leaked %d admission units", inUse)
+	}
+}
+
+// TestVerifyPassesCleanJob checks the happy path increments the pass
+// counter and leaves the job record without findings.
+func TestVerifyPassesCleanJob(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{Metrics: metrics})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	j := solveSync(t, ts, JobSpec{Kind: "chol", N: 60, Seed: 1, Procs: 2})
+	if j.Status != StatusDone {
+		t.Fatalf("clean job failed: %s (%s)", j.Status, j.Error)
+	}
+	if len(j.VerifyFindings) != 0 {
+		t.Fatalf("clean job carries findings: %+v", j.VerifyFindings)
+	}
+	if metrics.Get("rapidd.verify.passed") == 0 {
+		t.Fatal("verify.passed not incremented")
+	}
+}
+
+// TestVerifyVerdictMemoized checks that repeat serves of the same cached
+// plan skip re-verification: the second identical job hits the memoized
+// verdict instead of incrementing verify.passed again.
+func TestVerifyVerdictMemoized(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{Metrics: metrics})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	spec := JobSpec{Kind: "chol", N: 60, Seed: 1, Procs: 2}
+	for i := 0; i < 2; i++ {
+		if j := solveSync(t, ts, spec); j.Status != StatusDone {
+			t.Fatalf("job %d failed: %s (%s)", i, j.Status, j.Error)
+		}
+	}
+	if got := metrics.Get("rapidd.verify.passed"); got != 1 {
+		t.Fatalf("verify.passed = %d, want 1 (verdict not memoized)", got)
+	}
+	if got := metrics.Get("rapidd.verify.cached"); got != 1 {
+		t.Fatalf("verify.cached = %d, want 1", got)
 	}
 }

@@ -131,7 +131,7 @@ func DSCOwners(g *graph.DAG, p int, model CostModel) *graph.DAG {
 	}
 	preds := make([]map[int32]float64, nUnits)
 	for u := int32(0); u < nUnits; u++ {
-		for v, c := range adj[u] {
+		for v, c := range adj[u] { //det:ok builds a map; final content is order-independent
 			if preds[v] == nil {
 				preds[v] = make(map[int32]float64)
 			}
@@ -167,7 +167,7 @@ func DSCOwners(g *graph.DAG, p int, model CostModel) *graph.DAG {
 		if domPred >= 0 {
 			c := clusterOf[domPred]
 			start := clusterReady[c]
-			for pu, cc := range preds[u] {
+			for pu, cc := range preds[u] { //det:ok max fold, commutative
 				arr := finish[pu]
 				if clusterOf[pu] != c {
 					arr += cc
@@ -270,7 +270,7 @@ func maxf(a, b float64) float64 {
 // sortedUnitKeys returns the keys of a unit-weight map in ascending order.
 func sortedUnitKeys(m map[int32]float64) []int32 {
 	keys := make([]int32, 0, len(m))
-	for k := range m {
+	for k := range m { //det:ok keys collected then sorted below
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })

@@ -196,7 +196,7 @@ func (s *Schedule) TOT() int64 {
 	var tot int64
 	for p := 0; p < s.P; p++ {
 		sum := perm[p]
-		for _, sz := range vol[p] {
+		for _, sz := range vol[p] { //det:ok sum fold, commutative
 			sum += sz
 		}
 		if sum > tot {
@@ -252,7 +252,7 @@ func (s *Schedule) MinMem() int64 {
 		// Sweep the order accumulating alive volatile sizes.
 		allocAt := make(map[int32]int64) // position -> size allocated
 		freeAfter := make(map[int32]int64)
-		for o, r := range lt[p] {
+		for o, r := range lt[p] { //det:ok sums into position buckets, commutative
 			allocAt[r[0]] += s.G.Objects[o].Size
 			freeAfter[r[1]] += s.G.Objects[o].Size
 		}

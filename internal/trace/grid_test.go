@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGrid(t *testing.T) {
+	out := Grid([]string{"class", "detail"}, [][]string{
+		{"use-before-map", "object used before any MAP allocates it"},
+		{"leak"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "class") || !strings.Contains(lines[0], "detail") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "--------------") {
+		t.Fatalf("bad separator: %q", lines[1])
+	}
+	// Ragged row renders its present cells.
+	if !strings.HasPrefix(lines[3], "leak") {
+		t.Fatalf("ragged row mishandled: %q", lines[3])
+	}
+	// Column alignment: "detail" starts at the same offset in header and rows.
+	off := strings.Index(lines[0], "detail")
+	if got := strings.Index(lines[2], "object used"); got != off {
+		t.Fatalf("detail column misaligned: header at %d, row at %d", off, got)
+	}
+	if strings.HasSuffix(lines[2], " ") {
+		t.Fatalf("trailing padding on last column: %q", lines[2])
+	}
+}
+
+func TestGridEmpty(t *testing.T) {
+	out := Grid([]string{"a"}, nil)
+	if !strings.Contains(out, "a\n") {
+		t.Fatalf("empty grid: %q", out)
+	}
+}

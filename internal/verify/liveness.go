@@ -1,0 +1,357 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// structural is the pre-pass that makes the deeper analyses safe: it checks
+// every index the later passes dereference and recomputes task positions
+// from the orders. It returns false when the plan is too malformed to
+// analyze further.
+func (c *checker) structural() bool {
+	s, mp := c.s, c.mp
+	fatal := func(detail string) bool {
+		c.res.add(Finding{Class: ClassStructure, Proc: graph.None, Pos: graph.None,
+			Task: graph.None, Obj: graph.None, Detail: detail})
+		return false
+	}
+	if s == nil || mp == nil {
+		return fatal("nil schedule or memory plan")
+	}
+	if s.G == nil {
+		return fatal("schedule has no task graph")
+	}
+	n := s.G.NumTasks()
+	m := int32(s.G.NumObjects())
+	if s.P < 1 {
+		return fatal(fmt.Sprintf("schedule has %d processors", s.P))
+	}
+	if len(s.Order) != s.P {
+		return fatal(fmt.Sprintf("schedule has %d orders for %d processors", len(s.Order), s.P))
+	}
+	if len(mp.Procs) != s.P {
+		return fatal(fmt.Sprintf("memory plan has %d processors, schedule %d", len(mp.Procs), s.P))
+	}
+	if len(s.Assign) != n {
+		return fatal(fmt.Sprintf("%d assignments for %d tasks", len(s.Assign), n))
+	}
+	for t := 0; t < n; t++ {
+		if q := s.Assign[t]; q < 0 || int(q) >= s.P {
+			return fatal(fmt.Sprintf("task %d assigned to out-of-range processor %d", t, q))
+		}
+		task := &s.G.Tasks[t]
+		for _, lists := range [2][]graph.ObjID{task.Reads, task.Writes} {
+			for _, o := range lists {
+				if o < 0 || o >= m {
+					return fatal(fmt.Sprintf("task %d references out-of-range object %d", t, o))
+				}
+			}
+		}
+	}
+	// Recompute positions from the orders; every task must appear exactly
+	// once on its assigned processor.
+	c.pos = make([]int32, n)
+	for i := range c.pos {
+		c.pos[i] = -1
+	}
+	count := 0
+	for p := 0; p < s.P; p++ {
+		for i, t := range s.Order[p] {
+			if t < 0 || int(t) >= n {
+				return fatal(fmt.Sprintf("order of processor %d lists out-of-range task %d", p, t))
+			}
+			if s.Assign[t] != graph.Proc(p) {
+				return fatal(fmt.Sprintf("task %d ordered on processor %d but assigned to %d", t, p, s.Assign[t]))
+			}
+			if c.pos[t] != -1 {
+				return fatal(fmt.Sprintf("task %d ordered twice", t))
+			}
+			c.pos[t] = int32(i)
+			count++
+		}
+	}
+	if count != n {
+		return fatal(fmt.Sprintf("%d of %d tasks ordered", count, n))
+	}
+	c.res.Checks += 4 + n
+	// The stored Pos array must agree with the orders (the executors index
+	// by it); disagreement is survivable for analysis but reported.
+	if len(s.Pos) != n {
+		c.res.add(Finding{Class: ClassStructure, Proc: graph.None, Pos: graph.None,
+			Task: graph.None, Obj: graph.None,
+			Detail: fmt.Sprintf("stored position array has %d entries for %d tasks", len(s.Pos), n)})
+	} else {
+		for t := 0; t < n; t++ {
+			if s.Pos[t] != c.pos[t] {
+				c.res.add(Finding{Class: ClassStructure, Proc: s.Assign[t], Pos: c.pos[t],
+					Task: graph.TaskID(t), Obj: graph.None,
+					Detail: fmt.Sprintf("stored position %d disagrees with order position %d", s.Pos[t], c.pos[t])})
+				break
+			}
+		}
+	}
+	// MAP tables: positions in range and strictly increasing, object
+	// references in range.
+	for p := range mp.Procs {
+		maps := mp.Procs[p].MAPs
+		prev := int32(-1)
+		for mi := range maps {
+			mapp := &maps[mi]
+			if mapp.Pos < 0 || int(mapp.Pos) > len(s.Order[p]) {
+				return fatal(fmt.Sprintf("processor %d MAP %d at out-of-range position %d", p, mi, mapp.Pos))
+			}
+			if mapp.Pos <= prev {
+				c.res.add(Finding{Class: ClassStructure, Proc: graph.Proc(p), Pos: mapp.Pos,
+					Task: graph.None, Obj: graph.None,
+					Detail: fmt.Sprintf("MAP positions not strictly increasing (%d after %d)", mapp.Pos, prev)})
+			}
+			prev = mapp.Pos
+			for _, lists := range [2][]graph.ObjID{mapp.Frees, mapp.Allocs} {
+				for _, o := range lists {
+					if o < 0 || o >= m {
+						return fatal(fmt.Sprintf("processor %d MAP at %d references out-of-range object %d", p, mapp.Pos, o))
+					}
+				}
+			}
+			for q := range mapp.Notify {
+				if q < 0 || int(q) >= s.P {
+					return fatal(fmt.Sprintf("processor %d MAP at %d notifies out-of-range processor %d", p, mapp.Pos, q))
+				}
+			}
+		}
+		c.res.Checks += len(maps)
+	}
+	return true
+}
+
+// objState tracks one volatile object through the liveness replay.
+type objState uint8
+
+const (
+	objUnallocated objState = iota
+	objAllocated
+	objFreed
+)
+
+// liveness replays each processor's MAP sequence against its task order:
+// the dataflow pass proving allocate-before-first-use and free-after-last-
+// use, plus the symbolic allocator replay that computes exact peaks and
+// checks them against the declared peaks and the capacity.
+func (c *checker) liveness() {
+	s, mp := c.s, c.mp
+	perm := s.PermSize()
+	c.res.Peaks = make([]int64, s.P)
+
+	for p := 0; p < s.P; p++ {
+		pp := &mp.Procs[p]
+		order := s.Order[p]
+		lt := c.lifetimes[p]
+		producers := c.remoteProducers(graph.Proc(p))
+		if !pp.Executable {
+			// The planner stops at the failing position; the tail of the
+			// order legitimately has no allocations to verify.
+			c.res.Peaks[p] = pp.Peak
+			continue
+		}
+		if len(order) > 0 && (len(pp.MAPs) == 0 || pp.MAPs[0].Pos != 0) {
+			c.report(Finding{Class: ClassStructure, Proc: graph.Proc(p), Pos: 0,
+				Task: graph.None, Obj: graph.None,
+				Detail: "missing mandatory initial MAP at position 0"})
+		}
+		state := make(map[graph.ObjID]objState, len(lt))
+		freedAt := make(map[graph.ObjID]int32, len(lt))
+		inUse := perm[p]
+		peak := perm[p]
+		mi := 0
+		prevCover := int32(0)
+		for pos := int32(0); pos <= int32(len(order)); pos++ {
+			for mi < len(pp.MAPs) && pp.MAPs[mi].Pos == pos {
+				mapp := &pp.MAPs[mi]
+				c.check()
+				if mapp.Pos != prevCover && mi > 0 {
+					c.report(Finding{Class: ClassStructure, Proc: graph.Proc(p), Pos: mapp.Pos,
+						Task: graph.None, Obj: graph.None,
+						Detail: fmt.Sprintf("MAP coverage gap: previous MAP covered through %d, this MAP at %d", prevCover, mapp.Pos)})
+				}
+				prevCover = mapp.CoverEnd
+				c.replayMAP(graph.Proc(p), mapp.Pos, mapp.Frees, mapp.Allocs, mapp.Notify,
+					state, freedAt, lt, producers, &inUse, &peak)
+				mi++
+			}
+			if int(pos) >= len(order) {
+				break
+			}
+			t := order[pos]
+			task := &c.g.Tasks[t]
+			for _, lists := range [2][]graph.ObjID{task.Reads, task.Writes} {
+				for _, o := range lists {
+					if c.g.Objects[o].Owner == graph.Proc(p) {
+						continue
+					}
+					c.check()
+					switch state[o] {
+					case objUnallocated:
+						c.reportOnce(Finding{Class: ClassUseBeforeMAP, Proc: graph.Proc(p), Pos: pos,
+							Task: t, Obj: o,
+							Detail: "volatile object used before any MAP allocates it"})
+					case objFreed:
+						c.reportOnce(Finding{Class: ClassUseAfterFree, Proc: graph.Proc(p), Pos: pos,
+							Task: t, Obj: o,
+							Detail: fmt.Sprintf("volatile object used after its free at MAP@%d", freedAt[o])})
+					}
+				}
+			}
+		}
+		for ; mi < len(pp.MAPs); mi++ {
+			c.report(Finding{Class: ClassStructure, Proc: graph.Proc(p), Pos: pp.MAPs[mi].Pos,
+				Task: graph.None, Obj: graph.None,
+				Detail: "MAP positioned past the end of the order"})
+		}
+		if len(pp.MAPs) > 0 {
+			c.check()
+			if last := pp.MAPs[len(pp.MAPs)-1].CoverEnd; last != int32(len(order)) {
+				c.report(Finding{Class: ClassStructure, Proc: graph.Proc(p), Pos: pp.MAPs[len(pp.MAPs)-1].Pos,
+					Task: graph.None, Obj: graph.None,
+					Detail: fmt.Sprintf("last MAP covers through %d, order has %d tasks", last, len(order))})
+			}
+		}
+		c.res.Peaks[p] = peak
+		c.check()
+		if peak != pp.Peak {
+			c.report(Finding{Class: ClassPeakMismatch, Proc: graph.Proc(p), Pos: graph.None,
+				Task: graph.None, Obj: graph.None,
+				Detail: fmt.Sprintf("declared peak %d, symbolic replay computes %d (stale plan?)", pp.Peak, peak)})
+		}
+		c.check()
+		if peak > mp.Capacity {
+			c.report(Finding{Class: ClassBudgetOverflow, Proc: graph.Proc(p), Pos: graph.None,
+				Task: graph.None, Obj: graph.None,
+				Detail: fmt.Sprintf("replayed peak %d exceeds capacity %d (AVAIL_MEM)", peak, mp.Capacity)})
+		}
+	}
+}
+
+// replayMAP applies one MAP to the symbolic allocator state, checking the
+// free/alloc invariants and the Notify cross-check.
+func (c *checker) replayMAP(p graph.Proc, pos int32,
+	frees, allocs []graph.ObjID, notify map[graph.Proc][]graph.ObjID,
+	state map[graph.ObjID]objState, freedAt map[graph.ObjID]int32,
+	lt map[graph.ObjID][2]int32, producers map[graph.ObjID]map[graph.Proc]bool,
+	inUse, peak *int64) {
+
+	for _, o := range frees {
+		c.check()
+		switch state[o] {
+		case objFreed:
+			c.reportOnce(Finding{Class: ClassDoubleFree, Proc: p, Pos: pos, Task: graph.None, Obj: o,
+				Detail: fmt.Sprintf("volatile object freed again (first free at MAP@%d)", freedAt[o])})
+			continue
+		case objUnallocated:
+			c.reportOnce(Finding{Class: ClassStructure, Proc: p, Pos: pos, Task: graph.None, Obj: o,
+				Detail: "MAP frees an object that was never allocated"})
+			continue
+		}
+		state[o] = objFreed
+		freedAt[o] = pos
+		*inUse -= c.g.Objects[o].Size
+		if r, ok := lt[o]; ok && r[1] >= pos {
+			c.reportOnce(Finding{Class: ClassUseAfterFree, Proc: p, Pos: pos, Task: graph.None, Obj: o,
+				Detail: fmt.Sprintf("freed at MAP@%d before its last use at position %d", pos, r[1])})
+		}
+	}
+	// Dead objects the planner should have recycled here but did not.
+	for o, st := range state {
+		if st != objAllocated {
+			continue
+		}
+		if r, ok := lt[o]; ok && r[1] < pos {
+			c.reportOnce(Finding{Class: ClassLeak, Proc: p, Pos: pos, Task: graph.None, Obj: o,
+				Detail: fmt.Sprintf("dead since position %d but not freed at MAP@%d (space not recycled)", r[1], pos)})
+		}
+	}
+	for _, o := range allocs {
+		c.check()
+		switch state[o] {
+		case objAllocated:
+			c.reportOnce(Finding{Class: ClassRealloc, Proc: p, Pos: pos, Task: graph.None, Obj: o,
+				Detail: "volatile object allocated twice"})
+			continue
+		case objFreed:
+			c.reportOnce(Finding{Class: ClassRealloc, Proc: p, Pos: pos, Task: graph.None, Obj: o,
+				Detail: fmt.Sprintf("volatile object resurrected after its free at MAP@%d", freedAt[o])})
+			continue
+		}
+		if c.g.Objects[o].Owner == p {
+			c.reportOnce(Finding{Class: ClassStructure, Proc: p, Pos: pos, Task: graph.None, Obj: o,
+				Detail: "MAP allocates an object the processor owns permanently"})
+			continue
+		}
+		state[o] = objAllocated
+		*inUse += c.g.Objects[o].Size
+		if _, used := lt[o]; !used {
+			c.reportOnce(Finding{Class: ClassLeak, Proc: p, Pos: pos, Task: graph.None, Obj: o,
+				Detail: "volatile object allocated but never used on this processor"})
+		}
+	}
+	if *inUse > *peak {
+		*peak = *inUse
+	}
+	// Notify cross-check: the address packages announced by this MAP must
+	// match, object by object, the remote producers that will RMA-deposit
+	// into the freshly allocated buffers (Theorem 1's address-packages-
+	// precede-remote-writes precondition, statically).
+	expected := make(map[graph.Proc]map[graph.ObjID]bool)
+	for _, o := range allocs {
+		for q := range producers[o] {
+			if expected[q] == nil {
+				expected[q] = make(map[graph.ObjID]bool)
+			}
+			expected[q][o] = true
+		}
+	}
+	for q, objs := range notify {
+		for _, o := range objs {
+			c.check()
+			if !expected[q][o] {
+				c.reportOnce(Finding{Class: ClassNotifyMismatch, Proc: p, Pos: pos, Task: graph.None, Obj: o,
+					Detail: fmt.Sprintf("MAP notifies processor %d of an object it does not deposit here", q)})
+				continue
+			}
+			delete(expected[q], o)
+		}
+	}
+	for q, objs := range expected {
+		for o := range objs {
+			c.check()
+			c.reportOnce(Finding{Class: ClassNotifyMismatch, Proc: p, Pos: pos, Task: graph.None, Obj: o,
+				Detail: fmt.Sprintf("producer on processor %d deposits this object but receives no address package from this MAP", q)})
+		}
+	}
+}
+
+// remoteProducers mirrors the memory planner's producer analysis: for
+// processor p, the set of processors whose tasks RMA-deposit each volatile
+// object into p's buffers.
+func (c *checker) remoteProducers(p graph.Proc) map[graph.ObjID]map[graph.Proc]bool {
+	res := make(map[graph.ObjID]map[graph.Proc]bool)
+	for _, t := range c.s.Order[p] {
+		for _, e := range c.g.In(t) {
+			if e.Kind != graph.DepTrue {
+				continue
+			}
+			q := c.s.Assign[e.From]
+			if q == p || c.g.Objects[e.Obj].Owner == p {
+				continue
+			}
+			mm, ok := res[e.Obj]
+			if !ok {
+				mm = make(map[graph.Proc]bool)
+				res[e.Obj] = mm
+			}
+			mm[q] = true
+		}
+	}
+	return res
+}

@@ -1,0 +1,285 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// orderEdges checks that every dependence edge between tasks on the same
+// processor is ordered forward — a backwards edge means the consumer runs
+// before its producer and the protocol tables cannot fix that.
+func (c *checker) orderEdges() {
+	for t := range c.g.Tasks {
+		for _, e := range c.g.Out(graph.TaskID(t)) {
+			if c.s.Assign[e.From] != c.s.Assign[e.To] {
+				continue
+			}
+			c.check()
+			if c.pos[e.From] >= c.pos[e.To] {
+				c.report(Finding{Class: ClassOrderViolation, Proc: c.s.Assign[e.To],
+					Pos: c.pos[e.To], Task: e.To, Obj: e.Obj,
+					Detail: fmt.Sprintf("%s dependence from task %d (position %d) ordered backwards", e.Kind, e.From, c.pos[e.From])})
+			}
+		}
+	}
+}
+
+// waitEdge is one edge of the wait-for graph, with enough context to render
+// the blocking chain of a cycle.
+type waitEdge struct {
+	to  graph.TaskID
+	obj graph.ObjID // graph.None for chain/control edges
+	why string
+}
+
+// waitFor builds the cross-processor wait-for graph over task nodes and
+// reports the first cycle as a potential deadlock with the full blocking
+// chain. The edges are exactly what can block an executor in the five-state
+// protocol: a task waits for its per-processor predecessor (the order is
+// sequential), for the data arrivals of its cross-processor true
+// dependences, and for the control signals of retained precedence edges.
+// Sends never block (the suspended-send queue), and the MAP address-package
+// handshake polls in every blocking state, so neither adds static edges.
+func (c *checker) waitFor() {
+	n := c.g.NumTasks()
+	adj := make([][]waitEdge, n)
+	for p := 0; p < c.s.P; p++ {
+		order := c.s.Order[p]
+		for i := 1; i < len(order); i++ {
+			adj[order[i]] = append(adj[order[i]], waitEdge{
+				to:  order[i-1],
+				obj: graph.None,
+				why: fmt.Sprintf("runs after it on processor %d", p),
+			})
+		}
+	}
+	for t := 0; t < n; t++ {
+		for _, e := range c.g.In(graph.TaskID(t)) {
+			if c.s.Assign[e.From] == c.s.Assign[e.To] {
+				continue // covered by the chain edges
+			}
+			switch e.Kind {
+			case graph.DepTrue:
+				adj[e.To] = append(adj[e.To], waitEdge{
+					to:  e.From,
+					obj: e.Obj,
+					why: fmt.Sprintf("waits for arrival of object %d", e.Obj),
+				})
+			default:
+				adj[e.To] = append(adj[e.To], waitEdge{
+					to:  e.From,
+					obj: graph.None,
+					why: fmt.Sprintf("waits for %s-dependence control signal", e.Kind),
+				})
+			}
+		}
+	}
+	c.res.Checks += n
+
+	// Iterative three-color DFS; on the first back edge, reconstruct the
+	// cycle from the stack and report it as one finding.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, n)
+	for root := 0; root < n; root++ {
+		if color[root] != white {
+			continue
+		}
+		stack := []dfsFrame{{t: graph.TaskID(root)}}
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.t]) {
+				e := adj[f.t][f.next]
+				f.next++
+				switch color[e.to] {
+				case white:
+					color[e.to] = gray
+					stack = append(stack, dfsFrame{t: e.to})
+				case gray:
+					c.reportCycle(stack, e, adj)
+					return
+				}
+				continue
+			}
+			color[f.t] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// dfsFrame is one frame of the iterative cycle-detection DFS: the task and
+// the index of the next out-edge to explore.
+type dfsFrame struct {
+	t    graph.TaskID
+	next int
+}
+
+// reportCycle renders the blocking chain of the cycle closed by back edge
+// `back` out of the top of the DFS stack.
+func (c *checker) reportCycle(stack []dfsFrame, back waitEdge, adj [][]waitEdge) {
+	// Find where the cycle starts on the stack.
+	start := 0
+	for i, f := range stack {
+		if f.t == back.to {
+			start = i
+			break
+		}
+	}
+	cyc := stack[start:]
+	var b strings.Builder
+	b.WriteString("potential deadlock, blocking chain: ")
+	for i := len(cyc) - 1; i >= 0; i-- {
+		f := cyc[i]
+		fmt.Fprintf(&b, "task %q (P%d#%d)", c.g.Tasks[f.t].Name, c.s.Assign[f.t], c.pos[f.t])
+		var why string
+		if i > 0 {
+			// The edge f took to reach the next frame down the chain.
+			why = adj[f.t][f.next-1].why
+		} else {
+			why = back.why
+		}
+		fmt.Fprintf(&b, " %s -> ", why)
+	}
+	fmt.Fprintf(&b, "task %q (P%d#%d)", c.g.Tasks[back.to].Name, c.s.Assign[back.to], c.pos[back.to])
+	top := cyc[len(cyc)-1]
+	c.report(Finding{Class: ClassWaitCycle, Proc: c.s.Assign[top.t], Pos: c.pos[top.t],
+		Task: top.t, Obj: back.obj, Detail: b.String()})
+}
+
+// thresholds cross-checks arrival gating against the in-edges: the protocol
+// tables derive each processor's expected version count per volatile object
+// from the cross-processor true-dependence producers, and gate each reader
+// on an arrival threshold. A task that reads a volatile object without any
+// true-dependence in-edge for it — while versions of that object do arrive
+// at the processor — reads a buffer the protocol never ordered against its
+// producer: a data race the sequence-number pre-assignment cannot cover.
+func (c *checker) thresholds() {
+	// producers[(p,o)] mirrors proto.Derive's version producers: the set of
+	// distinct u* = latest-positioned cross-processor true-dependence
+	// producer of o, over all readers of o on p. Its cardinality is
+	// Derive's Expect count.
+	type po struct {
+		p graph.Proc
+		o graph.ObjID
+	}
+	producers := make(map[po]map[graph.TaskID]bool)
+	for v := range c.g.Tasks {
+		p := c.s.Assign[v]
+		best := make(map[graph.ObjID]graph.TaskID)
+		for _, e := range c.g.In(graph.TaskID(v)) {
+			if e.Kind != graph.DepTrue || c.s.Assign[e.From] == p {
+				continue
+			}
+			if u, ok := best[e.Obj]; !ok || c.pos[e.From] > c.pos[u] {
+				best[e.Obj] = e.From
+			}
+		}
+		for o, u := range best {
+			k := po{p, o}
+			if producers[k] == nil {
+				producers[k] = make(map[graph.TaskID]bool)
+			}
+			producers[k][u] = true
+		}
+	}
+	for v := range c.g.Tasks {
+		p := c.s.Assign[v]
+		gated := make(map[graph.ObjID]bool)
+		for _, e := range c.g.In(graph.TaskID(v)) {
+			if e.Kind == graph.DepTrue && c.s.Assign[e.From] != p {
+				gated[e.Obj] = true
+			}
+		}
+		for _, o := range c.g.Tasks[v].Reads {
+			if c.g.Objects[o].Owner == p {
+				continue
+			}
+			c.check()
+			if !gated[o] && len(producers[po{p, o}]) > 0 {
+				c.reportOnce(Finding{Class: ClassThresholdMismatch, Proc: p, Pos: c.pos[v],
+					Task: graph.TaskID(v), Obj: o,
+					Detail: fmt.Sprintf("remote read not gated by any arrival threshold while %d version(s) arrive at the processor", len(producers[po{p, o}]))})
+			}
+		}
+	}
+}
+
+// dtsBound verifies, for DTS/DTS+merge schedules, slice-monotone per-
+// processor ordering and the Theorem 2 volatile-space bound: with
+// immediate-free recycling, no processor's volatile need exceeds
+// h = max over slices of the slice's per-processor volatile footprint
+// (the additive term of the "S1/p + h" corollary).
+func (c *checker) dtsBound() {
+	s := c.s
+	n := c.g.NumTasks()
+	if s.Slices == nil || len(s.Slices) != n || s.NumSlices <= 0 {
+		return
+	}
+	for t := 0; t < n; t++ {
+		if s.Slices[t] < 0 || int(s.Slices[t]) >= s.NumSlices {
+			c.report(Finding{Class: ClassDTSBound, Proc: s.Assign[t], Pos: c.pos[t],
+				Task: graph.TaskID(t), Obj: graph.None,
+				Detail: fmt.Sprintf("slice index %d out of range [0,%d)", s.Slices[t], s.NumSlices)})
+			return
+		}
+	}
+	for p := 0; p < s.P; p++ {
+		prev := int32(-1)
+		for i, t := range s.Order[p] {
+			c.check()
+			if s.Slices[t] < prev {
+				c.report(Finding{Class: ClassDTSBound, Proc: graph.Proc(p), Pos: int32(i),
+					Task: t, Obj: graph.None,
+					Detail: fmt.Sprintf("slice-monotone order violated: slice %d after slice %d", s.Slices[t], prev)})
+			}
+			if s.Slices[t] > prev {
+				prev = s.Slices[t]
+			}
+		}
+	}
+	h := sched.SliceVolatileNeed(c.g, s.Assign, s.P, s.Slices, s.NumSlices)
+	var hMax int64
+	for _, v := range h {
+		if v > hMax {
+			hMax = v
+		}
+	}
+	// Immediate-free peak per processor: sweep the verified lifetimes.
+	// Because volatile lifetimes never span slices in a valid DTS schedule,
+	// this peak must stay within hMax.
+	for p := 0; p < s.P; p++ {
+		type ev struct {
+			pos   int32
+			delta int64
+		}
+		var evs []ev
+		for o, r := range c.lifetimes[p] {
+			evs = append(evs, ev{r[0], c.g.Objects[o].Size}, ev{r[1] + 1, -c.g.Objects[o].Size})
+		}
+		// Counting sort by position keeps this deterministic and linear.
+		byPos := make([]int64, len(s.Order[p])+2)
+		for _, e := range evs {
+			byPos[e.pos] += e.delta
+		}
+		var cur, peak int64
+		for _, d := range byPos {
+			cur += d
+			if cur > peak {
+				peak = cur
+			}
+		}
+		c.check()
+		if peak > hMax {
+			c.report(Finding{Class: ClassDTSBound, Proc: graph.Proc(p), Pos: graph.None,
+				Task: graph.None, Obj: graph.None,
+				Detail: fmt.Sprintf("immediate-free volatile peak %d exceeds Theorem 2 slice bound h=%d", peak, hMax)})
+		}
+	}
+}

@@ -239,7 +239,11 @@ func Compile(prog *Program, opt Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Schedule: s, Mem: mp, Model: model, Capacity: capacity}, nil
+	p := &Plan{Schedule: s, Mem: mp, Model: model, Capacity: capacity}
+	if err := assertVerified(p); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // KernelFunc executes one task against its local object buffers.

@@ -1,0 +1,58 @@
+package rapid
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/verify"
+)
+
+// VerifyResult is the static verifier's report for one plan: the findings
+// (empty for a clean plan), the symbolically replayed per-processor peaks
+// and the count of invariants checked. See internal/verify and DESIGN.md §8
+// for the paper-claim-by-claim correspondence.
+type VerifyResult = verify.Result
+
+// VerifyFinding is one verifier diagnostic.
+type VerifyFinding = verify.Finding
+
+// VerifyPlan statically verifies a compiled plan without executing it:
+// MAP-before-first-use liveness per processor (use-after-free, double-free
+// and leak detection), cross-processor wait-for acyclicity (the Theorem 1
+// deadlock-freedom precondition, with the full blocking chain on failure),
+// symbolic allocator replay against the declared peaks and AVAIL_MEM, and
+// arrival-threshold / address-package cross-checks.
+func VerifyPlan(p *Plan) *VerifyResult {
+	if p == nil {
+		return verify.Check(nil, nil)
+	}
+	return verify.Check(p.Schedule, p.Mem)
+}
+
+var (
+	debugVerifyOnce sync.Once
+	debugVerify     bool
+)
+
+// debugVerifyEnabled reports whether RAPID_VERIFY=1 asks every Compile to
+// assert its own output (a debug mode for scheduler/planner development;
+// the plan boundaries — cache load, daemon admission, CLIs — verify
+// unconditionally).
+func debugVerifyEnabled() bool {
+	debugVerifyOnce.Do(func() {
+		debugVerify = os.Getenv("RAPID_VERIFY") == "1"
+	})
+	return debugVerify
+}
+
+// assertVerified is called by Compile under RAPID_VERIFY=1.
+func assertVerified(p *Plan) error {
+	if !debugVerifyEnabled() {
+		return nil
+	}
+	if res := VerifyPlan(p); !res.OK() {
+		return fmt.Errorf("rapid: compiled plan failed static verification (compiler bug): %w", res.Err())
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package rapid_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/rapid"
+)
+
+func TestVerifyPlanCleanAcrossHeuristics(t *testing.T) {
+	for _, h := range []rapid.Heuristic{rapid.RCP, rapid.MPO, rapid.DTS, rapid.DTSMerge} {
+		for _, memDiv := range []int64{0, 2} {
+			prog := pipelineProgram(t)
+			opt := rapid.Options{Procs: 2, Heuristic: h, Owners: rapid.OwnersLoadBalanced}
+			if memDiv > 0 {
+				free, err := rapid.Compile(prog, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt.Memory = free.TOT() - (free.TOT()-free.MinMem())/memDiv
+			}
+			plan, err := rapid.Compile(prog, opt)
+			if err != nil {
+				t.Fatalf("%v: %v", h, err)
+			}
+			res := rapid.VerifyPlan(plan)
+			if !res.OK() {
+				t.Errorf("%v/memDiv=%d: compiled plan fails verification: %v", h, memDiv, res.Err())
+			}
+		}
+	}
+}
+
+func TestVerifyPlanDetectsTampering(t *testing.T) {
+	prog := pipelineProgram(t)
+	plan, err := rapid.Compile(prog, rapid.Options{Procs: 2, Owners: rapid.OwnersLoadBalanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Mem.Procs[0].Peak++
+	res := rapid.VerifyPlan(plan)
+	if res.OK() {
+		t.Fatal("tampered peak not detected")
+	}
+	if res.Err() == nil {
+		t.Fatal("Err must summarize findings")
+	}
+}
+
+func TestVerifyPlanNil(t *testing.T) {
+	if res := rapid.VerifyPlan(nil); res.OK() {
+		t.Fatal("nil plan verified clean")
+	}
+}
+
+// FuzzPlanVerifyRoundTrip asserts the codec can never turn a verified plan
+// into an unverifiable one: for every generated program, the compiled plan
+// verifies clean, its marshal/unmarshal round trip verifies clean, and the
+// re-encoding is byte-identical.
+func FuzzPlanVerifyRoundTrip(f *testing.F) {
+	f.Add(uint8(6), uint8(2), uint8(0), uint8(100))
+	f.Add(uint8(10), uint8(3), uint8(1), uint8(60))
+	f.Add(uint8(17), uint8(4), uint8(3), uint8(80))
+	f.Add(uint8(3), uint8(1), uint8(2), uint8(100))
+	f.Fuzz(func(t *testing.T, nTasks, procs, heur, memPct uint8) {
+		n := 2 + int(nTasks)%24
+		p := 1 + int(procs)%4
+		h := rapid.Heuristic(heur % 4)
+		pct := 40 + int(memPct)%61
+
+		// A deterministic layered program: task i reads up to two earlier
+		// objects chosen by a hash of (i, nTasks) and writes object i.
+		b := rapid.NewBuilder()
+		objs := make([]rapid.ObjID, n)
+		for i := 0; i < n; i++ {
+			objs[i] = b.Object(name("o", i%10)+name("x", i/10), int64(1+i%5))
+		}
+		for i := 0; i < n; i++ {
+			var reads []rapid.ObjID
+			if i > 0 {
+				reads = append(reads, objs[(i*7+int(nTasks))%i])
+			}
+			if i > 1 {
+				r2 := objs[(i*13+int(procs))%i]
+				if r2 != reads[0] {
+					reads = append(reads, r2)
+				}
+			}
+			b.Task(name("t", i%10)+name("y", i/10), float64(5+i%7), reads, []rapid.ObjID{objs[i]})
+		}
+		prog, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := rapid.Options{Procs: p, Heuristic: h, Owners: rapid.OwnersLoadBalanced}
+		free, err := rapid.Compile(prog, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Memory = free.TOT() * int64(pct) / 100
+		plan, err := rapid.Compile(prog, opt)
+		if err != nil {
+			// A fuzzed budget below the permanent footprint cannot be
+			// scheduled at all; the round-trip property only covers plans
+			// that compile.
+			t.Skip(err)
+		}
+		if res := rapid.VerifyPlan(plan); !res.OK() {
+			t.Fatalf("compiled plan fails verification: %v", res.Err())
+		}
+		enc, err := rapid.MarshalPlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := rapid.UnmarshalPlan(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := rapid.VerifyPlan(back); !res.OK() {
+			t.Fatalf("round-tripped plan fails verification: %v", res.Err())
+		}
+		enc2, err := rapid.MarshalPlan(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("re-encoding not byte-identical")
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+// Finding is one nondeterminism diagnostic.
+type Finding struct {
+	Pos token.Position
+	Msg string
+}
+
+func (f Finding) String() string { return fmt.Sprintf("%s: %s", f.Pos, f.Msg) }
+
+// suppressComment marks a line as deliberately deterministic despite the
+// pattern (e.g. a map range whose results are collected and sorted, or one
+// that only folds with a commutative operation). A reason after the marker
+// is encouraged: //det:ok collected and sorted below
+const suppressComment = "//det:ok"
+
+// listedPackage is the subset of `go list -json` output the linter needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+}
+
+// goList runs `go list -json <args>` and decodes the JSON stream.
+func goList(args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter satisfies types.Importer with gc export data located via
+// `go list -export -deps`, so the linter needs nothing beyond the standard
+// toolchain.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// lintFiles typechecks the parsed files of one package and returns the
+// nondeterminism findings, sorted by position.
+func lintFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) ([]Finding, error) {
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	if _, err := conf.Check(path, fset, files, info); err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+
+	var findings []Finding
+	for _, file := range files {
+		suppressed := suppressedLines(fset, file)
+		report := func(n ast.Node, format string, args ...any) {
+			pos := fset.Position(n.Pos())
+			if suppressed[pos.Line] {
+				return
+			}
+			findings = append(findings, Finding{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						report(n, "range over map: iteration order is nondeterministic and would leak into plan bytes (collect and sort, or mark %s with a reason)", suppressComment)
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := info.Uses[id].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				switch pkgName.Imported().Path() {
+				case "time":
+					if sel.Sel.Name == "Now" {
+						report(n, "time.Now in a plan-producing package: wall-clock input makes plan bytes unstable")
+					}
+				case "math/rand", "math/rand/v2":
+					// Package-level calls draw from the shared, implicitly
+					// seeded source. Constructing an explicit seeded source
+					// (rand.New, rand.NewSource, rand.NewPCG, ...) is fine,
+					// and methods on such a *rand.Rand don't match here
+					// (their receiver is not a package name).
+					switch sel.Sel.Name {
+					case "New", "NewSource", "NewPCG", "NewZipf", "NewChaCha8":
+					default:
+						report(n, "math/rand.%s uses the shared non-seeded source: draws are nondeterministic across runs (use rand.New(rand.NewSource(seed)))", sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// suppressedLines returns the set of lines carrying a //det:ok comment.
+func suppressedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, suppressComment) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// lintPackages resolves the patterns, typechecks each target package from
+// source (tests excluded: only shipped code feeds plan bytes) and returns
+// all findings.
+func lintPackages(patterns []string) ([]Finding, error) {
+	targets, err := goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(append([]string{"-export", "-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		exports[p.ImportPath] = p.Export
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var all []Finding
+	for _, t := range targets {
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, t.Dir+string(os.PathSeparator)+name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		findings, err := lintFiles(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, findings...)
+	}
+	return all, nil
+}

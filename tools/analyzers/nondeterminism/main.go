@@ -1,0 +1,54 @@
+// Command nondeterminism is a determinism linter for plan-producing
+// packages: compiled plans are serialized with a byte-stable codec and
+// addressed by a structural fingerprint (internal/plan), so any
+// nondeterminism in the packages that build them — map iteration order,
+// wall-clock reads, draws from the shared math/rand source — can silently
+// change plan bytes between runs and defeat both the cache and the
+// cross-backend equivalence suites.
+//
+// It flags, in the packages named on the command line (default: the three
+// plan-producing packages internal/plan, internal/sched, internal/mem):
+//
+//   - `range` over a map value, unless the line carries a //det:ok comment
+//     (for collect-then-sort and commutative-fold idioms);
+//   - calls to time.Now;
+//   - package-level math/rand calls (the shared source), while explicitly
+//     seeded sources via rand.New(rand.NewSource(seed)) pass.
+//
+// The implementation is standard-library only (go/ast + go/types, with gc
+// export data located through `go list -export -deps`), so it runs in CI
+// next to vet and staticcheck without any extra module requirement.
+//
+// Exit status: 0 when clean, 1 with file:line findings otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+// defaultPackages are the packages whose output feeds plan bytes.
+var defaultPackages = []string{
+	"repro/internal/plan",
+	"repro/internal/sched",
+	"repro/internal/mem",
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = defaultPackages
+	}
+	findings, err := lintPackages(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nondeterminism: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "nondeterminism: %d findings\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestFixtureFindings typechecks the testdata fixture through the real
+// pipeline (gc export data via go list) and pins exactly which constructs
+// are flagged.
+func TestFixtureFindings(t *testing.T) {
+	deps, err := goList("-export", "-deps", "math/rand", "sort", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		exports[p.ImportPath] = p.Export
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "testdata/fixture.go", nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lintFiles(fset, "fixture", []*ast.File{file}, exportImporter(fset, exports))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Msg)
+	}
+	want := []string{"range over map", "time.Now", "math/rand.Intn"}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(findings), len(want), strings.Join(got, "\n"))
+	}
+	for i, w := range want {
+		if !strings.Contains(findings[i].Msg, w) {
+			t.Errorf("finding %d = %q, want mention of %q", i, findings[i].Msg, w)
+		}
+	}
+}
+
+// TestPlanPackagesClean is the CI gate in test form: the three
+// plan-producing packages must lint clean.
+func TestPlanPackagesClean(t *testing.T) {
+	findings, err := lintPackages(defaultPackages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,52 @@
+// Package fixture exercises every rule of the nondeterminism linter; the
+// test pins which lines are flagged and which are suppressed. It lives in
+// testdata so the go tool never builds it.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func rangeOverMap(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want: flagged
+		sum += v
+	}
+	return sum
+}
+
+func rangeOverMapSuppressed(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //det:ok collected and sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func rangeOverSlice(s []int) int {
+	sum := 0
+	for _, v := range s { // fine: slices iterate in order
+		sum += v
+	}
+	return sum
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want: flagged
+}
+
+func sinceIsFine(t0 time.Time) time.Duration {
+	return time.Since(t0) // fine: not time.Now (by this linter's rule)
+}
+
+func sharedSource() int {
+	return rand.Intn(10) // want: flagged
+}
+
+func seededSource(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // fine: explicit seeded source
+	return r.Intn(10)                   // fine: method on *rand.Rand
+}
