@@ -1,14 +1,15 @@
 // Command rapidd is the solve service: a daemon that accepts sparse
 // factorization jobs over HTTP, reuses compiled inspector artifacts through
 // the two-tier plan cache (in-memory LRU over an on-disk content-addressed
-// store), and runs executions under a machine-wide memory-budget admission
-// controller — jobs that would overflow -avail-mem queue until running
-// work releases space.
+// store), and executes them on a bounded worker pool under a machine-wide
+// memory-budget admission controller — concurrent jobs share -avail-mem,
+// and jobs that would overflow it queue until running work releases space.
 //
 // Usage:
 //
 //	rapidd [-addr :8437] [-cache-dir DIR] [-cache-mem BYTES] [-avail-mem UNITS]
 //	       [-job-timeout 30s] [-job-retries 2]
+//	       [-workers N] [-queue-depth N] [-deadline DUR] [-retry-after 1s]
 //
 // Submit a job and wait for the result:
 //
@@ -16,14 +17,24 @@
 //	     -d '{"kind":"chol","n":300,"procs":4,"heuristic":"mpo","verify":true}'
 //
 // Re-submitting the same spec returns "plan_source": "memory" — the
-// inspector phase is skipped. See /v1/stats for cache and admission
-// counters.
+// inspector phase is skipped — and if the duplicate arrives while the first
+// is still executing it coalesces onto that execution ("coalesced": true).
+// When the backlog exceeds -queue-depth the daemon sheds load with 429 +
+// Retry-After instead of queueing without bound. See /v1/stats for cache,
+// pool and admission counters.
+//
+// On SIGINT/SIGTERM the daemon stops accepting jobs (503), finishes the
+// backlog, and exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/rapidd"
 	"repro/internal/trace"
@@ -36,16 +47,47 @@ func main() {
 	availMem := flag.Int64("avail-mem", 0, "machine-wide memory budget in abstract units (0: unlimited)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-attempt execution watchdog deadline (0: executor default)")
 	jobRetries := flag.Int("job-retries", 0, "retries for fault-injected jobs that fail (0: default 2, negative: none)")
+	workers := flag.Int("workers", 0, "worker-pool size: concurrent job executions (0: max(2, GOMAXPROCS); 1: serial)")
+	queueDepth := flag.Int("queue-depth", 0, "accepted-job backlog bound; beyond it requests are shed with 429 (0: 64, negative: unbuffered)")
+	deadline := flag.Duration("deadline", 0, "default end-to-end job deadline for specs without deadline_ms (0: none)")
+	retryAfter := flag.Duration("retry-after", 0, "client back-off hint on shed responses (0: 1s)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	flag.Parse()
 
 	srv := rapidd.New(rapidd.Config{
-		CacheDir:       *cacheDir,
-		CacheMemBudget: *cacheMem,
-		AvailMem:       *availMem,
-		JobTimeout:     *jobTimeout,
-		MaxJobRetries:  *jobRetries,
-		Metrics:        trace.NewMetrics(),
+		CacheDir:        *cacheDir,
+		CacheMemBudget:  *cacheMem,
+		AvailMem:        *availMem,
+		JobTimeout:      *jobTimeout,
+		MaxJobRetries:   *jobRetries,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		DefaultDeadline: *deadline,
+		RetryAfter:      *retryAfter,
+		Metrics:         trace.NewMetrics(),
 	})
-	log.Printf("rapidd listening on %s (cache-dir=%q avail-mem=%d)", *addr, *cacheDir, *availMem)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("rapidd listening on %s (cache-dir=%q avail-mem=%d workers=%d queue-depth=%d)",
+		*addr, *cacheDir, *availMem, *workers, *queueDepth)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("rapidd draining (up to %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("rapidd: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("rapidd: shutdown: %v", err)
+	}
+	log.Printf("rapidd stopped")
 }

@@ -1,0 +1,134 @@
+// Command rapidload drives a rapidd daemon with deterministic closed-loop
+// load and reports throughput, latency percentiles and shed rate. The same
+// (config, seed) pair replays the identical request sequence, so two runs
+// against different server configurations are an apples-to-apples
+// comparison (EXPERIMENTS.md records the serial-vs-pooled one).
+//
+// Usage:
+//
+//	rapidload -url http://127.0.0.1:8437 [-clients 8] [-requests 200]
+//	          [-keys 8] [-skew 1.2] [-fault-frac 0.1] [-seed 1]
+//	rapidload -config load.json
+//	rapidload -inproc [-workers 4] [-queue-depth 16] [-avail-mem U]
+//
+// -inproc starts a rapidd server inside the process on a loopback listener
+// and aims the load at it — no daemon to manage, used by the CI smoke run.
+// Flags override file-config fields when both are given.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/rapidd"
+	"repro/internal/trace"
+)
+
+func main() {
+	var cfg loadgen.Config
+	configPath := flag.String("config", "", "JSON config file (flags override its fields)")
+	flag.StringVar(&cfg.URL, "url", "", "daemon base URL (omit with -inproc)")
+	flag.IntVar(&cfg.Clients, "clients", 0, "closed-loop client count (default 4)")
+	flag.IntVar(&cfg.Requests, "requests", 0, "total requests (default 100)")
+	flag.Uint64Var(&cfg.Seed, "seed", 0, "deterministic run seed (default 1)")
+	flag.IntVar(&cfg.Keys, "keys", 0, "distinct job structures (default 8)")
+	flag.Float64Var(&cfg.Skew, "skew", 0, "zipf key-skew exponent (0: uniform)")
+	flag.StringVar(&cfg.Kind, "kind", "", "factorization kind (default chol)")
+	flag.IntVar(&cfg.N, "n", 0, "matrix order (default 120)")
+	flag.IntVar(&cfg.Procs, "procs", 0, "virtual processors per job (default 4)")
+	flag.Float64Var(&cfg.FaultFrac, "fault-frac", 0, "fraction of requests with injected faults")
+	flag.Float64Var(&cfg.DropFrac, "drop-frac", 0, "message-loss fraction on faulty requests")
+	flag.Float64Var(&cfg.DupFrac, "dup-frac", 0, "duplicate fraction on faulty requests")
+	flag.IntVar(&cfg.DeadlineMS, "deadline-ms", 0, "per-job deadline in ms (0: none)")
+	flag.IntVar(&cfg.HoldMS, "hold-ms", 0, "per-job post-execution memory hold in ms (traffic shaping)")
+	inproc := flag.Bool("inproc", false, "serve from an in-process rapidd instead of -url")
+	workers := flag.Int("workers", 0, "in-process server worker-pool size (0: default)")
+	queueDepth := flag.Int("queue-depth", 0, "in-process server queue depth (0: default)")
+	availMem := flag.Int64("avail-mem", 0, "in-process server AVAIL_MEM (0: unlimited)")
+	flag.Parse()
+
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fileCfg, err := loadgen.ParseConfig(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Flags set explicitly on the command line win over the file.
+		merged := fileCfg
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "url":
+				merged.URL = cfg.URL
+			case "clients":
+				merged.Clients = cfg.Clients
+			case "requests":
+				merged.Requests = cfg.Requests
+			case "seed":
+				merged.Seed = cfg.Seed
+			case "keys":
+				merged.Keys = cfg.Keys
+			case "skew":
+				merged.Skew = cfg.Skew
+			case "kind":
+				merged.Kind = cfg.Kind
+			case "n":
+				merged.N = cfg.N
+			case "procs":
+				merged.Procs = cfg.Procs
+			case "fault-frac":
+				merged.FaultFrac = cfg.FaultFrac
+			case "drop-frac":
+				merged.DropFrac = cfg.DropFrac
+			case "dup-frac":
+				merged.DupFrac = cfg.DupFrac
+			case "deadline-ms":
+				merged.DeadlineMS = cfg.DeadlineMS
+			case "hold-ms":
+				merged.HoldMS = cfg.HoldMS
+			}
+		})
+		cfg = merged
+	}
+
+	if *inproc {
+		srv := rapidd.New(rapidd.Config{
+			Workers:    *workers,
+			QueueDepth: *queueDepth,
+			AvailMem:   *availMem,
+			Metrics:    trace.NewMetrics(),
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		cfg.URL = "http://" + ln.Addr().String()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			srv.Drain(ctx)
+			hs.Shutdown(ctx)
+		}()
+		log.Printf("rapidload: in-process rapidd at %s (workers=%d queue-depth=%d)", cfg.URL, *workers, *queueDepth)
+	}
+
+	res, err := loadgen.Run(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+// FuzzParseConfig fuzzes rapidload's -config input surface: arbitrary
+// bytes must yield either an in-range config or an error, never a panic —
+// and normalization must be a fixpoint so a dumped config reloads
+// identically.
+func FuzzParseConfig(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"clients":8,"requests":200,"keys":16,"skew":1.2}`,
+		`{"fault_frac":0.3,"drop_frac":0.25,"dup_frac":0.1,"seed":7}`,
+		`{"kind":"lu","n":80,"procs":2,"deadline_ms":5000,"hold_ms":20}`,
+		`{"clients":-3}`,
+		`{"skew":1e308}`,
+		`{"requests":9999999}`,
+		`{"timeout_ms":0.5}`,
+		`not json`,
+		`[]`,
+		``,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		if cfg.Clients < 1 || cfg.Clients > 1024 {
+			t.Fatalf("accepted clients %d", cfg.Clients)
+		}
+		if cfg.Requests < 1 || cfg.Requests > 1_000_000 {
+			t.Fatalf("accepted requests %d", cfg.Requests)
+		}
+		if cfg.Keys < 1 || cfg.Keys > 4096 {
+			t.Fatalf("accepted keys %d", cfg.Keys)
+		}
+		if cfg.Skew < 0 || cfg.Skew > 8 {
+			t.Fatalf("accepted skew %g", cfg.Skew)
+		}
+		for _, frac := range []float64{cfg.FaultFrac, cfg.DropFrac, cfg.DupFrac} {
+			if frac < 0 || frac > 1 {
+				t.Fatalf("accepted fraction %g", frac)
+			}
+		}
+		if cfg.TimeoutMS < 1 || cfg.TimeoutMS > 600_000 {
+			t.Fatalf("accepted timeout_ms %d", cfg.TimeoutMS)
+		}
+		again := cfg
+		if err := again.Normalize(); err != nil {
+			t.Fatalf("re-normalization rejected an accepted config: %v", err)
+		}
+		if again != cfg {
+			t.Fatalf("normalization not a fixpoint: %+v vs %+v", cfg, again)
+		}
+	})
+}

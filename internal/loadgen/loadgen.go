@@ -1,0 +1,330 @@
+// Package loadgen is a deterministic closed-loop load generator for the
+// rapidd solve service. A fixed number of clients each issue synchronous
+// solve requests back to back (closed loop: offered load adapts to service
+// rate, so the generator measures the server, not its own queue). Key
+// choice, fault injection and fault seeds all derive from util.RNG streams
+// seeded per client, so a (config, seed) pair replays the identical request
+// sequence on every run and platform.
+//
+// Keys map to distinct matrix structures (distinct plan-cache fingerprints)
+// via the spec seed; the Skew exponent concentrates traffic on low keys the
+// way real workloads concentrate on hot structures, which is what makes the
+// plan cache and request coalescing observable under load.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/rapidd"
+	"repro/internal/trace"
+	"repro/internal/util"
+)
+
+// Config describes one load run. The zero value of most fields means "use
+// the default"; out-of-range values are rejected by Normalize, never
+// silently clamped.
+type Config struct {
+	// URL is the daemon base URL (e.g. http://127.0.0.1:8437). Required by
+	// Run; absent in file configs used with rapidload's -inproc mode.
+	URL string `json:"url"`
+	// Clients is the closed-loop concurrency (default 4, max 1024).
+	Clients int `json:"clients"`
+	// Requests is the total request count across clients (default 100).
+	Requests int `json:"requests"`
+	// Seed drives every random decision of the run (default 1).
+	Seed uint64 `json:"seed"`
+	// Keys is the number of distinct job structures (default 8, max 4096).
+	Keys int `json:"keys"`
+	// Skew is the zipf exponent over keys: 0 uniform, larger concentrates
+	// traffic on low keys (range [0, 8]).
+	Skew float64 `json:"skew"`
+	// Kind, N, Procs, Block, Heuristic shape the jobs (defaults: the
+	// daemon's own — chol, 120, 4, 8, mpo). Verify adds residual checks.
+	Kind      string `json:"kind"`
+	N         int    `json:"n"`
+	Procs     int    `json:"procs"`
+	Block     int    `json:"block"`
+	Heuristic string `json:"heuristic"`
+	Verify    bool   `json:"verify"`
+	// FaultFrac is the fraction of requests carrying injected message
+	// faults; faulty requests use DropFrac/DupFrac (all in [0, 1]).
+	FaultFrac float64 `json:"fault_frac"`
+	DropFrac  float64 `json:"drop_frac"`
+	DupFrac   float64 `json:"dup_frac"`
+	// DeadlineMS is attached to every spec (0: none, range [0, 600000]).
+	DeadlineMS int `json:"deadline_ms"`
+	// HoldMS makes every job hold its memory this long after executing
+	// (range [0, 60000]) — traffic shaping for overload experiments.
+	HoldMS int `json:"hold_ms"`
+	// TimeoutMS bounds each HTTP round trip (default 60000).
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// ParseConfig decodes and validates a JSON config. It is the whole input
+// surface of rapidload's -config flag, factored out as the fuzz target:
+// any bytes either yield a valid in-range config or an error — no panics.
+func ParseConfig(data []byte) (Config, error) {
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return cfg, fmt.Errorf("loadgen: bad config: %v", err)
+	}
+	if err := cfg.Normalize(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// Normalize fills defaults and rejects out-of-range fields.
+func (c *Config) Normalize() error {
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Clients < 1 || c.Clients > 1024 {
+		return fmt.Errorf("loadgen: clients=%d out of range [1, 1024]", c.Clients)
+	}
+	if c.Requests == 0 {
+		c.Requests = 100
+	}
+	if c.Requests < 1 || c.Requests > 1_000_000 {
+		return fmt.Errorf("loadgen: requests=%d out of range [1, 1000000]", c.Requests)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Keys == 0 {
+		c.Keys = 8
+	}
+	if c.Keys < 1 || c.Keys > 4096 {
+		return fmt.Errorf("loadgen: keys=%d out of range [1, 4096]", c.Keys)
+	}
+	if c.Skew < 0 || c.Skew > 8 || math.IsNaN(c.Skew) {
+		return fmt.Errorf("loadgen: skew=%g out of range [0, 8]", c.Skew)
+	}
+	for name, f := range map[string]float64{"fault_frac": c.FaultFrac, "drop_frac": c.DropFrac, "dup_frac": c.DupFrac} {
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return fmt.Errorf("loadgen: %s=%g out of range [0, 1]", name, f)
+		}
+	}
+	if c.DeadlineMS < 0 || c.DeadlineMS > 600_000 {
+		return fmt.Errorf("loadgen: deadline_ms=%d out of range [0, 600000]", c.DeadlineMS)
+	}
+	if c.HoldMS < 0 || c.HoldMS > 60_000 {
+		return fmt.Errorf("loadgen: hold_ms=%d out of range [0, 60000]", c.HoldMS)
+	}
+	if c.TimeoutMS == 0 {
+		c.TimeoutMS = 60_000
+	}
+	if c.TimeoutMS < 1 || c.TimeoutMS > 600_000 {
+		return fmt.Errorf("loadgen: timeout_ms=%d out of range [1, 600000]", c.TimeoutMS)
+	}
+	// The job-shape fields ride through to the daemon, which validates
+	// them; reject only what would make specs non-deterministic here.
+	if c.N < 0 || c.Procs < 0 || c.Block < 0 {
+		return fmt.Errorf("loadgen: negative job shape (n=%d procs=%d block=%d)", c.N, c.Procs, c.Block)
+	}
+	return nil
+}
+
+// picker draws keys from a zipf-like distribution: weight(k) ∝ (k+1)^-skew.
+type picker struct{ cum []float64 }
+
+func newPicker(keys int, skew float64) *picker {
+	cum := make([]float64, keys)
+	total := 0.0
+	for i := 0; i < keys; i++ {
+		total += math.Pow(float64(i+1), -skew)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &picker{cum: cum}
+}
+
+func (p *picker) pick(rng *util.RNG) int {
+	u := rng.Float64()
+	for i, c := range p.cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(p.cum) - 1
+}
+
+// Result aggregates one run. Latency covers served (HTTP 200) requests
+// only — shed responses return in microseconds and would make percentiles
+// look better the harder the server is overloaded.
+type Result struct {
+	Config  Config
+	Elapsed time.Duration
+
+	Issued    int64
+	Done      int64
+	Failed    int64
+	Shed      int64
+	Errors    int64
+	Coalesced int64
+	CacheHits int64
+
+	// Latency is in microseconds per served request.
+	Latency *trace.Histogram
+}
+
+// Throughput is served (done) requests per second of wall time.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Done) / r.Elapsed.Seconds()
+}
+
+// ShedRate is the fraction of issued requests that were shed.
+func (r *Result) ShedRate() float64 {
+	if r.Issued == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Issued)
+}
+
+// Report renders the run as a metric/value table.
+func (r *Result) Report() string {
+	ms := func(us int64) string { return fmt.Sprintf("%.2f ms", float64(us)/1000) }
+	pct := func(n int64) string {
+		if r.Issued == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(r.Issued))
+	}
+	rows := [][]string{
+		{"clients", fmt.Sprint(r.Config.Clients)},
+		{"issued", fmt.Sprint(r.Issued)},
+		{"elapsed", r.Elapsed.Round(time.Millisecond).String()},
+		{"throughput", fmt.Sprintf("%.1f jobs/s", r.Throughput())},
+		{"done", fmt.Sprintf("%d (%s)", r.Done, pct(r.Done))},
+		{"failed", fmt.Sprintf("%d (%s)", r.Failed, pct(r.Failed))},
+		{"shed", fmt.Sprintf("%d (%s)", r.Shed, pct(r.Shed))},
+		{"errors", fmt.Sprint(r.Errors)},
+		{"coalesced", fmt.Sprint(r.Coalesced)},
+		{"cache_hits", fmt.Sprint(r.CacheHits)},
+		{"latency_mean", fmt.Sprintf("%.2f ms", r.Latency.Mean()/1000)},
+		{"latency_p50", ms(r.Latency.Quantile(0.5))},
+		{"latency_p90", ms(r.Latency.Quantile(0.9))},
+		{"latency_p99", ms(r.Latency.Quantile(0.99))},
+		{"latency_max", ms(r.Latency.Max())},
+	}
+	return trace.Grid([]string{"metric", "value"}, rows)
+}
+
+// Run executes the load against cfg.URL. hc may be nil (a client with the
+// configured timeout is built); pass one to point at an in-process server.
+func Run(cfg Config, hc *http.Client) (*Result, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("loadgen: no daemon URL configured")
+	}
+	if hc == nil {
+		hc = &http.Client{Timeout: time.Duration(cfg.TimeoutMS) * time.Millisecond}
+	}
+	pk := newPicker(cfg.Keys, cfg.Skew)
+
+	// Split the request budget; earlier clients absorb the remainder.
+	per := make([]int, cfg.Clients)
+	for i := 0; i < cfg.Requests; i++ {
+		per[i%cfg.Clients]++
+	}
+
+	results := make([]*Result, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = runClient(cfg, hc, pk, c, per[c])
+		}(c)
+	}
+	wg.Wait()
+
+	total := &Result{Config: cfg, Elapsed: time.Since(start), Latency: trace.NewHistogram()}
+	for _, r := range results {
+		total.Issued += r.Issued
+		total.Done += r.Done
+		total.Failed += r.Failed
+		total.Shed += r.Shed
+		total.Errors += r.Errors
+		total.Coalesced += r.Coalesced
+		total.CacheHits += r.CacheHits
+		total.Latency.Merge(r.Latency)
+	}
+	return total, nil
+}
+
+// runClient is one closed-loop client: its RNG stream is a pure function
+// of (seed, client index), independent of scheduling.
+func runClient(cfg Config, hc *http.Client, pk *picker, client, n int) *Result {
+	rng := util.NewRNG(util.Hash64(cfg.Seed, uint64(client)))
+	res := &Result{Latency: trace.NewHistogram()}
+	for i := 0; i < n; i++ {
+		spec := rapidd.JobSpec{
+			Kind:       cfg.Kind,
+			N:          cfg.N,
+			Seed:       uint64(pk.pick(rng) + 1),
+			Procs:      cfg.Procs,
+			Block:      cfg.Block,
+			Heuristic:  cfg.Heuristic,
+			Verify:     cfg.Verify,
+			DeadlineMS: cfg.DeadlineMS,
+			HoldMS:     cfg.HoldMS,
+		}
+		if cfg.FaultFrac > 0 && rng.Float64() < cfg.FaultFrac {
+			spec.DropFrac = cfg.DropFrac
+			spec.DupFrac = cfg.DupFrac
+			spec.FaultSeed = rng.Uint64() | 1
+		}
+		res.Issued++
+		body, _ := json.Marshal(spec)
+		t0 := time.Now()
+		resp, err := hc.Post(cfg.URL+"/v1/solve?wait=1", "application/json", bytes.NewReader(body))
+		if err != nil {
+			res.Errors++
+			continue
+		}
+		lat := time.Since(t0)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var job rapidd.Job
+			if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+				res.Errors++
+				resp.Body.Close()
+				continue
+			}
+			res.Latency.Observe(lat.Microseconds())
+			switch job.Status {
+			case rapidd.StatusDone:
+				res.Done++
+			default:
+				res.Failed++
+			}
+			if job.Coalesced {
+				res.Coalesced++
+			}
+			if job.PlanSource == "memory" || job.PlanSource == "disk" {
+				res.CacheHits++
+			}
+		case http.StatusTooManyRequests:
+			res.Shed++
+		default:
+			res.Errors++
+		}
+		resp.Body.Close()
+	}
+	return res
+}

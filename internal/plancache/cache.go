@@ -72,12 +72,12 @@ type Cache struct {
 	dir     string
 	budget  int64
 	metrics *trace.Metrics
+	group   Group // single-flight over fills (disk load or compile)
 
 	mu      sync.Mutex
 	entries map[string]*list.Element // fingerprint -> lru element
 	lru     *list.List               // front = most recent
 	bytes   int64
-	flights map[string]*flight
 }
 
 type entry struct {
@@ -86,11 +86,11 @@ type entry struct {
 	size int64
 }
 
-type flight struct {
-	done chan struct{}
-	art  *plan.Artifact
-	src  Source
-	err  error
+// fillResult is what one fill flight produces, shared among coalesced
+// lookups through the Group.
+type fillResult struct {
+	art *plan.Artifact
+	src Source
 }
 
 // New creates a cache. If a directory is configured it is created on
@@ -106,7 +106,6 @@ func New(cfg Config) *Cache {
 		metrics: cfg.Metrics,
 		entries: make(map[string]*list.Element),
 		lru:     list.New(),
-		flights: make(map[string]*flight),
 	}
 }
 
@@ -130,22 +129,20 @@ func (c *Cache) GetOrCompile(key string, compile func() (*plan.Artifact, error))
 		c.metrics.Inc("plancache.hit.mem", 1)
 		return art, SourceMemory, nil
 	}
-	if fl, ok := c.flights[key]; ok {
-		c.mu.Unlock()
-		c.metrics.Inc("plancache.shared", 1)
-		<-fl.done
-		return fl.art, fl.src, fl.err
-	}
-	fl := &flight{done: make(chan struct{})}
-	c.flights[key] = fl
 	c.mu.Unlock()
 
-	fl.art, fl.src, fl.err = c.fill(key, compile)
-	c.mu.Lock()
-	delete(c.flights, key)
-	c.mu.Unlock()
-	close(fl.done)
-	return fl.art, fl.src, fl.err
+	v, _, err := c.group.DoNotify(key, func() (any, error) {
+		art, src, err := c.fill(key, compile)
+		if err != nil {
+			return nil, err
+		}
+		return fillResult{art: art, src: src}, nil
+	}, func() { c.metrics.Inc("plancache.shared", 1) })
+	if err != nil {
+		return nil, SourceCompiled, err
+	}
+	res := v.(fillResult)
+	return res.art, res.src, nil
 }
 
 // fill resolves a miss of the in-memory tier: disk, then compilation.

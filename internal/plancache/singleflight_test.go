@@ -1,0 +1,116 @@
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGroupCoalesces: N concurrent Do calls with one key run fn once;
+// exactly one caller reports shared=false and all see the same result.
+func TestGroupCoalesces(t *testing.T) {
+	var g Group
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const n = 16
+	var leaders atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := g.Do("k", func() (any, error) {
+				calls.Add(1)
+				<-gate // hold the flight open until all callers joined
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			if v != 42 {
+				t.Errorf("Do returned %v, want 42", v)
+			}
+			if !shared {
+				leaders.Add(1)
+			}
+		}()
+	}
+	// Wait until the flight is registered, then give sharers a moment to
+	// attach before releasing it.
+	for !g.Inflight("k") {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	if got := leaders.Load(); got != 1 {
+		t.Fatalf("%d callers saw shared=false, want exactly 1", got)
+	}
+	if g.Inflight("k") {
+		t.Fatal("flight not cleared after landing")
+	}
+}
+
+// TestGroupDistinctKeysRunConcurrently: two keys must not serialize.
+func TestGroupDistinctKeysRunConcurrently(t *testing.T) {
+	var g Group
+	aStarted := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.Do("a", func() (any, error) {
+			close(aStarted)
+			<-release
+			return nil, nil
+		})
+	}()
+	<-aStarted
+	// If keys serialized, this would deadlock (a's flight never releases).
+	if _, shared, err := g.Do("b", func() (any, error) { return "b", nil }); shared || err != nil {
+		t.Fatalf("key b: shared=%v err=%v", shared, err)
+	}
+	close(release)
+	<-done
+}
+
+// TestGroupSharesErrors: sharers receive the flight's error; a later call
+// retries (nothing is memoized).
+func TestGroupSharesErrors(t *testing.T) {
+	var g Group
+	wantErr := errors.New("boom")
+	_, shared, err := g.Do("k", func() (any, error) { return nil, wantErr })
+	if shared || !errors.Is(err, wantErr) {
+		t.Fatalf("first call: shared=%v err=%v", shared, err)
+	}
+	v, shared, err := g.Do("k", func() (any, error) { return 7, nil })
+	if shared || err != nil || v != 7 {
+		t.Fatalf("retry after error: v=%v shared=%v err=%v", v, shared, err)
+	}
+}
+
+// TestGroupSequentialCallsRunEachTime: Do is a coalescer, not a cache.
+func TestGroupSequentialCallsRunEachTime(t *testing.T) {
+	var g Group
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do("k", func() (any, error) {
+			calls++
+			return fmt.Sprintf("r%d", calls), nil
+		})
+		if shared || err != nil {
+			t.Fatalf("call %d: shared=%v err=%v", i, shared, err)
+		}
+		if want := fmt.Sprintf("r%d", i+1); v != want {
+			t.Fatalf("call %d returned %v, want %v", i, v, want)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+}

@@ -1,6 +1,7 @@
 package rapidd
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -39,6 +40,17 @@ func newAdmission(avail int64) *admission {
 // caller must replan to a smaller footprint first (see planForBudget), so
 // a failure here is a caller bug, not load.
 func (a *admission) acquire(demand int64, onQueue func()) error {
+	return a.acquireCtx(context.Background(), demand, onQueue)
+}
+
+// acquireCtx is acquire with cancellation: a waiter whose context expires
+// (per-job deadline) or is cancelled (client disconnect, shed) leaves the
+// queue without ever booking budget — and without wedging the jobs parked
+// behind it, which are re-pumped in case the departed waiter was the
+// too-big head. If admission and cancellation race, the booked units are
+// released before returning the context error, so either way no budget
+// can leak from a caller that does not run.
+func (a *admission) acquireCtx(ctx context.Context, demand int64, onQueue func()) error {
 	if demand < 0 {
 		return fmt.Errorf("rapidd: negative admission demand %d", demand)
 	}
@@ -46,6 +58,10 @@ func (a *admission) acquire(demand int64, onQueue func()) error {
 	if a.avail > 0 && demand > a.avail {
 		a.mu.Unlock()
 		return fmt.Errorf("rapidd: job needs %d units but AVAIL_MEM is %d; replan under the budget before admission", demand, a.avail)
+	}
+	if err := ctx.Err(); err != nil {
+		a.mu.Unlock()
+		return err
 	}
 	if len(a.queue) == 0 && a.fits(demand) {
 		a.admit(demand)
@@ -58,8 +74,26 @@ func (a *admission) acquire(demand int64, onQueue func()) error {
 	if onQueue != nil {
 		onQueue()
 	}
+	select {
+	case <-w.admitted:
+		return nil
+	case <-ctx.Done():
+	}
+	a.mu.Lock()
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			a.pump()
+			a.mu.Unlock()
+			return ctx.Err()
+		}
+	}
+	a.mu.Unlock()
+	// Lost the race: pump admitted us concurrently with cancellation.
+	// Give the units straight back.
 	<-w.admitted
-	return nil
+	a.release(demand)
+	return ctx.Err()
 }
 
 // release returns demand units and admits queued jobs that now fit, in

@@ -1,6 +1,7 @@
 package rapidd
 
 import (
+	"context"
 	"testing"
 
 	"repro/rapid"
@@ -50,12 +51,12 @@ func BenchmarkCachedServe(b *testing.B) {
 	srv.jobs["bench"] = &Job{ID: "bench", Spec: spec}
 	srv.mu.Unlock()
 	// Warm the cache so every timed iteration is a memory-tier hit.
-	if err := srv.attempt("warm", spec, 0); err != nil {
+	if err := srv.attempt(context.Background(), "warm", spec, 0); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := srv.attempt("bench", spec, 0); err != nil {
+		if err := srv.attempt(context.Background(), "bench", spec, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,221 @@
+package rapidd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// The serving layer: a bounded pool of worker goroutines executes admitted
+// jobs in parallel. Requests enter through a bounded queue — a full queue
+// sheds the request with 429 + Retry-After instead of letting the backlog
+// (and every queued client's latency) grow without bound. Workers coalesce
+// identical in-flight specs onto a single execution (single-flight, the
+// same mechanism the plan cache uses for compiles), enforce per-job
+// deadlines, and drain gracefully on shutdown.
+//
+// Concurrency safety comes from the layers below: concurrent jobs share
+// AVAIL_MEM through the admission controller (each books its aggregate
+// planned peak before executing), and the plan cache is already
+// single-flight per fingerprint, so a burst of distinct requests for one
+// new structure compiles it once.
+
+// task is one queued execution: the job ID plus the request-scoped
+// context that carries its deadline/cancellation.
+type task struct {
+	id     string
+	spec   JobSpec
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// outcome is a terminal job snapshot, shared between a coalesced group's
+// leader and its followers.
+type outcome struct {
+	job Job
+}
+
+// worker pulls tasks until the queue is closed by Drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for tk := range s.queue {
+		s.process(tk)
+	}
+}
+
+// process drives one task to a terminal state. Identical specs already
+// executing are joined rather than re-executed: followers block on the
+// leader's flight and adopt its result. The spec is the coalescing key
+// (marshalled canonically), which is strictly finer than the plan
+// fingerprint — two specs that differ only in execution-relevant fields
+// (verify, hold, fault mix, deadline) never merge, while the plan cache
+// still deduplicates their compile by fingerprint underneath.
+func (s *Server) process(tk *task) {
+	defer close(tk.done)
+	defer func() {
+		tk.cancel()
+		s.mu.Lock()
+		delete(s.cancels, tk.id)
+		s.mu.Unlock()
+	}()
+	if err := tk.ctx.Err(); err != nil {
+		s.failFast(tk.id, fmt.Errorf("rapidd: job expired before execution: %w", err))
+		return
+	}
+	v, shared, _ := s.flights.DoNotify(coalesceKey(tk.spec), func() (any, error) {
+		return s.runJob(tk), nil
+	}, func() { s.metrics.Inc("rapidd.jobs.coalesced", 1) })
+	if !shared {
+		return // leader already updated its own record inside runJob
+	}
+	oc, _ := v.(*outcome)
+	s.adoptOutcome(tk.id, oc)
+}
+
+// coalesceKey canonicalizes a normalized spec. Equal keys imply equal
+// fingerprints AND equal execution semantics, so sharing one execution is
+// observationally identical to running both (all generators and fault
+// plans are deterministic in the spec).
+func coalesceKey(spec JobSpec) string {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		// A JobSpec of scalars cannot fail to marshal; fall back to an
+		// uncoalescable key rather than wrongly merging.
+		return fmt.Sprintf("nocoalesce-%p", &spec)
+	}
+	return string(b)
+}
+
+// runJob is the leader path: compile → admit → execute with the bounded
+// fault-retry loop, exactly as the serial daemon ran jobs, but bounded by
+// the task's context. Returns the terminal snapshot for followers.
+func (s *Server) runJob(tk *task) *outcome {
+	var err error
+	for attempt := 0; ; attempt++ {
+		s.update(tk.id, func(j *Job) { j.Attempts = attempt + 1 })
+		err = s.attempt(tk.ctx, tk.id, tk.spec, attempt)
+		if err == nil {
+			s.setStatus(tk.id, StatusDone)
+			s.metrics.Inc("rapidd.jobs.completed", 1)
+			return s.snapshot(tk.id)
+		}
+		if tk.ctx.Err() != nil || !faultsFor(tk.spec, attempt).Enabled() || attempt >= s.cfg.MaxJobRetries {
+			break
+		}
+		s.metrics.Inc("rapidd.jobs.retried", 1)
+		select {
+		case <-time.After(s.cfg.RetryBackoff << attempt):
+		case <-tk.ctx.Done():
+		}
+	}
+	s.countFailure(err)
+	s.update(tk.id, func(j *Job) {
+		j.Status = StatusFailed
+		j.Error = err.Error()
+	})
+	return s.snapshot(tk.id)
+}
+
+// snapshot copies the job record under the lock.
+func (s *Server) snapshot(id string) *outcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &outcome{job: *s.jobs[id]}
+}
+
+// adoptOutcome copies a leader's terminal result into a follower's
+// record, marking the follower as coalesced.
+func (s *Server) adoptOutcome(id string, oc *outcome) {
+	if oc == nil {
+		s.failFast(id, errors.New("rapidd: coalesced execution returned no result"))
+		return
+	}
+	src := oc.job
+	s.update(id, func(j *Job) {
+		j.Status = src.Status
+		j.Error = src.Error
+		j.PlanSource = src.PlanSource
+		j.Fingerprint = src.Fingerprint
+		j.Replanned = src.Replanned
+		j.DemandUnits = src.DemandUnits
+		j.Tasks = src.Tasks
+		j.Objects = src.Objects
+		j.Attempts = src.Attempts
+		j.Retransmits = src.Retransmits
+		j.MAPs = src.MAPs
+		j.PeakUnits = src.PeakUnits
+		j.Residual = src.Residual
+		j.VerifyFindings = src.VerifyFindings
+		j.InspectMS = src.InspectMS
+		j.ExecMS = src.ExecMS
+		j.StateUS = src.StateUS
+		j.Coalesced = true
+		j.CoalescedWith = src.ID
+	})
+	if src.Status == StatusDone {
+		s.metrics.Inc("rapidd.jobs.completed", 1)
+	} else {
+		s.metrics.Inc("rapidd.jobs.failed", 1)
+	}
+}
+
+// failFast marks a job failed without executing anything.
+func (s *Server) failFast(id string, err error) {
+	s.countFailure(err)
+	s.update(id, func(j *Job) {
+		j.Status = StatusFailed
+		j.Error = err.Error()
+	})
+}
+
+// countFailure classifies a terminal error into the failed counter plus a
+// deadline/cancellation sub-counter.
+func (s *Server) countFailure(err error) {
+	s.metrics.Inc("rapidd.jobs.failed", 1)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.Inc("rapidd.jobs.deadline_expired", 1)
+	case errors.Is(err, context.Canceled):
+		s.metrics.Inc("rapidd.jobs.cancelled", 1)
+	}
+}
+
+// Cancel aborts the job if it is still pending or waiting for admission;
+// a job already executing runs to completion (the executor owns its
+// goroutines). Returns false for unknown jobs.
+func (s *Server) Cancel(id string) bool {
+	s.mu.Lock()
+	cancel, ok := s.cancels[id]
+	s.mu.Unlock()
+	if ok {
+		cancel()
+	}
+	return ok
+}
+
+// Drain stops intake — new solve requests are refused with 503 — closes
+// the queue, and waits for the workers to finish the backlog. Safe to
+// call more than once. If ctx expires first, the workers keep draining in
+// the background and the error reports the interruption.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("rapidd: drain interrupted with jobs still in flight: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,329 @@
+package rapidd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func postSolveRaw(t *testing.T, ts *httptest.Server, spec JobSpec) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func waitStatus(t *testing.T, ts *httptest.Server, id string, want ...JobStatus) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j := getJob(t, ts, id, false)
+		for _, w := range want {
+			if j.Status == w {
+				return j
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck at %s (%s)", id, j.Status, j.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServerExecutesJobsInParallel proves the pool actually overlaps
+// executions: two distinct jobs both reach the execution hook before either
+// is released. A serial server would deadlock here (guarded by a timeout).
+func TestServerExecutesJobsInParallel(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 4})
+	arrived := make(chan uint64, 2)
+	release := make(chan struct{})
+	srv.execHook = func(spec JobSpec) {
+		arrived <- spec.Seed
+		<-release
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	a := solveAsync(t, ts, JobSpec{Kind: "chol", N: 90, Seed: 31, Procs: 2})
+	b := solveAsync(t, ts, JobSpec{Kind: "chol", N: 90, Seed: 32, Procs: 2})
+	for i := 0; i < 2; i++ {
+		select {
+		case <-arrived:
+		case <-time.After(10 * time.Second):
+			t.Fatal("jobs never overlapped: the pool is executing serially")
+		}
+	}
+	close(release)
+	for _, id := range []string{a.ID, b.ID} {
+		if j := getJob(t, ts, id, true); j.Status != StatusDone {
+			t.Fatalf("job %s: %s (%s)", id, j.Status, j.Error)
+		}
+	}
+}
+
+// TestServerShedsWhenQueueFull: with one worker and no queue buffer, a
+// request arriving while the worker is busy is shed with 429 + Retry-After
+// — in O(1), leaving no job record — and job IDs stay dense afterwards.
+func TestServerShedsWhenQueueFull(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{
+		Workers:    -1, // clamp to 1
+		QueueDepth: -1, // unbuffered: accept only if a worker is idle
+		RetryAfter: 1500 * time.Millisecond,
+		Metrics:    metrics,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// The unbuffered enqueue succeeds only when the worker receives it, so
+	// once this returns the single worker is provably busy holding j0001.
+	j1 := solveAsync(t, ts, JobSpec{Kind: "chol", N: 90, Seed: 11, Procs: 2, HoldMS: 500})
+	if j1.ID != "j0001" {
+		t.Fatalf("first job ID %q", j1.ID)
+	}
+
+	resp := postSolveRaw(t, ts, JobSpec{Kind: "chol", N: 90, Seed: 12, Procs: 2})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload response HTTP %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After %q, want %q (1.5s rounded up)", got, "2")
+	}
+	if metrics.Get("rapidd.jobs.shed") != 1 {
+		t.Fatalf("shed counter %d, want 1", metrics.Get("rapidd.jobs.shed"))
+	}
+
+	// The shed request left no trace: once the worker frees up, the next
+	// accepted job takes the next dense ID and completes normally.
+	if j := getJob(t, ts, j1.ID, true); j.Status != StatusDone {
+		t.Fatalf("job 1: %s (%s)", j.Status, j.Error)
+	}
+	j3 := solveSync(t, ts, JobSpec{Kind: "chol", N: 90, Seed: 13, Procs: 2})
+	if j3.ID != "j0002" || j3.Status != StatusDone {
+		t.Fatalf("post-shed job %q %s, want j0002 done", j3.ID, j3.Status)
+	}
+}
+
+// TestServerCoalescesIdenticalInflightSpecs: while one request for a spec
+// is executing, a second identical request joins it instead of executing
+// again — one execution, two completed jobs, the follower marked coalesced.
+func TestServerCoalescesIdenticalInflightSpecs(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{Workers: 2, QueueDepth: 4, Metrics: metrics})
+	gate := make(chan struct{})
+	srv.execHook = func(JobSpec) { <-gate }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	spec := JobSpec{Kind: "chol", N: 90, Seed: 21, Procs: 2}
+	norm := spec
+	if err := normalizeSpec(&norm); err != nil {
+		t.Fatal(err)
+	}
+
+	a := solveAsync(t, ts, spec)
+	deadline := time.Now().Add(10 * time.Second)
+	for !srv.flights.Inflight(coalesceKey(norm)) {
+		if time.Now().After(deadline) {
+			t.Fatal("leader flight never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b := solveAsync(t, ts, spec)
+	for metrics.Get("rapidd.jobs.coalesced") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never joined the in-flight execution")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+
+	ja := getJob(t, ts, a.ID, true)
+	jb := getJob(t, ts, b.ID, true)
+	if ja.Status != StatusDone || jb.Status != StatusDone {
+		t.Fatalf("jobs: %s (%s) / %s (%s)", ja.Status, ja.Error, jb.Status, jb.Error)
+	}
+	if ja.Coalesced {
+		t.Fatal("leader must not be marked coalesced")
+	}
+	if !jb.Coalesced || jb.CoalescedWith != ja.ID {
+		t.Fatalf("follower coalesced=%v with=%q, want true with %q", jb.Coalesced, jb.CoalescedWith, ja.ID)
+	}
+	if jb.Fingerprint == "" || jb.Fingerprint != ja.Fingerprint {
+		t.Fatalf("fingerprints %q vs %q", ja.Fingerprint, jb.Fingerprint)
+	}
+	if got := metrics.Get("rapidd.jobs.completed"); got != 2 {
+		t.Fatalf("completed counter %d, want 2", got)
+	}
+	if got := metrics.Get("rapidd.jobs.coalesced"); got != 1 {
+		t.Fatalf("coalesced counter %d, want 1", got)
+	}
+}
+
+// TestServerDeadlineExpiresInQueue: a queued job whose deadline passes
+// before a worker picks it up fails with a deadline error — it never
+// executes and never books budget.
+func TestServerDeadlineExpiresInQueue(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{Workers: -1, QueueDepth: 1, Metrics: metrics})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	j1 := solveAsync(t, ts, JobSpec{Kind: "chol", N: 90, Seed: 41, Procs: 2, HoldMS: 400})
+	waitStatus(t, ts, j1.ID, StatusRunning, StatusDone)
+
+	j2 := solveAsync(t, ts, JobSpec{Kind: "chol", N: 90, Seed: 42, Procs: 2, DeadlineMS: 50})
+	fin := getJob(t, ts, j2.ID, true)
+	if fin.Status != StatusFailed || !strings.Contains(fin.Error, "expired before execution") {
+		t.Fatalf("queued-past-deadline job: %s (%q)", fin.Status, fin.Error)
+	}
+	if metrics.Get("rapidd.jobs.deadline_expired") != 1 {
+		t.Fatalf("deadline_expired counter %d, want 1", metrics.Get("rapidd.jobs.deadline_expired"))
+	}
+	if j := getJob(t, ts, j1.ID, true); j.Status != StatusDone {
+		t.Fatalf("job 1: %s (%s)", j.Status, j.Error)
+	}
+	if _, inUse, _, queued := srv.adm.snapshot(); inUse != 0 || queued != 0 {
+		t.Fatalf("expired job left admission state: inUse=%d queued=%d", inUse, queued)
+	}
+}
+
+// TestServerDeadlineDuringAdmissionWait: a job parked waiting for AVAIL_MEM
+// whose deadline expires fails without booking budget, and the units the
+// running job holds are untouched.
+func TestServerDeadlineDuringAdmissionWait(t *testing.T) {
+	spec := JobSpec{Kind: "chol", N: 100, Seed: 5, Procs: 3}
+	probe := New(Config{})
+	tsProbe := httptest.NewServer(probe)
+	ref := solveSync(t, tsProbe, spec)
+	tsProbe.Close()
+	if ref.Status != StatusDone || ref.DemandUnits <= 0 {
+		t.Fatalf("probe job: %s demand=%d", ref.Status, ref.DemandUnits)
+	}
+
+	metrics := trace.NewMetrics()
+	srv := New(Config{AvailMem: ref.DemandUnits * 3 / 2, Workers: 2, Metrics: metrics})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	hold := spec
+	hold.HoldMS = 500
+	j1 := solveAsync(t, ts, hold)
+	waitStatus(t, ts, j1.ID, StatusRunning, StatusDone)
+
+	// Differs only in hold/deadline, so no coalescing; same footprint, so
+	// it must wait for admission — and expire there.
+	short := spec
+	short.HoldMS = 1
+	short.DeadlineMS = 80
+	j2 := solveSync(t, ts, short)
+	if j2.Status != StatusFailed || !strings.Contains(j2.Error, "deadline") {
+		t.Fatalf("admission-parked job: %s (%q), want deadline failure", j2.Status, j2.Error)
+	}
+	if metrics.Get("rapidd.jobs.queued") == 0 {
+		t.Error("job 2 never reached the admission queue")
+	}
+	if metrics.Get("rapidd.jobs.deadline_expired") != 1 {
+		t.Errorf("deadline_expired counter %d, want 1", metrics.Get("rapidd.jobs.deadline_expired"))
+	}
+	if j := getJob(t, ts, j1.ID, true); j.Status != StatusDone {
+		t.Fatalf("job 1: %s (%s)", j.Status, j.Error)
+	}
+	if _, inUse, _, queued := srv.adm.snapshot(); inUse != 0 || queued != 0 {
+		t.Fatalf("admission state leaked: inUse=%d queued=%d", inUse, queued)
+	}
+}
+
+// TestServerCancelQueuedJob: cancelling a queued job aborts it before
+// execution; cancelling an unknown ID reports false.
+func TestServerCancelQueuedJob(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{Workers: -1, QueueDepth: 1, Metrics: metrics})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	j1 := solveAsync(t, ts, JobSpec{Kind: "chol", N: 90, Seed: 51, Procs: 2, HoldMS: 400})
+	waitStatus(t, ts, j1.ID, StatusRunning, StatusDone)
+	j2 := solveAsync(t, ts, JobSpec{Kind: "chol", N: 90, Seed: 52, Procs: 2})
+	if !srv.Cancel(j2.ID) {
+		t.Fatal("Cancel returned false for a live job")
+	}
+	fin := getJob(t, ts, j2.ID, true)
+	if fin.Status != StatusFailed || !strings.Contains(fin.Error, "expired before execution") {
+		t.Fatalf("cancelled job: %s (%q)", fin.Status, fin.Error)
+	}
+	if metrics.Get("rapidd.jobs.cancelled") != 1 {
+		t.Fatalf("cancelled counter %d, want 1", metrics.Get("rapidd.jobs.cancelled"))
+	}
+	if srv.Cancel("nope") {
+		t.Fatal("Cancel returned true for an unknown job")
+	}
+	if j := getJob(t, ts, j1.ID, true); j.Status != StatusDone {
+		t.Fatalf("job 1: %s (%s)", j.Status, j.Error)
+	}
+}
+
+// TestServerDrain: drain finishes the backlog, then refuses new work with
+// 503; calling it again is a no-op.
+func TestServerDrain(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{Workers: 2, Metrics: metrics})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j := solveAsync(t, ts, JobSpec{Kind: "chol", N: 90, Seed: uint64(61 + i), Procs: 2, HoldMS: 50})
+		ids = append(ids, j.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if j := getJob(t, ts, id, false); j.Status != StatusDone {
+			t.Fatalf("job %s after drain: %s (%s)", id, j.Status, j.Error)
+		}
+	}
+
+	resp := postSolveRaw(t, ts, JobSpec{Kind: "chol", N: 90, Seed: 70, Procs: 2})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain solve HTTP %d, want 503", resp.StatusCode)
+	}
+	if metrics.Get("rapidd.jobs.refused_draining") != 1 {
+		t.Fatalf("refused_draining counter %d, want 1", metrics.Get("rapidd.jobs.refused_draining"))
+	}
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Workers  int  `json:"workers"`
+		QueueCap int  `json:"queue_cap"`
+		Draining bool `json:"draining"`
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if stats.Workers != 2 || !stats.Draining {
+		t.Fatalf("stats workers=%d draining=%v, want 2, true", stats.Workers, stats.Draining)
+	}
+}

@@ -1,8 +1,8 @@
 // Package rapidd implements the long-running solve service: an HTTP daemon
 // that accepts sparse factorization jobs, compiles-or-fetches their
 // execution plans through the plan cache (so repeated structures skip the
-// inspector phase), and executes them under a machine-wide memory-budget
-// admission controller.
+// inspector phase), and executes them on a bounded worker pool under a
+// machine-wide memory-budget admission controller.
 //
 // Endpoints (JSON):
 //
@@ -10,24 +10,35 @@
 //	                    the job is terminal and returns the full job
 //	GET  /v1/jobs/{id}  job status and result
 //	GET  /v1/jobs       all jobs
-//	GET  /v1/stats      cache counters and admission-controller state
+//	GET  /v1/stats      cache counters, pool and admission state
 //	GET  /healthz       liveness
+//
+// Scale-out serving (see pool.go): Workers jobs execute concurrently; a
+// bounded queue absorbs bursts and sheds overload with 429 + Retry-After;
+// identical in-flight specs coalesce onto one execution (single-flight);
+// per-job deadlines bound queue wait + admission wait + execution; Drain
+// stops intake and lets the backlog finish on shutdown.
 //
 // Memory admission: with a configured AVAIL_MEM, the daemon books each
 // job's aggregate planned high-water mark (sum over processors of the MAP
 // plan's peaks) before execution and queues jobs that would overflow the
-// machine budget; a single job larger than the whole budget is recompiled
-// under a per-processor capacity that fits (falling back to DTS with slice
-// merging, whose S1/p + h space bound makes tight budgets executable)
-// rather than rejected.
+// machine budget — concurrent workers share the one budget; a single job
+// larger than the whole budget is recompiled under a per-processor
+// capacity that fits (falling back to DTS with slice merging, whose
+// S1/p + h space bound makes tight budgets executable) rather than
+// rejected.
 package rapidd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -35,6 +46,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/chol"
 	"repro/internal/lu"
+	"repro/internal/plancache"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 	"repro/internal/util"
@@ -65,6 +77,24 @@ type Config struct {
 	// RetryBackoff is the delay before the first retry (default 10ms),
 	// doubled on each subsequent attempt.
 	RetryBackoff time.Duration
+	// Workers bounds how many jobs execute concurrently (the worker-pool
+	// size). Concurrent jobs share AVAIL_MEM through the admission
+	// controller. 0 means max(2, GOMAXPROCS); 1 serves serially (the
+	// pre-pool behaviour, and the baseline of the EXPERIMENTS.md load
+	// comparison); negative is clamped to 1.
+	Workers int
+	// QueueDepth bounds the backlog of accepted-but-not-yet-running jobs.
+	// A request arriving at a full queue is shed with 429 + Retry-After
+	// instead of growing the backlog. 0 means 64; negative means no
+	// buffering (a request is accepted only if a worker is idle).
+	QueueDepth int
+	// DefaultDeadline applies to jobs whose spec sets no deadline_ms: the
+	// job must finish (queue wait, admission wait and execution included)
+	// within this long or fail with a deadline error. 0 disables.
+	DefaultDeadline time.Duration
+	// RetryAfter is the client back-off hint sent with shed (429)
+	// responses (default 1s, rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
 	// Metrics receives cache and job counters (nil: a fresh registry).
 	Metrics *trace.Metrics
 }
@@ -103,6 +133,10 @@ type JobSpec struct {
 	// FaultSeed selects the deterministic fault plan (default 1 when any
 	// fault fraction is nonzero). Retries add the attempt number.
 	FaultSeed uint64 `json:"fault_seed"`
+	// DeadlineMS bounds the job end to end — queue wait, admission wait
+	// and execution — in milliseconds. 0 uses the server's
+	// DefaultDeadline (which may be "none"). Range [0, 600000].
+	DeadlineMS int `json:"deadline_ms"`
 }
 
 // JobStatus enumerates a job's lifecycle. Pending → (Queued →) Running →
@@ -151,6 +185,10 @@ type Job struct {
 	// VerifyFindings carries the static verifier's diagnostics when the
 	// plan was rejected before admission (Status failed).
 	VerifyFindings []rapid.VerifyFinding `json:"verify_findings,omitempty"`
+	// Coalesced is true when this request did not execute itself but
+	// adopted the result of an identical in-flight job (CoalescedWith).
+	Coalesced     bool   `json:"coalesced,omitempty"`
+	CoalescedWith string `json:"coalesced_with,omitempty"`
 	// InspectMS and ExecMS time the two phases.
 	InspectMS float64 `json:"inspect_ms"`
 	ExecMS    float64 `json:"exec_ms"`
@@ -167,10 +205,18 @@ type Server struct {
 	adm     *admission
 	mux     *http.ServeMux
 
-	mu   sync.Mutex
-	jobs map[string]*Job
-	done map[string]chan struct{}
-	seq  int
+	// queue feeds the worker pool; flights coalesces identical in-flight
+	// specs onto one execution (see pool.go).
+	queue   chan *task
+	wg      sync.WaitGroup
+	flights plancache.Group
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	done     map[string]chan struct{}
+	cancels  map[string]context.CancelFunc
+	seq      int
+	draining bool
 
 	// verified memoizes static-verifier verdicts by plan fingerprint, so
 	// only the first serve of a plan pays for verification; repeat hits of
@@ -202,6 +248,24 @@ func New(cfg Config) *Server {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 10 * time.Millisecond
 	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		if cfg.Workers < 2 {
+			cfg.Workers = 2
+		}
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	switch {
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = 64
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: cfg.Metrics,
@@ -211,9 +275,15 @@ func New(cfg Config) *Server {
 			Metrics:   cfg.Metrics,
 		}),
 		adm:      newAdmission(cfg.AvailMem),
+		queue:    make(chan *task, cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
 		done:     make(map[string]chan struct{}),
+		cancels:  make(map[string]context.CancelFunc),
 		verified: make(map[string]bool),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
@@ -229,35 +299,95 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// maxSpecBytes bounds a solve request body; a spec is a few hundred bytes,
+// so anything near the cap is garbage and is rejected before decoding.
+const maxSpecBytes = 1 << 20
+
+// parseJobSpec decodes and normalizes a solve request body. It is the
+// whole input surface of the solve endpoint, factored out so the fuzz
+// target exercises exactly what the handler runs: any input either yields
+// a spec whose fields are within their documented ranges, or an error —
+// never a panic, never an out-of-range spec.
+func parseJobSpec(data []byte) (JobSpec, error) {
+	var spec JobSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return spec, fmt.Errorf("rapidd: bad job spec: %v", err)
+	}
+	if err := normalizeSpec(&spec); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	var spec JobSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		http.Error(w, "rapidd: bad job spec: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := normalizeSpec(&spec); err != nil {
+	spec, err := parseJobSpec(body)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	deadline := time.Duration(spec.DeadlineMS) * time.Millisecond
+	if deadline == 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	// The deadline clock starts at submission: queue wait counts.
+	ctx, cancel := context.WithCancel(context.Background())
+	if deadline > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), deadline)
+	}
+
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		s.metrics.Inc("rapidd.jobs.refused_draining", 1)
+		http.Error(w, "rapidd: draining, not accepting jobs", http.StatusServiceUnavailable)
+		return
+	}
 	s.seq++
-	job := &Job{ID: fmt.Sprintf("j%04d", s.seq), Spec: spec, Status: StatusPending}
-	ch := make(chan struct{})
-	s.jobs[job.ID] = job
-	s.done[job.ID] = ch
-	s.mu.Unlock()
+	id := fmt.Sprintf("j%04d", s.seq)
+	tk := &task{id: id, spec: spec, ctx: ctx, cancel: cancel, done: make(chan struct{})}
+	select {
+	case s.queue <- tk:
+		s.jobs[id] = &Job{ID: id, Spec: spec, Status: StatusPending}
+		s.done[id] = tk.done
+		s.cancels[id] = cancel
+		s.mu.Unlock()
+	default:
+		// Load shedding: the backlog is full. Refuse in O(1) — no job
+		// record, no goroutine — and tell the client when to come back.
+		// A shed response is cheap and honest; accepting would either
+		// grow the queue without bound or stall every queued client.
+		s.seq--
+		s.mu.Unlock()
+		cancel()
+		s.metrics.Inc("rapidd.jobs.shed", 1)
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, "rapidd: queue full, retry later", http.StatusTooManyRequests)
+		return
+	}
 	s.metrics.Inc("rapidd.jobs.submitted", 1)
 
-	go s.run(job.ID, ch)
-
 	if r.URL.Query().Get("wait") != "" {
-		<-ch
+		select {
+		case <-tk.done:
+		case <-r.Context().Done():
+			// The synchronous client went away: abort the job if it has
+			// not started executing, so an abandoned request cannot hold
+			// a queue slot or book admission budget.
+			cancel()
+		}
 	}
-	s.writeJob(w, job.ID)
+	s.writeJob(w, id)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -291,12 +421,23 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	avail, inUse, peak, queued := s.adm.snapshot()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	s.verifiedMu.Lock()
+	verified := len(s.verified)
+	s.verifiedMu.Unlock()
 	writeJSON(w, map[string]any{
+		"verified_plans": verified,
 		"counters":       s.metrics.Snapshot(),
 		"avail_mem":      avail,
 		"mem_in_use":     inUse,
 		"mem_peak":       peak,
 		"jobs_queued":    queued,
+		"workers":        s.cfg.Workers,
+		"queue_len":      len(s.queue),
+		"queue_cap":      cap(s.queue),
+		"draining":       draining,
 		"cache_entries":  s.cacheLen(),
 		"plancache_line": rapid.CacheStats(s.metrics),
 	})
@@ -371,6 +512,9 @@ func normalizeSpec(spec *JobSpec) error {
 	if (spec.DropFrac > 0 || spec.DupFrac > 0) && spec.FaultSeed == 0 {
 		spec.FaultSeed = 1
 	}
+	if spec.DeadlineMS < 0 || spec.DeadlineMS > 600000 {
+		return fmt.Errorf("rapidd: deadline_ms=%d out of range [0, 600000]", spec.DeadlineMS)
+	}
 	return nil
 }
 
@@ -416,50 +560,18 @@ func (s *Server) update(id string, f func(*Job)) {
 	s.mu.Unlock()
 }
 
-// run drives one job through compile → admit → execute → verify, retrying
-// fault-injected jobs (with exponential backoff and a fresh fault seed per
-// attempt) up to MaxJobRetries. A job that fails without injected faults is
-// deterministic, so it fails immediately.
-func (s *Server) run(id string, done chan struct{}) {
-	defer close(done)
-	s.mu.Lock()
-	spec := s.jobs[id].Spec
-	s.mu.Unlock()
-
-	var err error
-	for attempt := 0; ; attempt++ {
-		s.update(id, func(j *Job) { j.Attempts = attempt + 1 })
-		err = s.attempt(id, spec, attempt)
-		if err == nil {
-			s.setStatus(id, StatusDone)
-			s.metrics.Inc("rapidd.jobs.completed", 1)
-			return
-		}
-		if !faultsFor(spec, attempt).Enabled() || attempt >= s.cfg.MaxJobRetries {
-			break
-		}
-		s.metrics.Inc("rapidd.jobs.retried", 1)
-		time.Sleep(s.cfg.RetryBackoff << attempt)
-	}
-	s.update(id, func(j *Job) {
-		j.Status = StatusFailed
-		j.Error = err.Error()
-	})
-	s.metrics.Inc("rapidd.jobs.failed", 1)
-}
-
 // attempt runs one execution attempt, converting a panic anywhere in the
 // compile/execute path into a job failure instead of a daemon crash. The
 // booked admission units are released during unwinding (solve defers the
 // release), so a panicking job cannot leak budget.
-func (s *Server) attempt(id string, spec JobSpec, attempt int) (err error) {
+func (s *Server) attempt(ctx context.Context, id string, spec JobSpec, attempt int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.Inc("rapidd.jobs.panics", 1)
 			err = fmt.Errorf("rapidd: job panicked: %v", r)
 		}
 	}()
-	return s.solve(id, spec, attempt)
+	return s.solve(ctx, id, spec, attempt)
 }
 
 // problem abstracts the two factorization kinds for the executor.
@@ -471,7 +583,7 @@ type problem struct {
 	verify func(rep *rapid.Report) float64
 }
 
-func (s *Server) solve(id string, spec JobSpec, attempt int) error {
+func (s *Server) solve(ctx context.Context, id string, spec JobSpec, attempt int) error {
 	h, _ := parseHeuristic(spec.Heuristic)
 	pb, err := buildProblem(spec)
 	if err != nil {
@@ -544,7 +656,9 @@ func (s *Server) solve(id string, spec JobSpec, attempt int) error {
 	})
 
 	// Admission: book the aggregate high-water mark before executing.
-	err = s.adm.acquire(demand, func() {
+	// The job's context bounds the wait — a deadline that expires or a
+	// client that disconnects while parked here aborts without booking.
+	err = s.adm.acquireCtx(ctx, demand, func() {
 		s.setStatus(id, StatusQueued)
 		s.metrics.Inc("rapidd.jobs.queued", 1)
 	})
@@ -552,6 +666,9 @@ func (s *Server) solve(id string, spec JobSpec, attempt int) error {
 		return err
 	}
 	defer s.adm.release(demand)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.setStatus(id, StatusRunning)
 
 	if s.execHook != nil {

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/util"
+)
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < 16; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 16 || h.Min() != 0 || h.Max() != 15 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	// Small values land in exact buckets: every quantile is a recorded value.
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q0 = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got != 15 {
+		t.Errorf("q1 = %d, want 15", got)
+	}
+	if got := h.Quantile(0.5); got != 7 && got != 8 {
+		t.Errorf("q50 = %d, want 7 or 8", got)
+	}
+	if mean := h.Mean(); math.Abs(mean-7.5) > 1e-9 {
+		t.Errorf("mean = %v, want 7.5", mean)
+	}
+}
+
+// TestHistogramQuantileError: for a wide range of magnitudes, the reported
+// quantile of a uniform sample never deviates from the true quantile by
+// more than the bucket spread (~2/16) plus rank rounding.
+func TestHistogramQuantileError(t *testing.T) {
+	h := NewHistogram()
+	const n = 20000
+	rng := util.NewRNG(7)
+	vals := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		// Log-uniform in [1, 2^40).
+		v := int64(1) << (rng.Intn(40))
+		v += int64(rng.Uint64() % uint64(v))
+		h.Observe(v)
+		vals = append(vals, v)
+	}
+	// The histogram never understates: quantile >= the bucket's content,
+	// and relative error vs a sorted reference stays under 2/16 + slack.
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := sorted[int(q*float64(n-1))]
+		rel := math.Abs(float64(got)-float64(want)) / float64(want)
+		if rel > 0.15 {
+			t.Errorf("q%.2f: got %d want %d (rel err %.3f)", q, got, want, rel)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("q1 %d != max %d", h.Quantile(1), h.Max())
+	}
+	if h.Quantile(0) != h.Min() {
+		t.Errorf("q0 %d != min %d", h.Quantile(0), h.Min())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for v := int64(1); v <= 100; v++ {
+		a.Observe(v)
+	}
+	for v := int64(1000); v <= 2000; v++ {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != 100+1001 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 2000 {
+		t.Fatalf("merged min=%d max=%d", a.Min(), a.Max())
+	}
+	wantSum := int64(100*101/2) + int64(1001*1500)
+	if got := a.Mean() * float64(a.Count()); math.Abs(got-float64(wantSum)) > 1 {
+		t.Fatalf("merged sum %v, want %d", got, wantSum)
+	}
+	// Merging an empty or nil histogram changes nothing.
+	before := a.Count()
+	a.Merge(NewHistogram())
+	a.Merge(nil)
+	if a.Count() != before {
+		t.Fatalf("count changed by empty merge: %d", a.Count())
+	}
+}
+
+func TestHistogramNilAndNegative(t *testing.T) {
+	var h *Histogram
+	h.Observe(5) // must not panic
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("nil histogram must report zeros")
+	}
+	g := NewHistogram()
+	g.Observe(-17)
+	if g.Count() != 1 || g.Max() != 0 {
+		t.Fatalf("negative sample not clamped: count=%d max=%d", g.Count(), g.Max())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := util.NewRNG(uint64(w + 1))
+			for i := 0; i < per; i++ {
+				h.Observe(int64(rng.Intn(1 << 20)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1500)
+	h.Observe(2500)
+	s := h.Summary(1000, "ms")
+	if s == "" || h.Count() != 2 {
+		t.Fatalf("summary %q", s)
+	}
+	for _, want := range []string{"n=2", "p50=", "p99=", "ms"} {
+		if !contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
