@@ -10,6 +10,8 @@
 //	rapidd [-addr :8437] [-cache-dir DIR] [-cache-mem BYTES] [-avail-mem UNITS]
 //	       [-job-timeout 30s] [-job-retries 2]
 //	       [-workers N] [-queue-depth N] [-deadline DUR] [-retry-after 1s]
+//	       [-journal-dir DIR] [-tenant-quotas gold=48,bronze=16]
+//	       [-default-tenant-quota UNITS] [-tenant-weights gold=3,bronze=1]
 //
 // Submit a job and wait for the result:
 //
@@ -25,20 +27,54 @@
 //
 // On SIGINT/SIGTERM the daemon stops accepting jobs (503), finishes the
 // backlog, and exits.
+//
+// With -journal-dir set every accepted job is journaled (fsync'd) before the
+// submit is acknowledged; on restart the daemon replays the journal, requeues
+// jobs that never ran and explicitly fails the ones it was executing when it
+// died. Tenants (X-Tenant header or "tenant" spec field) get per-tenant
+// -avail-mem sub-quotas, weighted-fair queueing and priority-aware shedding;
+// GET /metrics exposes the counters in Prometheus text format.
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/rapidd"
 	"repro/internal/trace"
 )
+
+// parseTenantMap parses "name=value,name=value" flag syntax shared by
+// -tenant-quotas and -tenant-weights. parse converts the value half.
+func parseTenantMap[V any](arg string, parse func(string) (V, error)) (map[string]V, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	out := make(map[string]V)
+	for _, pair := range strings.Split(arg, ",") {
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("%q: want name=value", pair)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("tenant %q listed twice", name)
+		}
+		v, err := parse(val)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %q: %v", name, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8437", "listen address")
@@ -52,28 +88,62 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "default end-to-end job deadline for specs without deadline_ms (0: none)")
 	retryAfter := flag.Duration("retry-after", 0, "client back-off hint on shed responses (0: 1s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	journalDir := flag.String("journal-dir", "", "write-ahead job journal directory (empty: no durability)")
+	journalNoSync := flag.Bool("journal-nosync", false, "skip per-record journal fsync (benchmarks only; crashes can lose acknowledged jobs)")
+	tenantQuotas := flag.String("tenant-quotas", "", "per-tenant avail-mem sub-quotas, e.g. gold=48,bronze=16")
+	defaultTenantQuota := flag.Int64("default-tenant-quota", 0, "avail-mem sub-quota for tenants not in -tenant-quotas (0: uncapped)")
+	tenantWeights := flag.String("tenant-weights", "", "fair-queueing weights, e.g. gold=3,bronze=1 (default 1 each)")
 	flag.Parse()
 
-	srv := rapidd.New(rapidd.Config{
-		CacheDir:        *cacheDir,
-		CacheMemBudget:  *cacheMem,
-		AvailMem:        *availMem,
-		JobTimeout:      *jobTimeout,
-		MaxJobRetries:   *jobRetries,
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		DefaultDeadline: *deadline,
-		RetryAfter:      *retryAfter,
-		Metrics:         trace.NewMetrics(),
+	quotas, err := parseTenantMap(*tenantQuotas, func(s string) (int64, error) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err == nil && v <= 0 {
+			err = fmt.Errorf("quota %d not positive", v)
+		}
+		return v, err
 	})
+	if err != nil {
+		log.Fatalf("rapidd: -tenant-quotas: %v", err)
+	}
+	weights, err := parseTenantMap(*tenantWeights, func(s string) (float64, error) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err == nil && (v <= 0 || v != v) {
+			err = fmt.Errorf("weight %g not positive", v)
+		}
+		return v, err
+	})
+	if err != nil {
+		log.Fatalf("rapidd: -tenant-weights: %v", err)
+	}
+
+	srv, err := rapidd.Open(rapidd.Config{
+		CacheDir:           *cacheDir,
+		CacheMemBudget:     *cacheMem,
+		AvailMem:           *availMem,
+		JobTimeout:         *jobTimeout,
+		MaxJobRetries:      *jobRetries,
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		DefaultDeadline:    *deadline,
+		RetryAfter:         *retryAfter,
+		JournalDir:         *journalDir,
+		JournalNoSync:      *journalNoSync,
+		TenantQuotas:       quotas,
+		DefaultTenantQuota: *defaultTenantQuota,
+		TenantWeights:      weights,
+		Metrics:            trace.NewMetrics(),
+	})
+	if err != nil {
+		log.Fatalf("rapidd: %v", err)
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("rapidd listening on %s (cache-dir=%q avail-mem=%d workers=%d queue-depth=%d)",
-		*addr, *cacheDir, *availMem, *workers, *queueDepth)
+	log.Printf("rapidd listening on %s (cache-dir=%q avail-mem=%d workers=%d queue-depth=%d journal-dir=%q)",
+		*addr, *cacheDir, *availMem, *workers, *queueDepth, *journalDir)
 
 	select {
 	case err := <-errc:

@@ -10,10 +10,14 @@
 //	          [-keys 8] [-skew 1.2] [-fault-frac 0.1] [-seed 1]
 //	rapidload -config load.json
 //	rapidload -inproc [-workers 4] [-queue-depth 16] [-avail-mem U]
+//	rapidload -tenants gold:3:high,bronze:1:low ...
 //
 // -inproc starts a rapidd server inside the process on a loopback listener
 // and aims the load at it — no daemon to manage, used by the CI smoke run.
-// Flags override file-config fields when both are given.
+// -tenants splits the clients across named tenants by share (name[:share
+// [:priority]]) and reports per-tenant latency rows — the isolation
+// experiment in EXPERIMENTS.md is a pair of such runs. Flags override
+// file-config fields when both are given.
 package main
 
 import (
@@ -24,12 +28,39 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/loadgen"
 	"repro/internal/rapidd"
 	"repro/internal/trace"
 )
+
+// parseTenants parses the -tenants syntax name[:share[:priority]],...
+// into the config's tenant mix (validated later by Normalize).
+func parseTenants(arg string) ([]loadgen.TenantMix, error) {
+	var mixes []loadgen.TenantMix
+	for _, spec := range strings.Split(arg, ",") {
+		parts := strings.Split(spec, ":")
+		if len(parts) > 3 || parts[0] == "" {
+			return nil, fmt.Errorf("%q: want name[:share[:priority]]", spec)
+		}
+		m := loadgen.TenantMix{Name: parts[0]}
+		if len(parts) > 1 && parts[1] != "" {
+			share, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("%q: share: %v", spec, err)
+			}
+			m.Share = share
+		}
+		if len(parts) > 2 {
+			m.Priority = parts[2]
+		}
+		mixes = append(mixes, m)
+	}
+	return mixes, nil
+}
 
 func main() {
 	var cfg loadgen.Config
@@ -48,11 +79,21 @@ func main() {
 	flag.Float64Var(&cfg.DupFrac, "dup-frac", 0, "duplicate fraction on faulty requests")
 	flag.IntVar(&cfg.DeadlineMS, "deadline-ms", 0, "per-job deadline in ms (0: none)")
 	flag.IntVar(&cfg.HoldMS, "hold-ms", 0, "per-job post-execution memory hold in ms (traffic shaping)")
+	tenants := flag.String("tenants", "", "tenant mix name[:share[:priority]],... (empty: single default tenant)")
 	inproc := flag.Bool("inproc", false, "serve from an in-process rapidd instead of -url")
 	workers := flag.Int("workers", 0, "in-process server worker-pool size (0: default)")
 	queueDepth := flag.Int("queue-depth", 0, "in-process server queue depth (0: default)")
 	availMem := flag.Int64("avail-mem", 0, "in-process server AVAIL_MEM (0: unlimited)")
+	defaultQuota := flag.Int64("default-tenant-quota", 0, "in-process server per-tenant AVAIL_MEM sub-quota (0: uncapped)")
 	flag.Parse()
+
+	if *tenants != "" {
+		mixes, err := parseTenants(*tenants)
+		if err != nil {
+			log.Fatalf("rapidload: -tenants: %v", err)
+		}
+		cfg.Tenants = mixes
+	}
 
 	if *configPath != "" {
 		data, err := os.ReadFile(*configPath)
@@ -95,6 +136,8 @@ func main() {
 				merged.DeadlineMS = cfg.DeadlineMS
 			case "hold-ms":
 				merged.HoldMS = cfg.HoldMS
+			case "tenants":
+				merged.Tenants = cfg.Tenants
 			}
 		})
 		cfg = merged
@@ -102,10 +145,11 @@ func main() {
 
 	if *inproc {
 		srv := rapidd.New(rapidd.Config{
-			Workers:    *workers,
-			QueueDepth: *queueDepth,
-			AvailMem:   *availMem,
-			Metrics:    trace.NewMetrics(),
+			Workers:            *workers,
+			QueueDepth:         *queueDepth,
+			AvailMem:           *availMem,
+			DefaultTenantQuota: *defaultQuota,
+			Metrics:            trace.NewMetrics(),
 		})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

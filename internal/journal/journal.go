@@ -1,0 +1,584 @@
+// Package journal is the write-ahead job journal of the rapidd solve
+// service. Every job-lifecycle transition (submit, admit, complete,
+// cancel) is appended — checksummed and fsync'd — before the daemon acts
+// on it, so a restart can replay the log and reconstruct exactly which
+// jobs were queued (recoverable) and which were executing (must be failed
+// explicitly). The journal never silently drops an acknowledged record:
+// the only tolerated damage is a torn tail on the newest segment, which a
+// crash mid-append produces by construction, and even that is truncated
+// loudly (reported in Stats) rather than skipped over.
+//
+// Layout: a journal directory holds numbered segment files
+// (wal-00000001.log, ...). Records are length-prefixed, CRC-32C-framed
+// binary. When the active segment outgrows MaxSegmentBytes the journal
+// compacts: it writes a fresh segment seeded with a high-water mark record
+// plus the live (non-terminal) jobs' records, then deletes the older
+// segments — terminal jobs vanish, the ID high-water mark and every
+// in-flight job survive. Replay therefore always sees a bounded log:
+// live jobs plus the tail of recent traffic.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Op enumerates record types.
+type Op uint8
+
+const (
+	// OpSubmit records a job accepted into the queue: ID, Seq, Tenant,
+	// Priority and the raw spec bytes.
+	OpSubmit Op = 1
+	// OpAdmit records a job booking admission budget and starting to
+	// execute: ID and Demand. A job with OpAdmit but no OpComplete at
+	// replay time was in flight when the daemon died.
+	OpAdmit Op = 2
+	// OpComplete records a terminal state: ID, Status ("done"/"failed")
+	// and Error.
+	OpComplete Op = 3
+	// OpCancel records a cancellation request for a queued job.
+	OpCancel Op = 4
+	// OpMark carries the job-sequence high-water mark into compacted
+	// segments so restarted daemons never reuse an ID.
+	OpMark Op = 5
+)
+
+func (op Op) valid() bool { return op >= OpSubmit && op <= OpMark }
+
+// String names the op for logs and tests.
+func (op Op) String() string {
+	switch op {
+	case OpSubmit:
+		return "submit"
+	case OpAdmit:
+		return "admit"
+	case OpComplete:
+		return "complete"
+	case OpCancel:
+		return "cancel"
+	case OpMark:
+		return "mark"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Record is one journal entry. Fields irrelevant to an op are left zero
+// (and encode to a few bytes).
+type Record struct {
+	Op       Op
+	Seq      uint64 // job sequence number (submit/mark)
+	ID       string
+	Tenant   string
+	Priority string
+	Demand   int64  // admitted budget units (admit)
+	Status   string // terminal status (complete)
+	Error    string // terminal error (complete)
+	Spec     []byte // raw job-spec JSON (submit), opaque to the journal
+}
+
+// Encoding limits. A spec is a few hundred bytes of JSON; anything near
+// these caps is garbage and is rejected before it can poison the log.
+const (
+	maxFieldBytes  = 1 << 10
+	maxRecordBytes = 1 << 20
+	recVersion     = 1
+	frameHdrBytes  = 8 // 4B payload length + 4B CRC-32C
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode errors. ErrTruncated means the buffer ends mid-record — expected
+// at the tail of the newest segment after a crash; ErrCorrupt means the
+// bytes are structurally wrong or fail their checksum.
+var (
+	ErrTruncated = errors.New("journal: truncated record")
+	ErrCorrupt   = errors.New("journal: corrupt record")
+)
+
+func putStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// EncodeRecord frames r: [len][crc32c][payload]. Panics only on records
+// violating the documented field caps (a programming error, not input).
+func EncodeRecord(r Record) ([]byte, error) {
+	if !r.Op.valid() {
+		return nil, fmt.Errorf("journal: encode: invalid op %d", r.Op)
+	}
+	for name, s := range map[string]string{
+		"id": r.ID, "tenant": r.Tenant, "priority": r.Priority,
+		"status": r.Status, "error": r.Error,
+	} {
+		if len(s) > maxFieldBytes {
+			return nil, fmt.Errorf("journal: encode: %s field %d bytes exceeds cap %d", name, len(s), maxFieldBytes)
+		}
+	}
+	if len(r.Spec) > maxRecordBytes/2 {
+		return nil, fmt.Errorf("journal: encode: spec %d bytes exceeds cap %d", len(r.Spec), maxRecordBytes/2)
+	}
+	p := make([]byte, 0, 64+len(r.Spec))
+	p = append(p, recVersion, byte(r.Op))
+	p = binary.AppendUvarint(p, r.Seq)
+	p = binary.AppendUvarint(p, uint64(r.Demand))
+	p = putStr(p, r.ID)
+	p = putStr(p, r.Tenant)
+	p = putStr(p, r.Priority)
+	p = putStr(p, r.Status)
+	p = putStr(p, r.Error)
+	p = binary.AppendUvarint(p, uint64(len(r.Spec)))
+	p = append(p, r.Spec...)
+
+	out := make([]byte, frameHdrBytes, frameHdrBytes+len(p))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(p)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(p, crcTable))
+	return append(out, p...), nil
+}
+
+// byteCursor walks a payload, flagging overruns as corruption.
+type byteCursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *byteCursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.err = ErrCorrupt
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *byteCursor) str() string {
+	n := c.uvarint()
+	if c.err != nil {
+		return ""
+	}
+	if n > maxFieldBytes || c.off+int(n) > len(c.b) {
+		c.err = ErrCorrupt
+		return ""
+	}
+	s := string(c.b[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s
+}
+
+// DecodeRecord decodes the first frame in b, returning the record and the
+// number of bytes consumed. It never panics on any input: the outcomes
+// are a valid record, ErrTruncated (b ends mid-frame) or ErrCorrupt.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < frameHdrBytes {
+		return Record{}, 0, ErrTruncated
+	}
+	plen := binary.LittleEndian.Uint32(b[0:4])
+	if plen < 2 || plen > maxRecordBytes {
+		return Record{}, 0, ErrCorrupt
+	}
+	if len(b) < frameHdrBytes+int(plen) {
+		return Record{}, 0, ErrTruncated
+	}
+	payload := b[frameHdrBytes : frameHdrBytes+int(plen)]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(b[4:8]) {
+		return Record{}, 0, ErrCorrupt
+	}
+	if payload[0] != recVersion {
+		return Record{}, 0, fmt.Errorf("%w: unknown version %d", ErrCorrupt, payload[0])
+	}
+	r := Record{Op: Op(payload[1])}
+	if !r.Op.valid() {
+		return Record{}, 0, fmt.Errorf("%w: unknown op %d", ErrCorrupt, payload[1])
+	}
+	c := &byteCursor{b: payload, off: 2}
+	r.Seq = c.uvarint()
+	r.Demand = int64(c.uvarint())
+	r.ID = c.str()
+	r.Tenant = c.str()
+	r.Priority = c.str()
+	r.Status = c.str()
+	r.Error = c.str()
+	specLen := c.uvarint()
+	if c.err == nil {
+		if specLen > maxRecordBytes/2 || c.off+int(specLen) > len(c.b) {
+			c.err = ErrCorrupt
+		} else if specLen > 0 {
+			r.Spec = append([]byte(nil), c.b[c.off:c.off+int(specLen)]...)
+			c.off += int(specLen)
+		}
+	}
+	if c.err != nil {
+		return Record{}, 0, c.err
+	}
+	if c.off != len(payload) {
+		// Trailing garbage inside a checksummed payload means the encoder
+		// and decoder disagree — corruption, not slack.
+		return Record{}, 0, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(payload)-c.off)
+	}
+	return r, frameHdrBytes + int(plen), nil
+}
+
+// Options configures a Journal.
+type Options struct {
+	// MaxSegmentBytes triggers compaction when the active segment outgrows
+	// it (default 1 MiB; minimum 4 KiB).
+	MaxSegmentBytes int64
+	// NoSync skips the per-append fsync. Tests and benchmarks only: a
+	// production journal without fsync can acknowledge records a crash
+	// then loses.
+	NoSync bool
+}
+
+// Stats reports journal health.
+type Stats struct {
+	Segments       int   // segment files on disk
+	Records        int64 // records appended or replayed this session
+	TruncatedBytes int64 // torn-tail bytes discarded at Open
+	Compactions    int64 // segment compactions this session
+	LiveJobs       int   // non-terminal jobs currently tracked
+	ActiveBytes    int64 // size of the active segment
+}
+
+// liveJob retains the encoded frames needed to re-materialize one
+// non-terminal job into a compacted segment.
+type liveJob struct {
+	seq    uint64
+	frames [][]byte
+	bytes  int64
+}
+
+// Journal is an open journal directory. Safe for concurrent Append.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	seg      int
+	segBytes int64
+	highSeq  uint64
+	live     map[string]*liveJob
+	liveByte int64
+	stats    Stats
+	closed   bool
+}
+
+// segName formats a segment file name; the zero-padded number keeps
+// lexicographic and numeric order identical.
+func segName(n int) string { return fmt.Sprintf("wal-%08d.log", n) }
+
+func parseSegName(name string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(name, "wal-%08d.log", &n); err != nil || segName(n) != name {
+		return 0, false
+	}
+	return n, true
+}
+
+// Replay is the outcome of reading a journal directory.
+type Replay struct {
+	// Records holds every decoded record in append order.
+	Records []Record
+	// TruncatedBytes counts torn-tail bytes discarded from the newest
+	// segment (zero on a clean shutdown).
+	TruncatedBytes int64
+}
+
+// Open replays the journal in dir (creating it if absent) and opens it
+// for appending. Damage anywhere but the newest segment's tail is an
+// error — the caller must not come up on a silently incomplete log.
+func Open(dir string, opts Options) (*Journal, *Replay, error) {
+	if opts.MaxSegmentBytes == 0 {
+		opts.MaxSegmentBytes = 1 << 20
+	}
+	if opts.MaxSegmentBytes < 4<<10 {
+		opts.MaxSegmentBytes = 4 << 10
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{dir: dir, opts: opts, live: make(map[string]*liveJob)}
+	rep := &Replay{}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		data, err := os.ReadFile(filepath.Join(dir, segName(seg)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("journal: %w", err)
+		}
+		off := 0
+		for off < len(data) {
+			rec, n, err := DecodeRecord(data[off:])
+			if err != nil {
+				if !last {
+					return nil, nil, fmt.Errorf("journal: segment %s damaged at offset %d (%v); refusing to replay past a hole", segName(seg), off, err)
+				}
+				// Torn tail of the newest segment: the crash interrupted an
+				// append. Truncate to the last whole record and carry on.
+				rep.TruncatedBytes = int64(len(data) - off)
+				j.stats.TruncatedBytes = rep.TruncatedBytes
+				if err := os.Truncate(filepath.Join(dir, segName(seg)), int64(off)); err != nil {
+					return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+				}
+				data = data[:off]
+				break
+			}
+			off += n
+			rep.Records = append(rep.Records, rec)
+			j.stats.Records++
+			j.applyLocked(rec, data[off-n:off])
+		}
+		if last {
+			j.seg = seg
+			j.segBytes = int64(len(data))
+		}
+	}
+	if len(segs) == 0 {
+		j.seg = 1
+	}
+	path := filepath.Join(dir, segName(j.seg))
+	j.f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	return j, rep, nil
+}
+
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var segs []int
+	for _, e := range ents {
+		if n, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// applyLocked folds one record into the live-job and high-water state.
+func (j *Journal) applyLocked(rec Record, frame []byte) {
+	if rec.Seq > j.highSeq {
+		j.highSeq = rec.Seq
+	}
+	switch rec.Op {
+	case OpSubmit:
+		lj := &liveJob{seq: rec.Seq}
+		lj.frames = append(lj.frames, append([]byte(nil), frame...))
+		lj.bytes = int64(len(frame))
+		j.live[rec.ID] = lj
+		j.liveByte += lj.bytes
+	case OpAdmit, OpCancel:
+		if lj, ok := j.live[rec.ID]; ok {
+			lj.frames = append(lj.frames, append([]byte(nil), frame...))
+			lj.bytes += int64(len(frame))
+			j.liveByte += int64(len(frame))
+		}
+	case OpComplete:
+		if lj, ok := j.live[rec.ID]; ok {
+			j.liveByte -= lj.bytes
+			delete(j.live, rec.ID)
+		}
+	}
+}
+
+// Append encodes, writes and (unless NoSync) fsyncs one record, then
+// compacts if the active segment outgrew its bound. The record is durable
+// when Append returns.
+func (j *Journal) Append(rec Record) error {
+	frame, err := EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+	}
+	j.segBytes += int64(len(frame))
+	j.stats.Records++
+	j.applyLocked(rec, frame)
+	// Compact when the segment is oversized and mostly dead weight —
+	// compacting a segment that is all live jobs would thrash.
+	if j.segBytes >= j.opts.MaxSegmentBytes && j.liveByte < j.segBytes/2 {
+		if err := j.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compactLocked writes a fresh segment holding the high-water mark plus
+// every live job's frames, fsyncs it, then removes all older segments.
+func (j *Journal) compactLocked() error {
+	next := j.seg + 1
+	path := filepath.Join(j.dir, segName(next))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	var size int64
+	mark, err := EncodeRecord(Record{Op: OpMark, Seq: j.highSeq})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(mark); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	size += int64(len(mark))
+	ids := make([]string, 0, len(j.live))
+	for id := range j.live {
+		ids = append(ids, id)
+	}
+	// Submission order, so replay of a compacted segment re-queues
+	// recovered jobs exactly as the original arrival order did.
+	sort.Slice(ids, func(a, b int) bool { return j.live[ids[a]].seq < j.live[ids[b]].seq })
+	for _, id := range ids {
+		for _, frame := range j.live[id].frames {
+			if _, err := f.Write(frame); err != nil {
+				f.Close()
+				return fmt.Errorf("journal: compact: %w", err)
+			}
+			size += int64(len(frame))
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: compact fsync: %w", err)
+	}
+	old, oldSeg := j.f, j.seg
+	j.f, j.seg, j.segBytes = f, next, size
+	j.stats.Compactions++
+	old.Close()
+	if err := os.Remove(filepath.Join(j.dir, segName(oldSeg))); err != nil {
+		return fmt.Errorf("journal: compact: removing old segment: %w", err)
+	}
+	// Make the create+delete durable so a crash cannot resurrect the old
+	// segment next to the new one (best effort: not all filesystems
+	// support directory fsync).
+	if d, err := os.Open(j.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// HighSeq returns the largest job sequence number ever journaled — the
+// floor for ID allocation after a restart.
+func (j *Journal) HighSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.highSeq
+}
+
+// Stats snapshots journal health counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.stats
+	st.LiveJobs = len(j.live)
+	st.ActiveBytes = j.segBytes
+	segs, err := listSegments(j.dir)
+	if err == nil {
+		st.Segments = len(segs)
+	}
+	return st
+}
+
+// Close fsyncs and closes the active segment. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			j.f.Close()
+			return fmt.Errorf("journal: close: %w", err)
+		}
+	}
+	return j.f.Close()
+}
+
+// ReplayDir reads a journal directory without opening it for appends —
+// the read-only half of Open, for tools and tests that inspect a log
+// (e.g. asserting what a crashed daemon had acknowledged). Unlike Open it
+// modifies nothing: a torn tail is reported, not truncated.
+func ReplayDir(dir string) (*Replay, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Replay{}
+	for i, seg := range segs {
+		data, err := os.ReadFile(filepath.Join(dir, segName(seg)))
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		off := 0
+		for off < len(data) {
+			rec, n, err := DecodeRecord(data[off:])
+			if err != nil {
+				if i != len(segs)-1 {
+					return nil, fmt.Errorf("journal: segment %s damaged at offset %d (%v)", segName(seg), off, err)
+				}
+				rep.TruncatedBytes = int64(len(data) - off)
+				break
+			}
+			off += n
+			rep.Records = append(rep.Records, rec)
+		}
+	}
+	return rep, nil
+}
+
+// WriteTo streams a human-readable dump of a replay (debugging aid).
+func (r *Replay) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, rec := range r.Records {
+		n, err := fmt.Fprintf(w, "%s seq=%d id=%s tenant=%s prio=%s demand=%d status=%s err=%q spec=%dB\n",
+			rec.Op, rec.Seq, rec.ID, rec.Tenant, rec.Priority, rec.Demand, rec.Status, rec.Error, len(rec.Spec))
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	if r.TruncatedBytes > 0 {
+		n, err := fmt.Fprintf(w, "torn tail: %d bytes truncated\n", r.TruncatedBytes)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -18,6 +19,9 @@ func FuzzParseConfig(f *testing.F) {
 		`{"skew":1e308}`,
 		`{"requests":9999999}`,
 		`{"timeout_ms":0.5}`,
+		`{"tenants":[{"name":"gold","share":3,"priority":"high"},{"name":"bronze","priority":"low"}]}`,
+		`{"tenants":[{"name":"bad tenant"}]}`,
+		`{"clients":1,"tenants":[{"name":"a"},{"name":"b"}]}`,
 		`not json`,
 		`[]`,
 		``,
@@ -49,11 +53,19 @@ func FuzzParseConfig(f *testing.F) {
 		if cfg.TimeoutMS < 1 || cfg.TimeoutMS > 600_000 {
 			t.Fatalf("accepted timeout_ms %d", cfg.TimeoutMS)
 		}
+		for _, tm := range cfg.Tenants {
+			if !validTenantName(tm.Name) || tm.Share < 1 {
+				t.Fatalf("accepted tenant %+v", tm)
+			}
+		}
+		// Normalization must be a fixpoint so a dumped config reloads
+		// identically. Config holds a slice, so compare via reflect.
 		again := cfg
+		again.Tenants = append([]TenantMix(nil), cfg.Tenants...)
 		if err := again.Normalize(); err != nil {
 			t.Fatalf("re-normalization rejected an accepted config: %v", err)
 		}
-		if again != cfg {
+		if !reflect.DeepEqual(again, cfg) {
 			t.Fatalf("normalization not a fixpoint: %+v vs %+v", cfg, again)
 		}
 	})

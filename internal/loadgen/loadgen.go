@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -64,6 +65,27 @@ type Config struct {
 	HoldMS int `json:"hold_ms"`
 	// TimeoutMS bounds each HTTP round trip (default 60000).
 	TimeoutMS int `json:"timeout_ms"`
+	// Tenants is the multi-tenant traffic mix: clients are split across
+	// the entries in proportion to their shares, and each client stamps
+	// its tenant's name, priority and hold on every spec it issues.
+	// Empty: every client submits as the daemon's default tenant (the
+	// single-tenant behaviour).
+	Tenants []TenantMix `json:"tenants"`
+}
+
+// TenantMix is one tenant's slice of the generated load.
+type TenantMix struct {
+	// Name is the tenant label sent with every spec (required).
+	Name string `json:"name"`
+	// Share is the tenant's relative weight when splitting Clients
+	// (default 1). A tenant with share 8 among shares totalling 10 runs
+	// 8/10 of the closed-loop clients — the knob the isolation
+	// experiment turns to make one tenant misbehave.
+	Share int `json:"share"`
+	// Priority rides on every spec: "low", "normal" (default) or "high".
+	Priority string `json:"priority"`
+	// HoldMS overrides the run-level HoldMS for this tenant (0: inherit).
+	HoldMS int `json:"hold_ms"`
 }
 
 // ParseConfig decodes and validates a JSON config. It is the whole input
@@ -128,7 +150,99 @@ func (c *Config) Normalize() error {
 	if c.N < 0 || c.Procs < 0 || c.Block < 0 {
 		return fmt.Errorf("loadgen: negative job shape (n=%d procs=%d block=%d)", c.N, c.Procs, c.Block)
 	}
+	if len(c.Tenants) > c.Clients {
+		return fmt.Errorf("loadgen: %d tenants but only %d clients", len(c.Tenants), c.Clients)
+	}
+	seen := make(map[string]bool, len(c.Tenants))
+	for i := range c.Tenants {
+		tm := &c.Tenants[i]
+		if !validTenantName(tm.Name) {
+			return fmt.Errorf("loadgen: bad tenant name %q (want 1-64 bytes of [a-zA-Z0-9._-])", tm.Name)
+		}
+		if seen[tm.Name] {
+			return fmt.Errorf("loadgen: duplicate tenant %q", tm.Name)
+		}
+		seen[tm.Name] = true
+		if tm.Share == 0 {
+			tm.Share = 1
+		}
+		if tm.Share < 1 || tm.Share > 1_000_000 {
+			return fmt.Errorf("loadgen: tenant %q share=%d out of range [1, 1000000]", tm.Name, tm.Share)
+		}
+		switch tm.Priority {
+		case "", "low", "normal", "high":
+		default:
+			return fmt.Errorf("loadgen: tenant %q priority %q (want low, normal or high)", tm.Name, tm.Priority)
+		}
+		if tm.HoldMS < 0 || tm.HoldMS > 60_000 {
+			return fmt.Errorf("loadgen: tenant %q hold_ms=%d out of range [0, 60000]", tm.Name, tm.HoldMS)
+		}
+	}
 	return nil
+}
+
+// validTenantName mirrors the daemon's tenant charset so a bad mix fails
+// at config parse, not as a wall of 400s mid-run.
+func validTenantName(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitClients assigns each closed-loop client a tenant mix, shares
+// respected by largest remainder, deterministically. Returns nils for a
+// single-tenant run.
+func splitClients(cfg Config) []*TenantMix {
+	mixes := make([]*TenantMix, cfg.Clients)
+	if len(cfg.Tenants) == 0 {
+		return mixes
+	}
+	total := 0
+	for i := range cfg.Tenants {
+		total += cfg.Tenants[i].Share
+	}
+	// Whole shares first, then remainders in declaration order — every
+	// tenant gets at least one client (Normalize caps len(Tenants) at
+	// Clients).
+	counts := make([]int, len(cfg.Tenants))
+	assigned := 0
+	for i := range cfg.Tenants {
+		counts[i] = cfg.Clients * cfg.Tenants[i].Share / total
+		assigned += counts[i]
+	}
+	for i := 0; assigned < cfg.Clients; i = (i + 1) % len(counts) {
+		counts[i]++
+		assigned++
+	}
+	for i := range counts {
+		if counts[i] == 0 {
+			counts[i] = 1 // steal below from the biggest holder
+			big := 0
+			for k := range counts {
+				if counts[k] > counts[big] {
+					big = k
+				}
+			}
+			counts[big]--
+		}
+	}
+	c := 0
+	for i := range cfg.Tenants {
+		for n := 0; n < counts[i]; n++ {
+			mixes[c] = &cfg.Tenants[i]
+			c++
+		}
+	}
+	return mixes
 }
 
 // picker draws keys from a zipf-like distribution: weight(k) ∝ (k+1)^-skew.
@@ -174,6 +288,22 @@ type Result struct {
 
 	// Latency is in microseconds per served request.
 	Latency *trace.Histogram
+
+	// Tenants breaks the run down per tenant mix (nil for single-tenant
+	// runs) — the isolation experiment compares these sub-results.
+	Tenants map[string]*Result
+}
+
+// merge folds one client's counters into the aggregate.
+func (r *Result) merge(c *Result) {
+	r.Issued += c.Issued
+	r.Done += c.Done
+	r.Failed += c.Failed
+	r.Shed += c.Shed
+	r.Errors += c.Errors
+	r.Coalesced += c.Coalesced
+	r.CacheHits += c.CacheHits
+	r.Latency.Merge(c.Latency)
 }
 
 // Throughput is served (done) requests per second of wall time.
@@ -218,6 +348,19 @@ func (r *Result) Report() string {
 		{"latency_p99", ms(r.Latency.Quantile(0.99))},
 		{"latency_max", ms(r.Latency.Max())},
 	}
+	names := make([]string, 0, len(r.Tenants))
+	for name := range r.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tr := r.Tenants[name]
+		rows = append(rows,
+			[]string{"tenant/" + name + " done", fmt.Sprintf("%d of %d", tr.Done, tr.Issued)},
+			[]string{"tenant/" + name + " shed", fmt.Sprint(tr.Shed)},
+			[]string{"tenant/" + name + " p50", ms(tr.Latency.Quantile(0.5))},
+			[]string{"tenant/" + name + " p99", ms(tr.Latency.Quantile(0.99))})
+	}
 	return trace.Grid([]string{"metric", "value"}, rows)
 }
 
@@ -241,6 +384,7 @@ func Run(cfg Config, hc *http.Client) (*Result, error) {
 		per[i%cfg.Clients]++
 	}
 
+	mixes := splitClients(cfg)
 	results := make([]*Result, cfg.Clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -248,28 +392,31 @@ func Run(cfg Config, hc *http.Client) (*Result, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			results[c] = runClient(cfg, hc, pk, c, per[c])
+			results[c] = runClient(cfg, hc, pk, c, per[c], mixes[c])
 		}(c)
 	}
 	wg.Wait()
 
 	total := &Result{Config: cfg, Elapsed: time.Since(start), Latency: trace.NewHistogram()}
-	for _, r := range results {
-		total.Issued += r.Issued
-		total.Done += r.Done
-		total.Failed += r.Failed
-		total.Shed += r.Shed
-		total.Errors += r.Errors
-		total.Coalesced += r.Coalesced
-		total.CacheHits += r.CacheHits
-		total.Latency.Merge(r.Latency)
+	if len(cfg.Tenants) > 0 {
+		total.Tenants = make(map[string]*Result, len(cfg.Tenants))
+		for i := range cfg.Tenants {
+			total.Tenants[cfg.Tenants[i].Name] = &Result{Latency: trace.NewHistogram()}
+		}
+	}
+	for c, r := range results {
+		total.merge(r)
+		if mixes[c] != nil {
+			total.Tenants[mixes[c].Name].merge(r)
+		}
 	}
 	return total, nil
 }
 
 // runClient is one closed-loop client: its RNG stream is a pure function
-// of (seed, client index), independent of scheduling.
-func runClient(cfg Config, hc *http.Client, pk *picker, client, n int) *Result {
+// of (seed, client index), independent of scheduling. mix (nil for
+// single-tenant runs) stamps the client's tenant identity on every spec.
+func runClient(cfg Config, hc *http.Client, pk *picker, client, n int, mix *TenantMix) *Result {
 	rng := util.NewRNG(util.Hash64(cfg.Seed, uint64(client)))
 	res := &Result{Latency: trace.NewHistogram()}
 	for i := 0; i < n; i++ {
@@ -283,6 +430,13 @@ func runClient(cfg Config, hc *http.Client, pk *picker, client, n int) *Result {
 			Verify:     cfg.Verify,
 			DeadlineMS: cfg.DeadlineMS,
 			HoldMS:     cfg.HoldMS,
+		}
+		if mix != nil {
+			spec.Tenant = mix.Name
+			spec.Priority = mix.Priority
+			if mix.HoldMS > 0 {
+				spec.HoldMS = mix.HoldMS
+			}
 		}
 		if cfg.FaultFrac > 0 && rng.Float64() < cfg.FaultFrac {
 			spec.DropFrac = cfg.DropFrac

@@ -12,8 +12,16 @@ import (
 // plan's per-processor peaks — the space the executor will actually hold,
 // which Theorem 2 bounds by S1/p + h per processor for DTS schedules).
 // Jobs are admitted while the sum of admitted demands stays within
-// AVAIL_MEM; a job that would overflow the budget waits in FIFO order —
-// queued, never rejected — until running jobs release enough space.
+// AVAIL_MEM; a job that would overflow the budget waits — queued, never
+// rejected — until running jobs release enough space.
+//
+// Multi-tenancy layers sub-quotas on the same budget: each tenant may be
+// capped at a slice of AVAIL_MEM, and the invariant is two-sided —
+// Σ_tenant inUse(t) = inUse ≤ AVAIL_MEM and inUse(t) ≤ quota(t). A waiter
+// blocked only by its own tenant's quota never blocks other tenants
+// (it is skipped, no cross-tenant head-of-line blocking), while a waiter
+// blocked by the machine budget holds strict FIFO so the global queue
+// cannot starve. Within one tenant, order stays FIFO.
 type admission struct {
 	mu    sync.Mutex
 	avail int64 // 0 = unlimited
@@ -22,25 +30,48 @@ type admission struct {
 
 	// peakInUse records the highest admitted total, for stats.
 	peakInUse int64
+
+	// quotas caps each tenant's share of AVAIL_MEM (absent/0: use
+	// defaultQuota; defaultQuota 0: uncapped).
+	quotas       map[string]int64
+	defaultQuota int64
+	tenantUse    map[string]int64
+	tenantPeak   map[string]int64
 }
 
 type waiter struct {
+	tenant   string
 	demand   int64
 	admitted chan struct{}
 }
 
-func newAdmission(avail int64) *admission {
-	return &admission{avail: avail}
+func newAdmission(avail int64, quotas map[string]int64, defaultQuota int64) *admission {
+	return &admission{
+		avail:        avail,
+		quotas:       quotas,
+		defaultQuota: defaultQuota,
+		tenantUse:    make(map[string]int64),
+		tenantPeak:   make(map[string]int64),
+	}
 }
 
-// acquire blocks until demand units fit under the budget, in arrival
-// order. onQueue (may be nil) fires exactly once if the caller has to
-// wait, before blocking — callers use it to expose a "queued" state.
-// Demands larger than the whole budget are rejected with an error: the
-// caller must replan to a smaller footprint first (see planForBudget), so
-// a failure here is a caller bug, not load.
-func (a *admission) acquire(demand int64, onQueue func()) error {
-	return a.acquireCtx(context.Background(), demand, onQueue)
+// quota returns the tenant's sub-quota (0 = uncapped).
+func (a *admission) quota(tenant string) int64 {
+	if q, ok := a.quotas[tenant]; ok {
+		return q
+	}
+	return a.defaultQuota
+}
+
+// acquire blocks until demand units fit under both the machine budget and
+// the tenant's quota. onQueue (may be nil) fires exactly once if the
+// caller has to wait, before blocking — callers use it to expose a
+// "queued" state. Demands larger than the whole budget or the tenant
+// quota are rejected with an error: the caller must replan to a smaller
+// footprint first (see planForBudget), so a failure here is a caller bug,
+// not load.
+func (a *admission) acquire(tenant string, demand int64, onQueue func()) error {
+	return a.acquireCtx(context.Background(), tenant, demand, onQueue)
 }
 
 // acquireCtx is acquire with cancellation: a waiter whose context expires
@@ -50,7 +81,7 @@ func (a *admission) acquire(demand int64, onQueue func()) error {
 // too-big head. If admission and cancellation race, the booked units are
 // released before returning the context error, so either way no budget
 // can leak from a caller that does not run.
-func (a *admission) acquireCtx(ctx context.Context, demand int64, onQueue func()) error {
+func (a *admission) acquireCtx(ctx context.Context, tenant string, demand int64, onQueue func()) error {
 	if demand < 0 {
 		return fmt.Errorf("rapidd: negative admission demand %d", demand)
 	}
@@ -59,17 +90,21 @@ func (a *admission) acquireCtx(ctx context.Context, demand int64, onQueue func()
 		a.mu.Unlock()
 		return fmt.Errorf("rapidd: job needs %d units but AVAIL_MEM is %d; replan under the budget before admission", demand, a.avail)
 	}
+	if q := a.quota(tenant); q > 0 && demand > q {
+		a.mu.Unlock()
+		return fmt.Errorf("rapidd: job needs %d units but tenant %q quota is %d; replan under the quota before admission", demand, tenant, q)
+	}
 	if err := ctx.Err(); err != nil {
 		a.mu.Unlock()
 		return err
 	}
-	if len(a.queue) == 0 && a.fits(demand) {
-		a.admit(demand)
+	w := &waiter{tenant: tenant, demand: demand, admitted: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.pump()
+	if admitted(w) {
 		a.mu.Unlock()
 		return nil
 	}
-	w := &waiter{demand: demand, admitted: make(chan struct{})}
-	a.queue = append(a.queue, w)
 	a.mu.Unlock()
 	if onQueue != nil {
 		onQueue()
@@ -92,44 +127,81 @@ func (a *admission) acquireCtx(ctx context.Context, demand int64, onQueue func()
 	// Lost the race: pump admitted us concurrently with cancellation.
 	// Give the units straight back.
 	<-w.admitted
-	a.release(demand)
+	a.release(tenant, demand)
 	return ctx.Err()
 }
 
-// release returns demand units and admits queued jobs that now fit, in
-// FIFO order.
-func (a *admission) release(demand int64) {
+func admitted(w *waiter) bool {
+	select {
+	case <-w.admitted:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns demand units and admits queued jobs that now fit.
+func (a *admission) release(tenant string, demand int64) {
 	a.mu.Lock()
 	a.inUse -= demand
 	if a.inUse < 0 {
 		a.inUse = 0
 	}
+	a.tenantUse[tenant] -= demand
+	if a.tenantUse[tenant] <= 0 {
+		delete(a.tenantUse, tenant)
+	}
 	a.pump()
 	a.mu.Unlock()
 }
 
-// pump admits from the head of the queue while the budget allows. Strict
-// FIFO: a large job at the head blocks smaller jobs behind it, trading
-// utilization for no starvation. Called with mu held.
+// pump admits queued waiters while budgets allow. A waiter blocked only
+// by its tenant quota is skipped — and so is every later waiter of that
+// tenant, preserving per-tenant FIFO — so one tenant at its cap cannot
+// block the rest. A waiter blocked by the machine budget stops the scan:
+// strict FIFO against the global budget, trading utilization for no
+// starvation. Called with mu held.
 func (a *admission) pump() {
-	for len(a.queue) > 0 && a.fits(a.queue[0].demand) {
-		w := a.queue[0]
-		a.queue = a.queue[1:]
-		a.admit(w.demand)
-		close(w.admitted)
+	var blocked map[string]bool
+	for i := 0; i < len(a.queue); {
+		w := a.queue[i]
+		if blocked[w.tenant] || !a.tenantFits(w.tenant, w.demand) {
+			if blocked == nil {
+				blocked = make(map[string]bool)
+			}
+			blocked[w.tenant] = true
+			i++
+			continue
+		}
+		if !a.globalFits(w.demand) {
+			break
+		}
+		a.queue = append(a.queue[:i], a.queue[i+1:]...)
+		a.admit(w)
 	}
 }
 
-func (a *admission) fits(demand int64) bool {
+func (a *admission) globalFits(demand int64) bool {
 	return a.avail <= 0 || a.inUse+demand <= a.avail
 }
 
-// admit books demand units. Called with mu held.
-func (a *admission) admit(demand int64) {
-	a.inUse += demand
+func (a *admission) tenantFits(tenant string, demand int64) bool {
+	q := a.quota(tenant)
+	return q <= 0 || a.tenantUse[tenant]+demand <= q
+}
+
+// admit books the waiter's demand against both ledgers. Called with mu
+// held.
+func (a *admission) admit(w *waiter) {
+	a.inUse += w.demand
 	if a.inUse > a.peakInUse {
 		a.peakInUse = a.inUse
 	}
+	a.tenantUse[w.tenant] += w.demand
+	if a.tenantUse[w.tenant] > a.tenantPeak[w.tenant] {
+		a.tenantPeak[w.tenant] = a.tenantUse[w.tenant]
+	}
+	close(w.admitted)
 }
 
 // snapshot returns (avail, inUse, peakInUse, queued).
@@ -137,4 +209,20 @@ func (a *admission) snapshot() (int64, int64, int64, int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.avail, a.inUse, a.peakInUse, len(a.queue)
+}
+
+// tenantSnapshot returns each tenant's booked units (tenants with zero
+// booked units are omitted) and the count of queued waiters per tenant.
+func (a *admission) tenantSnapshot() (inUse map[string]int64, queued map[string]int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	inUse = make(map[string]int64, len(a.tenantUse))
+	for t, u := range a.tenantUse {
+		inUse[t] = u
+	}
+	queued = make(map[string]int)
+	for _, w := range a.queue {
+		queued[w.tenant]++
+	}
+	return inUse, queued
 }

@@ -23,47 +23,47 @@ func TestAdmissionEdgeCases(t *testing.T) {
 		steps func(t *testing.T, a *admission)
 	}{
 		{"unlimited-admits-anything", 0, func(t *testing.T, a *admission) {
-			if err := a.acquire(1<<50, nil); err != nil {
+			if err := a.acquire("t", 1<<50, nil); err != nil {
 				t.Fatal(err)
 			}
-			if err := a.acquire(1<<50, func() { t.Error("unlimited controller queued") }); err != nil {
+			if err := a.acquire("t", 1<<50, func() { t.Error("unlimited controller queued") }); err != nil {
 				t.Fatal(err)
 			}
 		}},
 		{"exact-fit-admits-immediately", 100, func(t *testing.T, a *admission) {
-			if err := a.acquire(100, func() { t.Error("exact fit queued") }); err != nil {
+			if err := a.acquire("t", 100, func() { t.Error("exact fit queued") }); err != nil {
 				t.Fatal(err)
 			}
 			if _, inUse, _, _ := a.snapshot(); inUse != 100 {
 				t.Fatalf("inUse %d", inUse)
 			}
-			a.release(100)
-			if err := a.acquire(100, func() { t.Error("refilled budget queued") }); err != nil {
+			a.release("t", 100)
+			if err := a.acquire("t", 100, func() { t.Error("refilled budget queued") }); err != nil {
 				t.Fatal(err)
 			}
 		}},
 		{"zero-demand-always-fits", 10, func(t *testing.T, a *admission) {
-			if err := a.acquire(10, nil); err != nil {
+			if err := a.acquire("t", 10, nil); err != nil {
 				t.Fatal(err)
 			}
 			// An empty queue and a zero demand: admitted without waiting
 			// even though the budget is exhausted.
-			if err := a.acquire(0, func() { t.Error("zero demand queued") }); err != nil {
+			if err := a.acquire("t", 0, func() { t.Error("zero demand queued") }); err != nil {
 				t.Fatal(err)
 			}
 		}},
 		{"one-over-budget-rejected", 100, func(t *testing.T, a *admission) {
-			if err := a.acquire(101, nil); err == nil {
+			if err := a.acquire("t", 101, nil); err == nil {
 				t.Fatal("101/100 must be a caller error")
 			}
 			// The rejection booked nothing.
-			if err := a.acquire(100, nil); err != nil {
+			if err := a.acquire("t", 100, nil); err != nil {
 				t.Fatal(err)
 			}
 		}},
 	}
 	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) { tc.steps(t, newAdmission(tc.avail)) })
+		t.Run(tc.name, func(t *testing.T) { tc.steps(t, newAdmission(tc.avail, nil, 0)) })
 	}
 }
 
@@ -72,17 +72,17 @@ func TestAdmissionEdgeCases(t *testing.T) {
 // exceed the budget (peak proves it under -race), nothing deadlocks, and
 // every unit comes back.
 func TestAdmissionConcurrentLastBytes(t *testing.T) {
-	a := newAdmission(3)
+	a := newAdmission(3, nil, 0)
 	var wg sync.WaitGroup
 	for i := 0; i < 24; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := a.acquire(3, nil); err != nil {
+			if err := a.acquire("t", 3, nil); err != nil {
 				t.Error(err)
 				return
 			}
-			a.release(3)
+			a.release("t", 3)
 		}()
 	}
 	wg.Wait()
@@ -99,30 +99,30 @@ func TestAdmissionConcurrentLastBytes(t *testing.T) {
 // already cancelled is turned away before booking; one cancelled while
 // parked leaves the queue without budget and without wedging successors.
 func TestAdmissionCancelledWaiterReleasesNothing(t *testing.T) {
-	a := newAdmission(10)
+	a := newAdmission(10, nil, 0)
 	done := context.Background()
 	cancelled, cancel := context.WithCancel(done)
 	cancel()
-	if err := a.acquireCtx(cancelled, 1, nil); err == nil {
+	if err := a.acquireCtx(cancelled, "t", 1, nil); err == nil {
 		t.Fatal("cancelled context admitted")
 	}
 	if _, inUse, _, _ := a.snapshot(); inUse != 0 {
 		t.Fatalf("cancelled pre-check booked %d units", inUse)
 	}
 
-	if err := a.acquire(8, nil); err != nil {
+	if err := a.acquire("t", 8, nil); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancelHead := context.WithCancel(done)
 	headQueued := make(chan struct{})
 	headDone := make(chan error, 1)
-	go func() { headDone <- a.acquireCtx(ctx, 5, func() { close(headQueued) }) }()
+	go func() { headDone <- a.acquireCtx(ctx, "t", 5, func() { close(headQueued) }) }()
 	<-headQueued
 
 	// A small job parks behind the (too big) head in FIFO order.
 	tailDone := make(chan error, 1)
 	tailQueued := make(chan struct{})
-	go func() { tailDone <- a.acquireCtx(done, 2, func() { close(tailQueued) }) }()
+	go func() { tailDone <- a.acquireCtx(done, "t", 2, func() { close(tailQueued) }) }()
 	<-tailQueued
 
 	// Cancelling the head must re-pump the queue: the tail fits (8+2=10)
@@ -143,8 +143,8 @@ func TestAdmissionCancelledWaiterReleasesNothing(t *testing.T) {
 	if inUse != 10 || queued != 0 {
 		t.Fatalf("inUse=%d queued=%d, want 10, 0", inUse, queued)
 	}
-	a.release(8)
-	a.release(2)
+	a.release("t", 8)
+	a.release("t", 2)
 	if _, inUse, _, _ := a.snapshot(); inUse != 0 {
 		t.Fatalf("inUse=%d after releases", inUse)
 	}
@@ -155,23 +155,23 @@ func TestAdmissionCancelledWaiterReleasesNothing(t *testing.T) {
 // always returned and the controller ends every round empty.
 func TestAdmissionCancelAdmitRace(t *testing.T) {
 	for round := 0; round < 200; round++ {
-		a := newAdmission(1)
-		if err := a.acquire(1, nil); err != nil {
+		a := newAdmission(1, nil, 0)
+		if err := a.acquire("t", 1, nil); err != nil {
 			t.Fatal(err)
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		queued := make(chan struct{})
 		done := make(chan error, 1)
-		go func() { done <- a.acquireCtx(ctx, 1, func() { close(queued) }) }()
+		go func() { done <- a.acquireCtx(ctx, "t", 1, func() { close(queued) }) }()
 		<-queued
 		var wg sync.WaitGroup
 		wg.Add(2)
-		go func() { defer wg.Done(); a.release(1) }()
+		go func() { defer wg.Done(); a.release("t", 1) }()
 		go func() { defer wg.Done(); cancel() }()
 		wg.Wait()
 		if err := <-done; err == nil {
 			// Admitted: the waiter owns the unit and must release it.
-			a.release(1)
+			a.release("t", 1)
 		}
 		if _, inUse, _, queuedN := a.snapshot(); inUse != 0 || queuedN != 0 {
 			t.Fatalf("round %d: inUse=%d queued=%d", round, inUse, queuedN)

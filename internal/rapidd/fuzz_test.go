@@ -31,7 +31,7 @@ func FuzzParseJobSpec(f *testing.F) {
 		f.Add([]byte(seed))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		spec, err := parseJobSpec(data)
+		spec, err := parseJobSpec(data, "default")
 		if err != nil {
 			return
 		}

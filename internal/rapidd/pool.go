@@ -6,30 +6,39 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/journal"
 )
 
 // The serving layer: a bounded pool of worker goroutines executes admitted
-// jobs in parallel. Requests enter through a bounded queue — a full queue
-// sheds the request with 429 + Retry-After instead of letting the backlog
-// (and every queued client's latency) grow without bound. Workers coalesce
-// identical in-flight specs onto a single execution (single-flight, the
-// same mechanism the plan cache uses for compiles), enforce per-job
-// deadlines, and drain gracefully on shutdown.
+// jobs in parallel. Requests enter through a bounded queue that drains
+// weighted-fair across tenants (wfq.go) — a full backlog sheds the
+// request with 429 + Retry-After, low priority first, instead of letting
+// the backlog (and every queued client's latency) grow without bound.
+// Workers coalesce identical in-flight specs onto a single execution
+// (single-flight, the same mechanism the plan cache uses for compiles),
+// enforce per-job deadlines, and drain gracefully on shutdown.
 //
 // Concurrency safety comes from the layers below: concurrent jobs share
-// AVAIL_MEM through the admission controller (each books its aggregate
-// planned peak before executing), and the plan cache is already
-// single-flight per fingerprint, so a burst of distinct requests for one
-// new structure compiles it once.
+// AVAIL_MEM (and their tenant's sub-quota) through the admission
+// controller — each books its aggregate planned peak before executing —
+// and the plan cache is already single-flight per fingerprint, so a burst
+// of distinct requests for one new structure compiles it once.
 
 // task is one queued execution: the job ID plus the request-scoped
-// context that carries its deadline/cancellation.
+// context that carries its deadline/cancellation, stamped with its
+// weighted-fair-queueing virtual times at reservation.
 type task struct {
-	id     string
-	spec   JobSpec
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
+	id   string
+	spec JobSpec
+	prio int
+	// vstart/vfinish are the WFQ virtual-clock stamps (see wfq.go).
+	vstart, vfinish float64
+	// submittedAt feeds the latency histograms; zero for recovered jobs.
+	submittedAt time.Time
+	ctx         context.Context
+	cancel      context.CancelFunc
+	done        chan struct{}
 }
 
 // outcome is a terminal job snapshot, shared between a coalesced group's
@@ -38,10 +47,15 @@ type outcome struct {
 	job Job
 }
 
-// worker pulls tasks until the queue is closed by Drain.
+// worker pulls tasks in weighted-fair order until the queue is closed by
+// Drain and fully drained.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for tk := range s.queue {
+	for {
+		tk := s.queue.next()
+		if tk == nil {
+			return
+		}
 		s.process(tk)
 	}
 }
@@ -51,8 +65,9 @@ func (s *Server) worker() {
 // leader's flight and adopt its result. The spec is the coalescing key
 // (marshalled canonically), which is strictly finer than the plan
 // fingerprint — two specs that differ only in execution-relevant fields
-// (verify, hold, fault mix, deadline) never merge, while the plan cache
-// still deduplicates their compile by fingerprint underneath.
+// (tenant, priority, verify, hold, fault mix, deadline) never merge,
+// while the plan cache still deduplicates their compile by fingerprint
+// underneath.
 func (s *Server) process(tk *task) {
 	defer close(tk.done)
 	defer func() {
@@ -61,6 +76,9 @@ func (s *Server) process(tk *task) {
 		delete(s.cancels, tk.id)
 		s.mu.Unlock()
 	}()
+	if !tk.submittedAt.IsZero() {
+		s.queueWait.Observe(time.Since(tk.submittedAt).Microseconds())
+	}
 	if err := tk.ctx.Err(); err != nil {
 		s.failFast(tk.id, fmt.Errorf("rapidd: job expired before execution: %w", err))
 		return
@@ -98,8 +116,7 @@ func (s *Server) runJob(tk *task) *outcome {
 		s.update(tk.id, func(j *Job) { j.Attempts = attempt + 1 })
 		err = s.attempt(tk.ctx, tk.id, tk.spec, attempt)
 		if err == nil {
-			s.setStatus(tk.id, StatusDone)
-			s.metrics.Inc("rapidd.jobs.completed", 1)
+			s.setTerminal(tk.id, StatusDone, nil)
 			return s.snapshot(tk.id)
 		}
 		if tk.ctx.Err() != nil || !faultsFor(tk.spec, attempt).Enabled() || attempt >= s.cfg.MaxJobRetries {
@@ -111,12 +128,50 @@ func (s *Server) runJob(tk *task) *outcome {
 		case <-tk.ctx.Done():
 		}
 	}
-	s.countFailure(err)
-	s.update(tk.id, func(j *Job) {
-		j.Status = StatusFailed
-		j.Error = err.Error()
-	})
+	s.setTerminal(tk.id, StatusFailed, err)
 	return s.snapshot(tk.id)
+}
+
+// setTerminal is the one exit gate of every job: it publishes the final
+// status, appends the journal completion record (making the terminal
+// state durable — replay will not resurrect this job), bumps the global
+// and per-tenant counters, and feeds the latency summary.
+func (s *Server) setTerminal(id string, st JobStatus, jobErr error) {
+	errStr := ""
+	if jobErr != nil {
+		errStr = jobErr.Error()
+	}
+	s.mu.Lock()
+	j := s.jobs[id]
+	j.Status = st
+	j.Error = errStr
+	ts := s.tenantStatLocked(j.Spec.Tenant)
+	if st == StatusDone {
+		ts.completed++
+	} else {
+		ts.failed++
+		if errors.Is(jobErr, context.DeadlineExceeded) {
+			ts.expired++
+		}
+	}
+	submittedAt := j.submittedAt
+	s.mu.Unlock()
+
+	if st == StatusDone {
+		s.metrics.Inc("rapidd.jobs.completed", 1)
+	} else {
+		s.metrics.Inc("rapidd.jobs.failed", 1)
+		switch {
+		case errors.Is(jobErr, context.DeadlineExceeded):
+			s.metrics.Inc("rapidd.jobs.deadline_expired", 1)
+		case errors.Is(jobErr, context.Canceled):
+			s.metrics.Inc("rapidd.jobs.cancelled", 1)
+		}
+	}
+	if !submittedAt.IsZero() {
+		s.latency.Observe(time.Since(submittedAt).Microseconds())
+	}
+	s.journalAppend(journal.Record{Op: journal.OpComplete, ID: id, Status: string(st), Error: errStr})
 }
 
 // snapshot copies the job record under the lock.
@@ -135,7 +190,6 @@ func (s *Server) adoptOutcome(id string, oc *outcome) {
 	}
 	src := oc.job
 	s.update(id, func(j *Job) {
-		j.Status = src.Status
 		j.Error = src.Error
 		j.PlanSource = src.PlanSource
 		j.Fingerprint = src.Fingerprint
@@ -155,42 +209,29 @@ func (s *Server) adoptOutcome(id string, oc *outcome) {
 		j.Coalesced = true
 		j.CoalescedWith = src.ID
 	})
-	if src.Status == StatusDone {
-		s.metrics.Inc("rapidd.jobs.completed", 1)
-	} else {
-		s.metrics.Inc("rapidd.jobs.failed", 1)
+	var err error
+	if src.Status != StatusDone && src.Error != "" {
+		err = errors.New(src.Error)
 	}
+	s.setTerminal(id, src.Status, err)
 }
 
 // failFast marks a job failed without executing anything.
 func (s *Server) failFast(id string, err error) {
-	s.countFailure(err)
-	s.update(id, func(j *Job) {
-		j.Status = StatusFailed
-		j.Error = err.Error()
-	})
-}
-
-// countFailure classifies a terminal error into the failed counter plus a
-// deadline/cancellation sub-counter.
-func (s *Server) countFailure(err error) {
-	s.metrics.Inc("rapidd.jobs.failed", 1)
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		s.metrics.Inc("rapidd.jobs.deadline_expired", 1)
-	case errors.Is(err, context.Canceled):
-		s.metrics.Inc("rapidd.jobs.cancelled", 1)
-	}
+	s.setTerminal(id, StatusFailed, err)
 }
 
 // Cancel aborts the job if it is still pending or waiting for admission;
 // a job already executing runs to completion (the executor owns its
-// goroutines). Returns false for unknown jobs.
+// goroutines). Returns false for unknown jobs. The cancellation is
+// journaled so a crash between Cancel and the worker observing it does
+// not resurrect the job at replay.
 func (s *Server) Cancel(id string) bool {
 	s.mu.Lock()
 	cancel, ok := s.cancels[id]
 	s.mu.Unlock()
 	if ok {
+		s.journalAppend(journal.Record{Op: journal.OpCancel, ID: id})
 		cancel()
 	}
 	return ok
@@ -199,17 +240,22 @@ func (s *Server) Cancel(id string) bool {
 // Drain stops intake — new solve requests are refused with 503 — closes
 // the queue, and waits for the workers to finish the backlog. Safe to
 // call more than once. If ctx expires first, the workers keep draining in
-// the background and the error reports the interruption.
+// the background and the error reports the interruption. The journal is
+// closed once the workers are done (every in-flight job has written its
+// completion record), so a clean shutdown replays to an empty live set.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.queue.close()
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		if s.jnl != nil {
+			s.jnl.Close()
+		}
 		close(done)
 	}()
 	select {

@@ -4,20 +4,34 @@
 // inspector phase), and executes them on a bounded worker pool under a
 // machine-wide memory-budget admission controller.
 //
-// Endpoints (JSON):
+// Endpoints (JSON unless noted):
 //
 //	POST /v1/solve      submit a job (body: JobSpec); ?wait=1 blocks until
-//	                    the job is terminal and returns the full job
+//	                    the job is terminal and returns the full job; the
+//	                    X-Tenant header names the tenant when the spec
+//	                    does not
 //	GET  /v1/jobs/{id}  job status and result
-//	GET  /v1/jobs       all jobs
+//	GET  /v1/jobs       jobs in submission order; ?limit=N keeps the
+//	                    newest N
 //	GET  /v1/stats      cache counters, pool and admission state
+//	GET  /metrics       Prometheus text format: counters, per-tenant
+//	                    gauges, latency summaries
 //	GET  /healthz       liveness
 //
-// Scale-out serving (see pool.go): Workers jobs execute concurrently; a
-// bounded queue absorbs bursts and sheds overload with 429 + Retry-After;
+// Scale-out serving (see pool.go, wfq.go): Workers jobs execute
+// concurrently; a bounded queue absorbs bursts, drains weighted-fair
+// across tenants, and sheds overload with 429 + Retry-After — low
+// priority first, each class told to back off proportionally longer;
 // identical in-flight specs coalesce onto one execution (single-flight);
 // per-job deadlines bound queue wait + admission wait + execution; Drain
 // stops intake and lets the backlog finish on shutdown.
+//
+// Durability (see journal.go in internal/journal): with a journal
+// directory configured, every job transition is written ahead to an
+// fsync'd checksummed log. A restarted daemon replays it, re-queues jobs
+// that were waiting, explicitly fails jobs that were executing, and
+// continues ID allocation past the journal's high-water mark — no
+// acknowledged job is ever silently forgotten.
 //
 // Memory admission: with a configured AVAIL_MEM, the daemon books each
 // job's aggregate planned high-water mark (sum over processors of the MAP
@@ -45,6 +59,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/chol"
+	"repro/internal/journal"
 	"repro/internal/lu"
 	"repro/internal/plancache"
 	"repro/internal/sparse"
@@ -94,13 +109,42 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// RetryAfter is the client back-off hint sent with shed (429)
 	// responses (default 1s, rounded up to whole seconds on the wire).
+	// The hint is priority-aware: low-priority sheds are told 2× this
+	// base and high-priority half of it, so backed-off traffic returns
+	// in priority order.
 	RetryAfter time.Duration
+	// JournalDir enables the write-ahead job journal in this directory
+	// ("" disables durability). See internal/journal.
+	JournalDir string
+	// JournalNoSync skips the per-record fsync (tests and benchmarks
+	// only — an unsynced journal can acknowledge jobs a crash loses).
+	JournalNoSync bool
+	// TenantQuotas caps each named tenant's admitted memory at a slice of
+	// AVAIL_MEM, in the same abstract units. Tenants absent from the map
+	// fall back to DefaultTenantQuota.
+	TenantQuotas map[string]int64
+	// DefaultTenantQuota caps tenants without an explicit quota
+	// (0: uncapped — only AVAIL_MEM limits them).
+	DefaultTenantQuota int64
+	// TenantWeights sets weighted-fair-queueing weights (default 1 —
+	// equal shares; higher drains proportionally faster under
+	// contention). Non-positive weights are treated as 1.
+	TenantWeights map[string]float64
 	// Metrics receives cache and job counters (nil: a fresh registry).
 	Metrics *trace.Metrics
 }
 
 // JobSpec is a solve request.
 type JobSpec struct {
+	// Tenant names the submitting tenant for quota accounting, fair
+	// queueing and metrics. Empty falls back to the request's X-Tenant
+	// header, then to "default". Allowed: [a-zA-Z0-9._-], at most 64
+	// bytes.
+	Tenant string `json:"tenant"`
+	// Priority is "low", "normal" (default) or "high". Under overload the
+	// daemon sheds low first: each class may only fill a fraction of the
+	// backlog (low ½, normal ¾, high all of it).
+	Priority string `json:"priority"`
 	// Kind selects the factorization: "chol" (default) or "lu".
 	Kind string `json:"kind"`
 	// N is the approximate matrix order (default 120).
@@ -153,10 +197,18 @@ const (
 
 // Job is the externally visible job record.
 type Job struct {
-	ID     string    `json:"id"`
+	ID string `json:"id"`
+	// Seq is the submission sequence number: monotonic across restarts
+	// (seeded from the journal high-water mark), it defines the order
+	// GET /v1/jobs lists jobs in.
+	Seq    uint64    `json:"seq"`
 	Spec   JobSpec   `json:"spec"`
 	Status JobStatus `json:"status"`
 	Error  string    `json:"error,omitempty"`
+	// Recovered marks a job reconstructed from the journal after a
+	// restart — re-queued if it had not started, failed explicitly if it
+	// was executing when the previous daemon died.
+	Recovered bool `json:"recovered,omitempty"`
 
 	// PlanSource says where the plan came from: compiled, memory, disk.
 	PlanSource string `json:"plan_source,omitempty"`
@@ -195,6 +247,21 @@ type Job struct {
 	// StateUS is the executor's protocol-state occupancy summed across
 	// processors, microseconds per state (REC/EXE/SND/MAP/END).
 	StateUS map[string]int64 `json:"state_us,omitempty"`
+
+	// submittedAt feeds the end-to-end latency histograms behind
+	// /metrics; zero for jobs recovered from the journal (their original
+	// submission time did not survive the crash, so they are excluded).
+	submittedAt time.Time
+}
+
+// tenantStats aggregates per-tenant lifecycle counters for /metrics.
+type tenantStats struct {
+	submitted int64
+	completed int64
+	failed    int64
+	shed      int64
+	expired   int64
+	recovered int64
 }
 
 // Server is the rapidd HTTP handler.
@@ -205,9 +272,18 @@ type Server struct {
 	adm     *admission
 	mux     *http.ServeMux
 
-	// queue feeds the worker pool; flights coalesces identical in-flight
-	// specs onto one execution (see pool.go).
-	queue   chan *task
+	// jnl is the write-ahead job journal (nil: durability disabled).
+	jnl *journal.Journal
+	// latency and queueWait feed the /metrics summaries: end-to-end
+	// microseconds from submission to terminal state, and microseconds a
+	// job spent queued before a worker picked it up.
+	latency   *trace.Histogram
+	queueWait *trace.Histogram
+
+	// queue feeds the worker pool weighted-fair across tenants; flights
+	// coalesces identical in-flight specs onto one execution (see
+	// pool.go, wfq.go).
+	queue   *wfqueue
 	wg      sync.WaitGroup
 	flights plancache.Group
 
@@ -215,7 +291,8 @@ type Server struct {
 	jobs     map[string]*Job
 	done     map[string]chan struct{}
 	cancels  map[string]context.CancelFunc
-	seq      int
+	tenants  map[string]*tenantStats
+	seq      uint64
 	draining bool
 
 	// verified memoizes static-verifier verdicts by plan fingerprint, so
@@ -234,8 +311,20 @@ type Server struct {
 	planHook func(p *rapid.Plan)
 }
 
-// New creates a Server.
+// New creates a Server, panicking if the journal cannot be opened — use
+// Open when JournalDir is set and the error should be handled.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open creates a Server; with JournalDir set it replays the journal
+// first, recovering queued jobs and explicitly failing the ones the
+// previous daemon was executing when it died.
+func Open(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = trace.NewMetrics()
 	}
@@ -266,6 +355,12 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	weight := func(tenant string) float64 {
+		if w, ok := cfg.TenantWeights[tenant]; ok && w > 0 {
+			return w
+		}
+		return 1
+	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: cfg.Metrics,
@@ -274,12 +369,25 @@ func New(cfg Config) *Server {
 			MemBudget: cfg.CacheMemBudget,
 			Metrics:   cfg.Metrics,
 		}),
-		adm:      newAdmission(cfg.AvailMem),
-		queue:    make(chan *task, cfg.QueueDepth),
-		jobs:     make(map[string]*Job),
-		done:     make(map[string]chan struct{}),
-		cancels:  make(map[string]context.CancelFunc),
-		verified: make(map[string]bool),
+		adm:       newAdmission(cfg.AvailMem, cfg.TenantQuotas, cfg.DefaultTenantQuota),
+		queue:     newWFQueue(cfg.QueueDepth, weight),
+		latency:   trace.NewHistogram(),
+		queueWait: trace.NewHistogram(),
+		jobs:      make(map[string]*Job),
+		done:      make(map[string]chan struct{}),
+		cancels:   make(map[string]context.CancelFunc),
+		tenants:   make(map[string]*tenantStats),
+		verified:  make(map[string]bool),
+	}
+	if cfg.JournalDir != "" {
+		jnl, rep, err := journal.Open(cfg.JournalDir, journal.Options{NoSync: cfg.JournalNoSync})
+		if err != nil {
+			return nil, err
+		}
+		s.jnl = jnl
+		// Recovery runs before the workers start, so recovered jobs keep
+		// their original submission order at the head of the queue.
+		s.recover(rep)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -290,10 +398,28 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
-	return s
+	return s, nil
+}
+
+// tenantStat returns the named tenant's counter block, creating it on
+// first use. Called with s.mu NOT held.
+func (s *Server) tenantStat(tenant string) *tenantStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenantStatLocked(tenant)
+}
+
+func (s *Server) tenantStatLocked(tenant string) *tenantStats {
+	ts := s.tenants[tenant]
+	if ts == nil {
+		ts = &tenantStats{}
+		s.tenants[tenant] = ts
+	}
+	return ts
 }
 
 // ServeHTTP implements http.Handler.
@@ -307,11 +433,15 @@ const maxSpecBytes = 1 << 20
 // whole input surface of the solve endpoint, factored out so the fuzz
 // target exercises exactly what the handler runs: any input either yields
 // a spec whose fields are within their documented ranges, or an error —
-// never a panic, never an out-of-range spec.
-func parseJobSpec(data []byte) (JobSpec, error) {
+// never a panic, never an out-of-range spec. defaultTenant (the request's
+// X-Tenant header; may be empty) applies only when the spec names none.
+func parseJobSpec(data []byte, defaultTenant string) (JobSpec, error) {
 	var spec JobSpec
 	if err := json.Unmarshal(data, &spec); err != nil {
 		return spec, fmt.Errorf("rapidd: bad job spec: %v", err)
+	}
+	if spec.Tenant == "" {
+		spec.Tenant = defaultTenant
 	}
 	if err := normalizeSpec(&spec); err != nil {
 		return spec, err
@@ -329,11 +459,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "rapidd: bad job spec: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	spec, err := parseJobSpec(body)
+	spec, err := parseJobSpec(body, r.Header.Get("X-Tenant"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	prio, _ := parsePriority(spec.Priority)
 	deadline := time.Duration(spec.DeadlineMS) * time.Millisecond
 	if deadline == 0 {
 		deadline = s.cfg.DefaultDeadline
@@ -352,29 +483,47 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "rapidd: draining, not accepting jobs", http.StatusServiceUnavailable)
 		return
 	}
-	s.seq++
-	id := fmt.Sprintf("j%04d", s.seq)
-	tk := &task{id: id, spec: spec, ctx: ctx, cancel: cancel, done: make(chan struct{})}
-	select {
-	case s.queue <- tk:
-		s.jobs[id] = &Job{ID: id, Spec: spec, Status: StatusPending}
-		s.done[id] = tk.done
-		s.cancels[id] = cancel
-		s.mu.Unlock()
-	default:
-		// Load shedding: the backlog is full. Refuse in O(1) — no job
-		// record, no goroutine — and tell the client when to come back.
-		// A shed response is cheap and honest; accepting would either
-		// grow the queue without bound or stall every queued client.
-		s.seq--
+	// Reserve a queue slot before anything else: shedding stays O(1) —
+	// no job record, no journal write, no goroutine.
+	slot, ok := s.queue.reserve(spec.Tenant, prio, false)
+	if !ok {
 		s.mu.Unlock()
 		cancel()
-		s.metrics.Inc("rapidd.jobs.shed", 1)
-		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		http.Error(w, "rapidd: queue full, retry later", http.StatusTooManyRequests)
+		s.shed(w, spec.Tenant, prio)
 		return
 	}
+	s.seq++
+	id := fmt.Sprintf("j%04d", s.seq)
+	tk := &task{
+		id: id, spec: spec, prio: prio,
+		vstart: slot.vstart, vfinish: slot.vfinish,
+		submittedAt: time.Now(),
+		ctx:         ctx, cancel: cancel, done: make(chan struct{}),
+	}
+	s.jobs[id] = &Job{ID: id, Seq: s.seq, Spec: spec, Status: StatusPending, submittedAt: tk.submittedAt}
+	s.done[id] = tk.done
+	s.cancels[id] = cancel
+	seq := s.seq
+	s.tenantStatLocked(spec.Tenant).submitted++
+	s.mu.Unlock()
+
+	// Write-ahead: the submit record is durable before a worker can see
+	// the task (commit below), so the journal can never hold an admit or
+	// completion for a job it never saw submitted.
+	if err := s.journalSubmit(seq, id, spec, body); err != nil {
+		s.queue.abort(slot)
+		s.mu.Lock()
+		delete(s.jobs, id)
+		delete(s.done, id)
+		delete(s.cancels, id)
+		s.tenantStatLocked(spec.Tenant).submitted--
+		s.mu.Unlock()
+		cancel()
+		s.metrics.Inc("rapidd.journal.errors", 1)
+		http.Error(w, "rapidd: journal write failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.queue.commit(slot, tk)
 	s.metrics.Inc("rapidd.jobs.submitted", 1)
 
 	if r.URL.Query().Get("wait") != "" {
@@ -408,26 +557,91 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.writeJob(w, id)
 }
 
+// shed refuses one request in O(1) — no job record, no journal write, no
+// goroutine — and tells the client when to come back. The Retry-After
+// hint scales with how early the class sheds: low-priority traffic backs
+// off 2× the base, normal 1×, high ½×, so retries return in priority
+// order instead of re-stampeding at once.
+func (s *Server) shed(w http.ResponseWriter, tenant string, prio int) {
+	s.metrics.Inc("rapidd.jobs.shed", 1)
+	s.metrics.Inc("rapidd.jobs.shed_"+priorityName(prio), 1)
+	s.tenantStat(tenant).shed++
+	after := s.cfg.RetryAfter
+	switch prio {
+	case prioLow:
+		after *= 2
+	case prioHigh:
+		after /= 2
+	}
+	secs := int((after + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "rapidd: queue full, retry later", http.StatusTooManyRequests)
+}
+
+// journalSubmit appends the write-ahead submit record (no-op without a
+// journal). body is the raw spec JSON as received — replay re-parses it
+// through the same parseJobSpec the handler used.
+func (s *Server) journalSubmit(seq uint64, id string, spec JobSpec, body []byte) error {
+	if s.jnl == nil {
+		return nil
+	}
+	return s.jnl.Append(journal.Record{
+		Op: journal.OpSubmit, Seq: seq, ID: id,
+		Tenant: spec.Tenant, Priority: spec.Priority, Spec: body,
+	})
+}
+
+// journalAppend writes a non-submit record, surfacing failures as a
+// counter — the job proceeds (the daemon must not wedge on a full disk),
+// but the gap is visible.
+func (s *Server) journalAppend(rec journal.Record) {
+	if s.jnl == nil {
+		return
+	}
+	if err := s.jnl.Append(rec); err != nil {
+		s.metrics.Inc("rapidd.journal.errors", 1)
+	}
+}
+
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	limit := -1
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "rapidd: bad limit "+strconv.Quote(v), http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
 	s.mu.Lock()
 	list := make([]Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		list = append(list, *j)
 	}
 	s.mu.Unlock()
-	sort.Slice(list, func(i, k int) bool { return list[i].ID < list[k].ID })
+	// Deterministic submission order. Sorting by Seq, not ID: IDs are
+	// derived from Seq but compare lexicographically, which breaks once
+	// the counter outgrows its zero padding (j10000 < j9999).
+	sort.Slice(list, func(i, k int) bool { return list[i].Seq < list[k].Seq })
+	if limit >= 0 && len(list) > limit {
+		// The cap keeps the newest jobs — the tail of the submission
+		// order — so a monitoring poll sees current traffic, bounded.
+		list = list[len(list)-limit:]
+	}
 	writeJSON(w, list)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	avail, inUse, peak, queued := s.adm.snapshot()
+	tenantMem, tenantAdmQueue := s.adm.tenantSnapshot()
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
 	s.verifiedMu.Lock()
 	verified := len(s.verified)
 	s.verifiedMu.Unlock()
-	writeJSON(w, map[string]any{
+	depth, capacity := s.queue.stats()
+	stats := map[string]any{
 		"verified_plans": verified,
 		"counters":       s.metrics.Snapshot(),
 		"avail_mem":      avail,
@@ -435,12 +649,76 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"mem_peak":       peak,
 		"jobs_queued":    queued,
 		"workers":        s.cfg.Workers,
-		"queue_len":      len(s.queue),
-		"queue_cap":      cap(s.queue),
+		"queue_len":      depth,
+		"queue_cap":      capacity,
 		"draining":       draining,
 		"cache_entries":  s.cacheLen(),
 		"plancache_line": rapid.CacheStats(s.metrics),
-	})
+		"tenant_mem":     tenantMem,
+		"tenant_queued":  tenantAdmQueue,
+		"tenant_depth":   s.queue.depths(),
+	}
+	if s.jnl != nil {
+		stats["journal"] = s.jnl.Stats()
+	}
+	writeJSON(w, stats)
+}
+
+// handleMetrics renders the Prometheus text exposition: every
+// trace.Metrics counter, per-tenant gauges (queue depth, booked budget,
+// quota) and counters (submitted/completed/failed/shed/expired/
+// recovered), pool/admission gauges, and latency summaries.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	pw := trace.NewPromWriter()
+	for name, v := range s.metrics.Snapshot() {
+		pw.Counter("rapidd_"+trace.PromSanitize(strings.TrimPrefix(name, "rapidd.")), "", nil, float64(v))
+	}
+
+	avail, inUse, peakMem, queued := s.adm.snapshot()
+	pw.Gauge("rapidd_avail_mem_units", "configured AVAIL_MEM budget", nil, float64(avail))
+	pw.Gauge("rapidd_mem_in_use_units", "admitted memory demand", nil, float64(inUse))
+	pw.Gauge("rapidd_mem_peak_units", "high-water admitted demand", nil, float64(peakMem))
+	pw.Gauge("rapidd_admission_waiters", "jobs parked at admission", nil, float64(queued))
+	depth, capacity := s.queue.stats()
+	pw.Gauge("rapidd_queue_depth", "jobs queued for a worker", nil, float64(depth))
+	pw.Gauge("rapidd_queue_capacity", "configured backlog bound", nil, float64(capacity))
+	pw.Gauge("rapidd_workers", "worker-pool size", nil, float64(s.cfg.Workers))
+
+	tenantMem, tenantAdmQueue := s.adm.tenantSnapshot()
+	tenantDepth := s.queue.depths()
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := s.tenants[name]
+		lbl := map[string]string{"tenant": name}
+		pw.Counter("rapidd_tenant_submitted_total", "jobs accepted per tenant", lbl, float64(ts.submitted))
+		pw.Counter("rapidd_tenant_completed_total", "jobs completed per tenant", lbl, float64(ts.completed))
+		pw.Counter("rapidd_tenant_failed_total", "jobs failed per tenant", lbl, float64(ts.failed))
+		pw.Counter("rapidd_tenant_shed_total", "requests shed per tenant", lbl, float64(ts.shed))
+		pw.Counter("rapidd_tenant_expired_total", "jobs past deadline per tenant", lbl, float64(ts.expired))
+		pw.Counter("rapidd_tenant_recovered_total", "jobs recovered from the journal per tenant", lbl, float64(ts.recovered))
+		pw.Gauge("rapidd_tenant_queue_depth", "queued jobs per tenant", lbl, float64(tenantDepth[name]))
+		pw.Gauge("rapidd_tenant_mem_in_use_units", "booked budget per tenant", lbl, float64(tenantMem[name]))
+		pw.Gauge("rapidd_tenant_admission_waiters", "admission waiters per tenant", lbl, float64(tenantAdmQueue[name]))
+		pw.Gauge("rapidd_tenant_quota_units", "configured sub-quota per tenant", lbl, float64(s.adm.quota(name)))
+	}
+	s.mu.Unlock()
+
+	pw.Summary("rapidd_job_latency_us", "submission-to-terminal latency", s.latency)
+	pw.Summary("rapidd_queue_wait_us", "submission-to-worker-pickup wait", s.queueWait)
+	if s.jnl != nil {
+		st := s.jnl.Stats()
+		pw.Gauge("rapidd_journal_segments", "journal segment files", nil, float64(st.Segments))
+		pw.Gauge("rapidd_journal_live_jobs", "non-terminal jobs in the journal", nil, float64(st.LiveJobs))
+		pw.Counter("rapidd_journal_records_total", "journal records this session", nil, float64(st.Records))
+		pw.Counter("rapidd_journal_compactions_total", "journal compactions this session", nil, float64(st.Compactions))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	pw.WriteTo(w)
 }
 
 func (s *Server) cacheLen() int {
@@ -463,7 +741,38 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
+// validTenant reports whether name is a legal tenant label: 1–64 bytes
+// of [a-zA-Z0-9._-]. The charset is the intersection of what Prometheus
+// label values render cleanly and what journal records and header values
+// pass through unescaped.
+func validTenant(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 func normalizeSpec(spec *JobSpec) error {
+	if spec.Tenant == "" {
+		spec.Tenant = "default"
+	}
+	if !validTenant(spec.Tenant) {
+		return fmt.Errorf("rapidd: bad tenant %q (want 1-64 bytes of [a-zA-Z0-9._-])", spec.Tenant)
+	}
+	if _, ok := parsePriority(spec.Priority); !ok {
+		return fmt.Errorf("rapidd: unknown priority %q (want low, normal or high)", spec.Priority)
+	}
+	if spec.Priority == "" {
+		spec.Priority = "normal"
+	}
 	if spec.Kind == "" {
 		spec.Kind = "chol"
 	}
@@ -605,9 +914,15 @@ func (s *Server) solve(ctx context.Context, id string, spec JobSpec, attempt int
 	if err != nil {
 		return err
 	}
+	// The effective budget a single job must fit alone is the tighter of
+	// the machine budget and its tenant's sub-quota.
+	budget := s.cfg.AvailMem
+	if q := s.adm.quota(spec.Tenant); q > 0 && (budget <= 0 || q < budget) {
+		budget = q
+	}
 	replanned := false
-	if s.cfg.AvailMem > 0 {
-		plan, opt, replanned, err = s.planForBudget(pb.prog, opt, plan)
+	if budget > 0 {
+		plan, opt, replanned, err = s.planForBudget(pb.prog, opt, plan, budget)
 		if err != nil {
 			return err
 		}
@@ -658,17 +973,21 @@ func (s *Server) solve(ctx context.Context, id string, spec JobSpec, attempt int
 	// Admission: book the aggregate high-water mark before executing.
 	// The job's context bounds the wait — a deadline that expires or a
 	// client that disconnects while parked here aborts without booking.
-	err = s.adm.acquireCtx(ctx, demand, func() {
+	err = s.adm.acquireCtx(ctx, spec.Tenant, demand, func() {
 		s.setStatus(id, StatusQueued)
 		s.metrics.Inc("rapidd.jobs.queued", 1)
 	})
 	if err != nil {
 		return err
 	}
-	defer s.adm.release(demand)
+	defer s.adm.release(spec.Tenant, demand)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// The admit record marks the job in-flight: after a crash, replay
+	// fails it explicitly instead of re-running it (its budget was booked
+	// and its executor may have had side effects mid-flight).
+	s.journalAppend(journal.Record{Op: journal.OpAdmit, ID: id, Demand: demand})
 	s.setStatus(id, StatusRunning)
 
 	if s.execHook != nil {
@@ -741,18 +1060,19 @@ func stateOccupancyUS(occ []rapid.StateOccupancy) map[string]int64 {
 	return out
 }
 
-// planForBudget ensures a single job fits the machine budget on its own:
-// if the plan's aggregate footprint exceeds AVAIL_MEM, recompile with a
-// per-processor capacity that cannot overflow it (sum of per-processor
-// peaks ≤ procs × capacity), first with the requested heuristic, then with
-// DTS + slice merging, whose Theorem-2 space bound makes tight budgets
-// executable when time-oriented orderings are not.
-func (s *Server) planForBudget(prog *rapid.Program, opt rapid.Options, plan *rapid.Plan) (*rapid.Plan, rapid.Options, bool, error) {
+// planForBudget ensures a single job fits its budget on its own — the
+// tighter of AVAIL_MEM and the tenant's sub-quota: if the plan's
+// aggregate footprint exceeds it, recompile with a per-processor capacity
+// that cannot overflow it (sum of per-processor peaks ≤ procs ×
+// capacity), first with the requested heuristic, then with DTS + slice
+// merging, whose Theorem-2 space bound makes tight budgets executable
+// when time-oriented orderings are not.
+func (s *Server) planForBudget(prog *rapid.Program, opt rapid.Options, plan *rapid.Plan, budget int64) (*rapid.Plan, rapid.Options, bool, error) {
 	demand := aggregateDemand(plan)
-	if demand <= s.cfg.AvailMem {
+	if demand <= budget {
 		return plan, opt, false, nil
 	}
-	capacity := s.cfg.AvailMem / int64(opt.Procs)
+	capacity := budget / int64(opt.Procs)
 	capped := opt
 	if capped.Memory <= 0 || capped.Memory > capacity {
 		capped.Memory = capacity

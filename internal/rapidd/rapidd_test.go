@@ -19,15 +19,15 @@ import (
 // onQueue callback fired), later jobs wait behind it in strict FIFO order,
 // and releases admit from the head.
 func TestAdmissionFIFO(t *testing.T) {
-	a := newAdmission(100)
-	if err := a.acquire(60, func() { t.Error("first job must not queue") }); err != nil {
+	a := newAdmission(100, nil, 0)
+	if err := a.acquire("t", 60, func() { t.Error("first job must not queue") }); err != nil {
 		t.Fatal(err)
 	}
 
 	queued2 := make(chan struct{})
 	done2 := make(chan struct{})
 	go func() {
-		if err := a.acquire(60, func() { close(queued2) }); err != nil {
+		if err := a.acquire("t", 60, func() { close(queued2) }); err != nil {
 			t.Error(err)
 		}
 		close(done2)
@@ -37,7 +37,7 @@ func TestAdmissionFIFO(t *testing.T) {
 	// Third job would fit (60+10 <= 100) but must wait behind the head.
 	done3 := make(chan struct{})
 	go func() {
-		if err := a.acquire(10, nil); err != nil {
+		if err := a.acquire("t", 10, nil); err != nil {
 			t.Error(err)
 		}
 		close(done3)
@@ -48,7 +48,7 @@ func TestAdmissionFIFO(t *testing.T) {
 	case <-time.After(50 * time.Millisecond):
 	}
 
-	a.release(60)
+	a.release("t", 60)
 	<-done2
 	<-done3
 	_, inUse, peak, queued := a.snapshot()
@@ -58,24 +58,24 @@ func TestAdmissionFIFO(t *testing.T) {
 	if peak != 70 {
 		t.Fatalf("peakInUse=%d, want 70", peak)
 	}
-	a.release(60)
-	a.release(10)
+	a.release("t", 60)
+	a.release("t", 10)
 	if _, inUse, _, _ := a.snapshot(); inUse != 0 {
 		t.Fatalf("inUse=%d after all releases", inUse)
 	}
 }
 
 func TestAdmissionOversizedIsCallerError(t *testing.T) {
-	a := newAdmission(100)
-	if err := a.acquire(101, nil); err == nil {
+	a := newAdmission(100, nil, 0)
+	if err := a.acquire("t", 101, nil); err == nil {
 		t.Fatal("demand above AVAIL_MEM must error (caller should have replanned)")
 	}
-	if err := a.acquire(-1, nil); err == nil {
+	if err := a.acquire("t", -1, nil); err == nil {
 		t.Fatal("negative demand must error")
 	}
 	// Unlimited controller admits anything.
-	u := newAdmission(0)
-	if err := u.acquire(1<<40, nil); err != nil {
+	u := newAdmission(0, nil, 0)
+	if err := u.acquire("t", 1<<40, nil); err != nil {
 		t.Fatal(err)
 	}
 }

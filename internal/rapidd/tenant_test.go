@@ -1,0 +1,365 @@
+package rapidd
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func postSolveBody(t *testing.T, ts *httptest.Server, body, tenantHeader string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve?wait=1", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenantHeader != "" {
+		req.Header.Set("X-Tenant", tenantHeader)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestTenantHeaderAndValidation: the X-Tenant header names the tenant
+// when the spec does not, the spec wins when both are present, and
+// illegal tenants or priorities are 400s before any job is created.
+func TestTenantHeaderAndValidation(t *testing.T) {
+	srv := New(Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := postSolveBody(t, ts, `{"kind":"chol","n":90,"seed":1,"procs":2}`, "acme")
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if j.Spec.Tenant != "acme" {
+		t.Fatalf("header-derived tenant %q, want acme", j.Spec.Tenant)
+	}
+
+	resp = postSolveBody(t, ts, `{"tenant":"inline","kind":"chol","n":90,"seed":2,"procs":2}`, "acme")
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if j.Spec.Tenant != "inline" {
+		t.Fatalf("spec tenant %q, want inline (spec beats header)", j.Spec.Tenant)
+	}
+
+	resp = postSolveBody(t, ts, `{"kind":"chol","n":90,"seed":3,"procs":2}`, "")
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if j.Spec.Tenant != "default" || j.Spec.Priority != "normal" {
+		t.Fatalf("defaults tenant=%q priority=%q, want default/normal", j.Spec.Tenant, j.Spec.Priority)
+	}
+
+	for name, body := range map[string]string{
+		"tenant with slash": `{"tenant":"a/b"}`,
+		"tenant too long":   `{"tenant":"` + strings.Repeat("x", 65) + `"}`,
+		"unknown priority":  `{"priority":"urgent"}`,
+	} {
+		resp := postSolveBody(t, ts, body, "")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// An illegal header tenant is also refused, not silently renamed.
+	resp = postSolveBody(t, ts, `{"kind":"chol"}`, "bad tenant!")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad header tenant: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestTenantQuotaIsolation: a tenant at its quota queues its own next job
+// without blocking another tenant's admission (no cross-tenant
+// head-of-line blocking), and the ledgers drain to zero afterwards.
+func TestTenantQuotaIsolation(t *testing.T) {
+	spec := JobSpec{Kind: "chol", N: 100, Seed: 5, Procs: 3}
+	probe := New(Config{})
+	tsProbe := httptest.NewServer(probe)
+	ref := solveSync(t, tsProbe, spec)
+	tsProbe.Close()
+	if ref.Status != StatusDone || ref.DemandUnits <= 0 {
+		t.Fatalf("probe job: %s demand=%d", ref.Status, ref.DemandUnits)
+	}
+	demand := ref.DemandUnits
+
+	metrics := trace.NewMetrics()
+	srv := New(Config{
+		AvailMem:     demand * 3,
+		TenantQuotas: map[string]int64{"greedy": demand},
+		Workers:      4,
+		Metrics:      metrics,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	g1 := spec
+	g1.Tenant = "greedy"
+	g1.HoldMS = 700
+	j1 := solveAsync(t, ts, g1)
+	waitStatus(t, ts, j1.ID, StatusRunning, StatusDone)
+
+	// Second greedy job: same structure (same demand), different hold so
+	// it cannot coalesce. The tenant is at its quota, so it must park at
+	// admission even though 2×demand of machine budget is free.
+	g2 := spec
+	g2.Tenant = "greedy"
+	g2.HoldMS = 1
+	j2 := solveAsync(t, ts, g2)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, queued := srv.adm.tenantSnapshot()
+		if queued["greedy"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("greedy job 2 never queued at its quota")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A different tenant sails past the greedy backlog.
+	o1 := spec
+	o1.Tenant = "other"
+	jo := solveSync(t, ts, o1)
+	if jo.Status != StatusDone {
+		t.Fatalf("other tenant blocked behind greedy quota: %s (%s)", jo.Status, jo.Error)
+	}
+	if _, queued := srv.adm.tenantSnapshot(); queued["greedy"] != 1 {
+		t.Fatalf("greedy waiters %d while other completed, want 1", queued["greedy"])
+	}
+
+	// The stats endpoint exposes the per-tenant ledgers while they hold.
+	inUse, _ := srv.adm.tenantSnapshot()
+	if inUse["greedy"] != demand {
+		t.Fatalf("greedy in-use %d, want %d", inUse["greedy"], demand)
+	}
+
+	if j := getJob(t, ts, j2.ID, true); j.Status != StatusDone {
+		t.Fatalf("greedy job 2: %s (%s)", j.Status, j.Error)
+	}
+	if j := getJob(t, ts, j1.ID, true); j.Status != StatusDone {
+		t.Fatalf("greedy job 1: %s (%s)", j.Status, j.Error)
+	}
+	if _, inUseTotal, _, queuedN := srv.adm.snapshot(); inUseTotal != 0 || queuedN != 0 {
+		t.Fatalf("ledgers leaked: inUse=%d queued=%d", inUseTotal, queuedN)
+	}
+	if inUse, _ := srv.adm.tenantSnapshot(); len(inUse) != 0 {
+		t.Fatalf("tenant ledger leaked: %v", inUse)
+	}
+}
+
+// TestTenantQuotaTooSmallFailsExplicitly: a job whose smallest possible
+// footprint exceeds its tenant quota fails with a definite error rather
+// than queueing forever.
+func TestTenantQuotaTooSmallFailsExplicitly(t *testing.T) {
+	srv := New(Config{
+		AvailMem:     1 << 40,
+		TenantQuotas: map[string]int64{"tiny": 1},
+		Workers:      1,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	j := solveSync(t, ts, JobSpec{Tenant: "tiny", Kind: "chol", N: 100, Seed: 5, Procs: 3})
+	if j.Status != StatusFailed {
+		t.Fatalf("impossible-quota job: %s, want failed", j.Status)
+	}
+	if j.Error == "" {
+		t.Fatal("impossible-quota job failed without an error")
+	}
+}
+
+// TestShedRetryAfterPriorityOrder: shed responses tell low-priority
+// clients to back off 2× the base hint and high-priority half of it, and
+// the per-class and per-tenant shed counters advance.
+func TestShedRetryAfterPriorityOrder(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{
+		Workers:    -1,
+		QueueDepth: -1,
+		RetryAfter: 2 * time.Second,
+		Metrics:    metrics,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	j1 := solveAsync(t, ts, JobSpec{Kind: "chol", N: 90, Seed: 71, Procs: 2, HoldMS: 900})
+	waitStatus(t, ts, j1.ID, StatusRunning, StatusDone)
+
+	for prio, want := range map[string]string{"low": "4", "normal": "2", "high": "1"} {
+		resp := postSolveBody(t, ts, `{"tenant":"shedme","priority":"`+prio+`","kind":"chol","n":90,"seed":72,"procs":2}`, "")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s: HTTP %d, want 429", prio, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != want {
+			t.Errorf("%s: Retry-After %q, want %q", prio, got, want)
+		}
+		if metrics.Get("rapidd.jobs.shed_"+prio) != 1 {
+			t.Errorf("shed_%s counter %d, want 1", prio, metrics.Get("rapidd.jobs.shed_"+prio))
+		}
+	}
+	if metrics.Get("rapidd.jobs.shed") != 3 {
+		t.Errorf("shed counter %d, want 3", metrics.Get("rapidd.jobs.shed"))
+	}
+	if srv.tenantStat("shedme").shed != 3 {
+		t.Errorf("tenant shed counter %d, want 3", srv.tenantStat("shedme").shed)
+	}
+	if j := getJob(t, ts, j1.ID, true); j.Status != StatusDone {
+		t.Fatalf("held job: %s (%s)", j.Status, j.Error)
+	}
+}
+
+// TestJobsOrderAndLimit: GET /v1/jobs lists jobs in submission order,
+// ?limit keeps the newest N, and a bad limit is a 400.
+func TestJobsOrderAndLimit(t *testing.T) {
+	srv := New(Config{Workers: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		j := solveSync(t, ts, JobSpec{Kind: "chol", N: 90, Seed: uint64(80 + i), Procs: 2})
+		ids = append(ids, j.ID)
+	}
+	fetch := func(q string) ([]Job, int) {
+		resp, err := http.Get(ts.URL + "/v1/jobs" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, resp.StatusCode
+		}
+		var jobs []Job
+		if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+			t.Fatal(err)
+		}
+		return jobs, resp.StatusCode
+	}
+
+	all, _ := fetch("")
+	if len(all) != 5 {
+		t.Fatalf("listed %d jobs, want 5", len(all))
+	}
+	for i, j := range all {
+		if j.ID != ids[i] {
+			t.Fatalf("position %d: %q, want %q (submission order)", i, j.ID, ids[i])
+		}
+		if i > 0 && all[i].Seq <= all[i-1].Seq {
+			t.Fatalf("Seq not increasing at %d", i)
+		}
+	}
+	newest, _ := fetch("?limit=2")
+	if len(newest) != 2 || newest[0].ID != ids[3] || newest[1].ID != ids[4] {
+		t.Fatalf("limit=2 returned %v, want the newest two %v", newest, ids[3:])
+	}
+	if empty, _ := fetch("?limit=0"); len(empty) != 0 {
+		t.Fatalf("limit=0 returned %d jobs", len(empty))
+	}
+	if _, code := fetch("?limit=-1"); code != http.StatusBadRequest {
+		t.Fatalf("limit=-1: HTTP %d, want 400", code)
+	}
+	if _, code := fetch("?limit=x"); code != http.StatusBadRequest {
+		t.Fatalf("limit=x: HTTP %d, want 400", code)
+	}
+}
+
+// TestMetricsEndpoint: GET /metrics emits strict Prometheus text — the
+// acceptance bar is that a real scraper's parser accepts it — including
+// per-tenant series and the latency summary.
+func TestMetricsEndpoint(t *testing.T) {
+	metrics := trace.NewMetrics()
+	srv := New(Config{Workers: 2, AvailMem: 1 << 30, TenantQuotas: map[string]int64{"gold": 1 << 29}, Metrics: metrics})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for i, tenant := range []string{"gold", "silver", "gold"} {
+		j := solveSync(t, ts, JobSpec{Tenant: tenant, Kind: "chol", N: 90, Seed: uint64(90 + i), Procs: 2})
+		if j.Status != StatusDone {
+			t.Fatalf("job %d: %s (%s)", i, j.Status, j.Error)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	var sb strings.Builder
+	if _, err := sb.WriteString(readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	samples, err := trace.ParsePromText(body)
+	if err != nil {
+		t.Fatalf("/metrics output rejected by the strict parser: %v\n%s", err, body)
+	}
+	byKey := make(map[string]float64)
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	checks := map[string]float64{
+		"rapidd_jobs_completed":                          3,
+		`rapidd_tenant_submitted_total{tenant="gold"}`:   2,
+		`rapidd_tenant_completed_total{tenant="silver"}`: 1,
+		`rapidd_tenant_quota_units{tenant="gold"}`:       float64(1 << 29),
+		"rapidd_job_latency_us_count":                    3,
+		"rapidd_avail_mem_units":                         float64(1 << 30),
+		"rapidd_workers":                                 2,
+	}
+	for key, want := range checks {
+		if got, ok := byKey[key]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", key, got, ok, want)
+		}
+	}
+	if byKey[`rapidd_job_latency_us{quantile="0.99"}`] <= 0 {
+		t.Error("latency p99 missing or zero")
+	}
+	// Determinism: a second scrape renders tenants in the same order.
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2 := readAll(t, resp2)
+	resp2.Body.Close()
+	if _, err := trace.ParsePromText(body2); err != nil {
+		t.Fatalf("second scrape rejected: %v", err)
+	}
+	goldIdx := strings.Index(body2, `tenant="gold"`)
+	silverIdx := strings.Index(body2, `tenant="silver"`)
+	if goldIdx < 0 || silverIdx < 0 || goldIdx > silverIdx {
+		t.Fatalf("tenant series not in sorted order (gold@%d silver@%d)", goldIdx, silverIdx)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}

@@ -87,6 +87,16 @@ func (h *Histogram) Count() int64 {
 	return h.n
 }
 
+// Sum returns the running total of all recorded samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
 // Mean returns the arithmetic mean of the samples (0 when empty).
 func (h *Histogram) Mean() float64 {
 	if h == nil {

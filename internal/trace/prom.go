@@ -1,0 +1,390 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format (version 0.0.4) rendering and parsing. The
+// writer is what rapidd's GET /metrics serves; the parser is its
+// adversary in tests — a strict reader of the exposition format that
+// fails on anything a real scraper would reject, so the endpoint cannot
+// drift into almost-Prometheus output.
+
+// PromSanitize maps an arbitrary dotted counter name to a legal
+// Prometheus metric name: every character outside [a-zA-Z0-9_:] becomes
+// '_', and a leading digit is prefixed with '_'.
+func PromSanitize(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func promValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func promValidLabelName(name string) bool {
+	return promValidName(name) && !strings.Contains(name, ":")
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func promFormatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type promSample struct {
+	suffix string // appended to the family name ("" usually, "_sum", ...)
+	labels string // pre-rendered, sorted, "{...}" or ""
+	value  float64
+}
+
+type promFamily struct {
+	name    string
+	help    string
+	typ     string
+	samples []promSample
+}
+
+// PromWriter accumulates metric families and renders them sorted by
+// family name (sample order within a family is insertion order), so the
+// output is deterministic regardless of map iteration.
+type PromWriter struct {
+	families map[string]*promFamily
+}
+
+// NewPromWriter returns an empty writer.
+func NewPromWriter() *PromWriter {
+	return &PromWriter{families: make(map[string]*promFamily)}
+}
+
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, promEscape(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (w *PromWriter) family(name, help, typ string) *promFamily {
+	f := w.families[name]
+	if f == nil {
+		f = &promFamily{name: name, help: help, typ: typ}
+		w.families[name] = f
+	}
+	return f
+}
+
+func (w *PromWriter) add(name, help, typ string, labels map[string]string, v float64) {
+	f := w.family(name, help, typ)
+	f.samples = append(f.samples, promSample{labels: renderLabels(labels), value: v})
+}
+
+// Counter records one counter sample; repeated calls with the same name
+// and different labels extend the family.
+func (w *PromWriter) Counter(name, help string, labels map[string]string, v float64) {
+	w.add(name, help, "counter", labels, v)
+}
+
+// Gauge records one gauge sample.
+func (w *PromWriter) Gauge(name, help string, labels map[string]string, v float64) {
+	w.add(name, help, "gauge", labels, v)
+}
+
+// Summary renders a Histogram as a Prometheus summary: φ-quantiles 0.5,
+// 0.9 and 0.99 plus <name>_sum and <name>_count. An empty (or nil)
+// histogram still renders, with zero count — scrapers prefer a present
+// zero series over one that appears later.
+func (w *PromWriter) Summary(name, help string, h *Histogram) {
+	f := w.family(name, help, "summary")
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		f.samples = append(f.samples, promSample{
+			labels: fmt.Sprintf(`{quantile=%q}`, strconv.FormatFloat(q, 'g', -1, 64)),
+			value:  float64(h.Quantile(q)),
+		})
+	}
+	f.samples = append(f.samples,
+		promSample{suffix: "_sum", value: float64(h.Sum())},
+		promSample{suffix: "_count", value: float64(h.Count())})
+}
+
+// WriteTo renders the exposition, families in name order.
+func (w *PromWriter) WriteTo(out io.Writer) (int64, error) {
+	names := make([]string, 0, len(w.families))
+	for name := range w.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var total int64
+	for _, name := range names {
+		f := w.families[name]
+		if f.help != "" {
+			n, err := fmt.Fprintf(out, "# HELP %s %s\n", f.name, f.help)
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+		n, err := fmt.Fprintf(out, "# TYPE %s %s\n", f.name, f.typ)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		for _, s := range f.samples {
+			n, err := fmt.Fprintf(out, "%s%s%s %s\n", f.name, s.suffix, s.labels, promFormatValue(s.value))
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// String renders the exposition to a string.
+func (w *PromWriter) String() string {
+	var b strings.Builder
+	w.WriteTo(&b)
+	return b.String()
+}
+
+// PromSample is one parsed exposition sample.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key renders the sample's identity (name plus sorted labels) — what
+// must be unique within one exposition.
+func (s PromSample) Key() string {
+	return s.Name + renderLabels(s.Labels)
+}
+
+// ParsePromText is a strict parser of the Prometheus text exposition
+// format: it validates metric and label names, label-value escaping,
+// float values, HELP/TYPE comment structure, and rejects duplicate
+// samples. It exists so tests can assert a /metrics endpoint emits what a
+// real scraper accepts — any syntax error fails loudly with its line.
+func ParsePromText(data string) ([]PromSample, error) {
+	var samples []PromSample
+	seen := make(map[string]bool)
+	typed := make(map[string]string)
+	for ln, line := range strings.Split(data, "\n") {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parsePromComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if kind == "TYPE" {
+				if typed[name] != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
+				}
+				typed[name] = rest
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if seen[s.Key()] {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, s.Key())
+		}
+		seen[s.Key()] = true
+		samples = append(samples, s)
+	}
+	return samples, nil
+}
+
+func parsePromComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	if !strings.HasPrefix(body, " ") {
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	fields := strings.SplitN(strings.TrimPrefix(body, " "), " ", 3)
+	if fields[0] != "HELP" && fields[0] != "TYPE" {
+		return "comment", "", "", nil // free-form comment: legal, carries nothing
+	}
+	if len(fields) < 3 {
+		return "", "", "", fmt.Errorf("%s comment needs a name and a body: %q", fields[0], line)
+	}
+	if !promValidName(fields[1]) {
+		return "", "", "", fmt.Errorf("bad metric name %q in %s comment", fields[1], fields[0])
+	}
+	return fields[0], fields[1], fields[2], nil
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{}
+	rest := line
+	// Metric name: up to '{', ' ' or tab.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("sample without value: %q", line)
+	}
+	s.Name = rest[:end]
+	if !promValidName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if strings.HasPrefix(rest, "{") {
+		lbls, tail, err := parsePromLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = lbls
+		rest = tail
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want value [timestamp] after metric, got %q", strings.TrimSpace(rest))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parsePromLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	rest := in[1:] // past '{'
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' in %q", in)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !promValidLabelName(name) {
+			return nil, "", fmt.Errorf("bad label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, "", fmt.Errorf("label value for %q not quoted", name)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return nil, "", fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := rest[0]
+			if c == '"' {
+				rest = rest[1:]
+				break
+			}
+			if c == '\\' {
+				if len(rest) < 2 {
+					return nil, "", fmt.Errorf("dangling escape in label value for %q", name)
+				}
+				switch rest[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label value for %q", rest[1], name)
+				}
+				rest = rest[2:]
+				continue
+			}
+			val.WriteByte(c)
+			rest = rest[1:]
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val.String()
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if !strings.HasPrefix(rest, "}") {
+			return nil, "", fmt.Errorf("expected ',' or '}' after label %q", name)
+		}
+	}
+}

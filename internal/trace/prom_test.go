@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromSanitize(t *testing.T) {
+	cases := map[string]string{
+		"rapidd.jobs.completed": "rapidd_jobs_completed",
+		"already_legal:name":    "already_legal:name",
+		"9starts.with.digit":    "_9starts_with_digit",
+		"spaced out":            "spaced_out",
+		"":                      "_",
+		"héllo":                 "h__llo", // é is two UTF-8 bytes
+	}
+	for in, want := range cases {
+		if got := PromSanitize(in); got != want {
+			t.Errorf("PromSanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+	for _, in := range []string{"a.b", "9x", "x y", ""} {
+		if !promValidName(PromSanitize(in)) {
+			t.Errorf("PromSanitize(%q) = %q is not a valid name", in, PromSanitize(in))
+		}
+	}
+}
+
+// TestPromWriterDeterministicOutput: families render sorted by name with
+// HELP/TYPE headers, label values escaped, regardless of insert order.
+func TestPromWriterDeterministicOutput(t *testing.T) {
+	w := NewPromWriter()
+	w.Gauge("zz_gauge", "a gauge", nil, 2.5)
+	w.Counter("aa_total", "a counter", map[string]string{"tenant": `we"ird\nl`}, 7)
+	w.Counter("aa_total", "a counter", map[string]string{"tenant": "plain"}, 8)
+	got := w.String()
+	want := `# HELP aa_total a counter
+# TYPE aa_total counter
+aa_total{tenant="we\"ird\\nl"} 7
+aa_total{tenant="plain"} 8
+# HELP zz_gauge a gauge
+# TYPE zz_gauge gauge
+zz_gauge 2.5
+`
+	if got != want {
+		t.Fatalf("output:\n%s\nwant:\n%s", got, want)
+	}
+	// Re-rendering is stable.
+	if again := w.String(); again != got {
+		t.Fatal("second render differs from the first")
+	}
+}
+
+// TestPromWriterSummary: a histogram renders as quantiles + _sum/_count,
+// and an empty histogram still renders a zero-count family.
+func TestPromWriterSummary(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	w := NewPromWriter()
+	w.Summary("lat_us", "latency", h)
+	out := w.String()
+	samples, err := ParsePromText(out)
+	if err != nil {
+		t.Fatalf("summary output does not parse: %v\n%s", err, out)
+	}
+	byKey := make(map[string]float64)
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	if got := byKey["lat_us_count"]; got != 100 {
+		t.Errorf("count %v, want 100", got)
+	}
+	if got := byKey["lat_us_sum"]; got != 5050 {
+		t.Errorf("sum %v, want 5050", got)
+	}
+	p50 := byKey[`lat_us{quantile="0.5"}`]
+	p99 := byKey[`lat_us{quantile="0.99"}`]
+	if p50 < 45 || p50 > 55 || p99 < 95 || p99 > 100 {
+		t.Errorf("quantiles p50=%v p99=%v outside tolerance", p50, p99)
+	}
+
+	empty := NewPromWriter()
+	empty.Summary("none_us", "", NewHistogram())
+	es, err := ParsePromText(empty.String())
+	if err != nil {
+		t.Fatalf("empty summary does not parse: %v", err)
+	}
+	found := false
+	for _, s := range es {
+		if s.Name == "none_us_count" && s.Value == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("empty summary missing zero none_us_count")
+	}
+}
+
+// TestParsePromTextRoundTrip: everything the writer can produce, the
+// strict parser accepts and returns faithfully.
+func TestParsePromTextRoundTrip(t *testing.T) {
+	w := NewPromWriter()
+	w.Counter("c_total", "counts", nil, 3)
+	w.Gauge("g", "", map[string]string{"a": "x", "b": "esc\"\\\n"}, -1.5)
+	samples, err := ParsePromText(w.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(samples))
+	}
+	var g *PromSample
+	for i := range samples {
+		if samples[i].Name == "g" {
+			g = &samples[i]
+		}
+	}
+	if g == nil || g.Value != -1.5 || g.Labels["b"] != "esc\"\\\n" {
+		t.Fatalf("gauge sample mangled: %+v", g)
+	}
+}
+
+func TestParsePromTextAcceptsValidForms(t *testing.T) {
+	in := strings.Join([]string{
+		"# a free-form comment",
+		"# TYPE up untyped",
+		"up 1",
+		"with_ts 4 1712345678",
+		`inf_val{sign="plus"} +Inf`,
+		`inf_val{sign="minus"} -Inf`,
+		"nan_val NaN",
+		"spaced   9.5",
+		"", // blank line
+	}, "\n")
+	samples, err := ParsePromText(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 6 {
+		t.Fatalf("got %d samples, want 6", len(samples))
+	}
+}
+
+func TestParsePromTextRejectsMalformed(t *testing.T) {
+	bad := map[string]string{
+		"bad metric name":    `9leading 1`,
+		"bad label name":     `m{9x="v"} 1`,
+		"colon label name":   `m{a:b="v"} 1`,
+		"unquoted value":     `m{a=v} 1`,
+		"unterminated value": `m{a="v} 1`,
+		"bad escape":         `m{a="\t"} 1`,
+		"no value":           `m{a="v"}`,
+		"garbage value":      `m not-a-number`,
+		"bad timestamp":      `m 1 later`,
+		"dup labels":         `m{a="1",a="2"} 1`,
+		"dup sample":         "m 1\nm 2",
+		"dup TYPE":           "# TYPE m counter\n# TYPE m gauge\nm 1",
+		"unknown TYPE":       "# TYPE m sideways\nm 1",
+		"short TYPE":         "# TYPE m",
+		"short HELP":         "# HELP m",
+		"bad comment":        "#nospace",
+		"missing brace":      `m{a="v" 1`,
+	}
+	for name, in := range bad {
+		if _, err := ParsePromText(in); err == nil {
+			t.Errorf("%s: parser accepted %q", name, in)
+		}
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	h := NewHistogram()
+	if h.Sum() != 0 {
+		t.Fatal("fresh histogram has nonzero sum")
+	}
+	h.Observe(40)
+	h.Observe(2)
+	if got := h.Sum(); got != 42 {
+		t.Fatalf("sum %d, want 42", got)
+	}
+	var nilH *Histogram
+	if nilH.Sum() != 0 {
+		t.Fatal("nil histogram Sum() != 0")
+	}
+}
