@@ -27,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -91,6 +92,16 @@ const (
 	maxRecordBytes = 1 << 20
 	recVersion     = 1
 	frameHdrBytes  = 8 // 4B payload length + 4B CRC-32C
+
+	// MaxSpecBytes is the largest Spec payload EncodeRecord accepts.
+	// Callers that validate request bodies before journaling them should
+	// enforce the same cap, so a spec that passed validation can never
+	// fail to journal.
+	MaxSpecBytes = maxRecordBytes / 2
+	// MaxFieldBytes is the per-string-field cap (ID, Tenant, Priority,
+	// Status, Error). Callers must truncate free-form text (error
+	// messages) to this before journaling.
+	MaxFieldBytes = maxFieldBytes
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -122,8 +133,8 @@ func EncodeRecord(r Record) ([]byte, error) {
 			return nil, fmt.Errorf("journal: encode: %s field %d bytes exceeds cap %d", name, len(s), maxFieldBytes)
 		}
 	}
-	if len(r.Spec) > maxRecordBytes/2 {
-		return nil, fmt.Errorf("journal: encode: spec %d bytes exceeds cap %d", len(r.Spec), maxRecordBytes/2)
+	if len(r.Spec) > MaxSpecBytes {
+		return nil, fmt.Errorf("journal: encode: spec %d bytes exceeds cap %d", len(r.Spec), MaxSpecBytes)
 	}
 	p := make([]byte, 0, 64+len(r.Spec))
 	p = append(p, recVersion, byte(r.Op))
@@ -212,7 +223,7 @@ func DecodeRecord(b []byte) (Record, int, error) {
 	r.Error = c.str()
 	specLen := c.uvarint()
 	if c.err == nil {
-		if specLen > maxRecordBytes/2 || c.off+int(specLen) > len(c.b) {
+		if specLen > MaxSpecBytes || c.off+int(specLen) > len(c.b) {
 			c.err = ErrCorrupt
 		} else if specLen > 0 {
 			r.Spec = append([]byte(nil), c.b[c.off:c.off+int(specLen)]...)
@@ -309,6 +320,13 @@ func Open(dir string, opts Options) (*Journal, *Replay, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
+	// A compaction interrupted before its fsync+rename leaves a .tmp file;
+	// it is incomplete by construction (the rename is what publishes it),
+	// so discard it and keep replaying from the segments it would have
+	// replaced.
+	if err := removeTempSegments(dir); err != nil {
+		return nil, nil, err
+	}
 	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, nil, err
@@ -320,6 +338,28 @@ func Open(dir string, opts Options) (*Journal, *Replay, error) {
 		data, err := os.ReadFile(filepath.Join(dir, segName(seg)))
 		if err != nil {
 			return nil, nil, fmt.Errorf("journal: %w", err)
+		}
+		// A segment that BEGINS with an OpMark is a compaction root: it
+		// was published (renamed into place) only after holding a complete,
+		// fsync'd copy of every live job, so any older segment is a
+		// leftover of a crash between that rename and the old segment's
+		// removal. Replaying both would duplicate every live job's records
+		// — reset the state accumulated so far and finish the deletion the
+		// crash interrupted. (An OpMark appended mid-segment is just the
+		// high-water record and does not reset anything.)
+		if i > 0 {
+			if rec0, _, err0 := DecodeRecord(data); err0 == nil && rec0.Op == OpMark {
+				for _, old := range segs[:i] {
+					if err := os.Remove(filepath.Join(dir, segName(old))); err != nil {
+						return nil, nil, fmt.Errorf("journal: removing stale pre-compaction segment: %w", err)
+					}
+				}
+				rep.Records = rep.Records[:0]
+				j.live = make(map[string]*liveJob)
+				j.liveByte = 0
+				j.highSeq = 0
+				j.stats.Records = 0
+			}
 		}
 		off := 0
 		for off < len(data) {
@@ -374,6 +414,31 @@ func listSegments(dir string) ([]int, error) {
 	return segs, nil
 }
 
+// tmpSuffix marks a compacted segment still being written; only the
+// rename after fsync makes it a real segment.
+const tmpSuffix = ".tmp"
+
+// removeTempSegments deletes half-written compaction outputs.
+func removeTempSegments(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, tmpSuffix) {
+			continue
+		}
+		if _, ok := parseSegName(strings.TrimSuffix(name, tmpSuffix)); !ok {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("journal: removing interrupted compaction %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
 // applyLocked folds one record into the live-job and high-water state.
 func (j *Journal) applyLocked(rec Record, frame []byte) {
 	if rec.Seq > j.highSeq {
@@ -381,6 +446,12 @@ func (j *Journal) applyLocked(rec Record, frame []byte) {
 	}
 	switch rec.Op {
 	case OpSubmit:
+		// Belt and braces: a duplicate submit for a live ID (which the
+		// compaction-root handling in Open should already have prevented)
+		// replaces rather than double-counts the job.
+		if old, ok := j.live[rec.ID]; ok {
+			j.liveByte -= old.bytes
+		}
 		lj := &liveJob{seq: rec.Seq}
 		lj.frames = append(lj.frames, append([]byte(nil), frame...))
 		lj.bytes = int64(len(frame))
@@ -435,23 +506,32 @@ func (j *Journal) Append(rec Record) error {
 }
 
 // compactLocked writes a fresh segment holding the high-water mark plus
-// every live job's frames, fsyncs it, then removes all older segments.
+// every live job's frames, fsyncs it, renames it into place, then removes
+// the older segment. The temp-then-rename order is what makes crash
+// recovery unambiguous: a published segment starting with OpMark is
+// guaranteed complete (Open treats it as a compaction root and drops any
+// older segment a crash left behind), while a segment that never got
+// renamed is a .tmp file Open simply deletes.
 func (j *Journal) compactLocked() error {
 	next := j.seg + 1
 	path := filepath.Join(j.dir, segName(next))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: compact: %w", err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
 	}
 	var size int64
 	mark, err := EncodeRecord(Record{Op: OpMark, Seq: j.highSeq})
 	if err != nil {
-		f.Close()
-		return err
+		return fail(err)
 	}
 	if _, err := f.Write(mark); err != nil {
-		f.Close()
-		return fmt.Errorf("journal: compact: %w", err)
+		return fail(fmt.Errorf("journal: compact: %w", err))
 	}
 	size += int64(len(mark))
 	ids := make([]string, 0, len(j.live))
@@ -464,15 +544,18 @@ func (j *Journal) compactLocked() error {
 	for _, id := range ids {
 		for _, frame := range j.live[id].frames {
 			if _, err := f.Write(frame); err != nil {
-				f.Close()
-				return fmt.Errorf("journal: compact: %w", err)
+				return fail(fmt.Errorf("journal: compact: %w", err))
 			}
 			size += int64(len(frame))
 		}
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("journal: compact fsync: %w", err)
+		return fail(fmt.Errorf("journal: compact fsync: %w", err))
+	}
+	// Publish. The open fd survives the rename (same inode), so f becomes
+	// the active segment file.
+	if err := os.Rename(tmp, path); err != nil {
+		return fail(fmt.Errorf("journal: compact publish: %w", err))
 	}
 	old, oldSeg := j.f, j.seg
 	j.f, j.seg, j.segBytes = f, next, size
@@ -481,9 +564,10 @@ func (j *Journal) compactLocked() error {
 	if err := os.Remove(filepath.Join(j.dir, segName(oldSeg))); err != nil {
 		return fmt.Errorf("journal: compact: removing old segment: %w", err)
 	}
-	// Make the create+delete durable so a crash cannot resurrect the old
+	// Make the rename+delete durable so a crash cannot resurrect the old
 	// segment next to the new one (best effort: not all filesystems
-	// support directory fsync).
+	// support directory fsync; if the old segment does survive, Open's
+	// compaction-root handling discards it).
 	if d, err := os.Open(j.dir); err == nil {
 		d.Sync()
 		d.Close()
@@ -544,6 +628,13 @@ func ReplayDir(dir string) (*Replay, error) {
 		data, err := os.ReadFile(filepath.Join(dir, segName(seg)))
 		if err != nil {
 			return nil, fmt.Errorf("journal: %w", err)
+		}
+		// Same compaction-root rule as Open, minus the cleanup: a segment
+		// beginning with OpMark supersedes everything before it.
+		if i > 0 {
+			if rec0, _, err0 := DecodeRecord(data); err0 == nil && rec0.Op == OpMark {
+				rep.Records = rep.Records[:0]
+			}
 		}
 		off := 0
 		for off < len(data) {

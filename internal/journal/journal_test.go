@@ -349,6 +349,142 @@ func TestCompactionPreservesSubmissionOrder(t *testing.T) {
 	}
 }
 
+// TestCrashBetweenCompactionAndRemoveReplaysOnce simulates the crash
+// window after compactLocked publishes the compacted segment but before
+// it removes the old one: both segments are on disk, and the compacted
+// one repeats every live job's frames. Open must treat the
+// segment-initial OpMark as a compaction root — replaying only from it
+// and deleting the stale segment — so no job's records replay twice.
+func TestCrashBetweenCompactionAndRemoveReplaysOnce(t *testing.T) {
+	dir := t.TempDir()
+	frame := func(rec Record) []byte {
+		b, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	submit := frame(Record{Op: OpSubmit, Seq: 1, ID: "j0001", Tenant: "acme", Priority: "normal", Spec: []byte(`{"kind":"chol"}`)})
+	admit := frame(Record{Op: OpAdmit, ID: "j0001", Demand: 64})
+	// Segment 1: the pre-compaction log — the live job plus a dead one.
+	seg1 := append(append(append([]byte(nil), submit...), admit...),
+		append(frame(Record{Op: OpSubmit, Seq: 2, ID: "j0002", Spec: []byte(`{}`)}),
+			frame(Record{Op: OpComplete, ID: "j0002", Status: "done"})...)...)
+	// Segment 2: exactly what compactLocked publishes — mark + live frames.
+	seg2 := append(append(frame(Record{Op: OpMark, Seq: 2}), submit...), admit...)
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), seg1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(2)), seg2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, replay := range map[string]func() []Record{
+		"Open": func() []Record {
+			j, rep, err := Open(dir, Options{NoSync: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j.Close()
+			if hs := j.HighSeq(); hs != 2 {
+				t.Errorf("HighSeq=%d, want 2", hs)
+			}
+			if st := j.Stats(); st.Segments != 1 || st.LiveJobs != 1 {
+				t.Errorf("Segments=%d LiveJobs=%d after root recovery, want 1 and 1", st.Segments, st.LiveJobs)
+			}
+			if _, err := os.Stat(filepath.Join(dir, segName(1))); !os.IsNotExist(err) {
+				t.Errorf("stale pre-compaction segment still on disk (err=%v)", err)
+			}
+			return rep.Records
+		},
+		"ReplayDir": func() []Record {
+			rep, err := ReplayDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep.Records
+		},
+	} {
+		recs := replay()
+		submits := 0
+		for _, rec := range recs {
+			if rec.Op == OpSubmit && rec.ID == "j0001" {
+				submits++
+			}
+			if rec.ID == "j0002" {
+				t.Errorf("%s: terminal job j0002 resurrected from the stale segment", name)
+			}
+		}
+		if submits != 1 {
+			t.Errorf("%s: %d OpSubmit records for j0001, want exactly 1", name, submits)
+		}
+	}
+}
+
+// TestCrashDuringCompactionKeepsOldSegment: a compaction that dies before
+// its rename leaves only a .tmp file; Open must discard it and replay the
+// old segment untouched — the half-written copy must never shadow it.
+func TestCrashDuringCompactionKeepsOldSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	// A torn compacted segment: a valid mark, but the live frames that
+	// should follow never made it to disk.
+	mark, err := EncodeRecord(Record{Op: OpMark, Seq: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, segName(2)+tmpSuffix)
+	if err := os.WriteFile(tmp, mark, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, rep, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !reflect.DeepEqual(rep.Records, want) {
+		t.Fatalf("replay after interrupted compaction:\n got %+v\nwant %+v", rep.Records, want)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("interrupted compaction tmp file still on disk (err=%v)", err)
+	}
+}
+
+// TestMidSegmentMarkDoesNotReset: an OpMark appended in the middle of a
+// segment is just the high-water record — only a segment-INITIAL mark is
+// a compaction root.
+func TestMidSegmentMarkDoesNotReset(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords() // ends with a mid-segment OpMark
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	rep, err := ReplayDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Records, want) {
+		t.Fatalf("mid-segment mark dropped records:\n got %+v\nwant %+v", rep.Records, want)
+	}
+}
+
 func TestReplayDump(t *testing.T) {
 	rep := &Replay{Records: sampleRecords(), TruncatedBytes: 3}
 	var b bytes.Buffer

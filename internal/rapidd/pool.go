@@ -45,6 +45,11 @@ type task struct {
 // leader and its followers.
 type outcome struct {
 	job Job
+	// err is the leader's terminal cause with its identity intact —
+	// rebuilding it from the job's error string would lose
+	// errors.Is(err, context.DeadlineExceeded/Canceled), and with it the
+	// followers' expired/cancelled classification in setTerminal.
+	err error
 }
 
 // worker pulls tasks in weighted-fair order until the queue is closed by
@@ -129,7 +134,9 @@ func (s *Server) runJob(tk *task) *outcome {
 		}
 	}
 	s.setTerminal(tk.id, StatusFailed, err)
-	return s.snapshot(tk.id)
+	oc := s.snapshot(tk.id)
+	oc.err = err
+	return oc
 }
 
 // setTerminal is the one exit gate of every job: it publishes the final
@@ -209,8 +216,8 @@ func (s *Server) adoptOutcome(id string, oc *outcome) {
 		j.Coalesced = true
 		j.CoalescedWith = src.ID
 	})
-	var err error
-	if src.Status != StatusDone && src.Error != "" {
+	err := oc.err
+	if err == nil && src.Status != StatusDone && src.Error != "" {
 		err = errors.New(src.Error)
 	}
 	s.setTerminal(id, src.Status, err)

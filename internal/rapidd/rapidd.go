@@ -427,7 +427,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // maxSpecBytes bounds a solve request body; a spec is a few hundred bytes,
 // so anything near the cap is garbage and is rejected before decoding.
-const maxSpecBytes = 1 << 20
+// It equals the journal's spec cap so a body that passes the HTTP limit
+// can always be journaled — with and without -journal-dir, the accepted
+// input space is identical.
+const maxSpecBytes = journal.MaxSpecBytes
 
 // parseJobSpec decodes and normalizes a solve request body. It is the
 // whole input surface of the solve endpoint, factored out so the fuzz
@@ -565,7 +568,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) shed(w http.ResponseWriter, tenant string, prio int) {
 	s.metrics.Inc("rapidd.jobs.shed", 1)
 	s.metrics.Inc("rapidd.jobs.shed_"+priorityName(prio), 1)
-	s.tenantStat(tenant).shed++
+	s.mu.Lock()
+	s.tenantStatLocked(tenant).shed++
+	s.mu.Unlock()
 	after := s.cfg.RetryAfter
 	switch prio {
 	case prioLow:
@@ -593,14 +598,28 @@ func (s *Server) journalSubmit(seq uint64, id string, spec JobSpec, body []byte)
 
 // journalAppend writes a non-submit record, surfacing failures as a
 // counter — the job proceeds (the daemon must not wedge on a full disk),
-// but the gap is visible.
+// but the gap is visible. Free-form fields are truncated to the journal's
+// per-field cap first: dropping a completion record because a job's error
+// string was long would resurrect an already-terminal job at replay.
 func (s *Server) journalAppend(rec journal.Record) {
 	if s.jnl == nil {
 		return
 	}
+	rec.Status = truncateJournalField(rec.Status)
+	rec.Error = truncateJournalField(rec.Error)
 	if err := s.jnl.Append(rec); err != nil {
 		s.metrics.Inc("rapidd.journal.errors", 1)
 	}
+}
+
+// truncateJournalField clamps s to the journal's per-field byte cap,
+// marking the cut so a replayed record is recognizably shortened.
+func truncateJournalField(s string) string {
+	if len(s) <= journal.MaxFieldBytes {
+		return s
+	}
+	const marker = "...(truncated)"
+	return s[:journal.MaxFieldBytes-len(marker)] + marker
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {

@@ -51,6 +51,14 @@ func (s *Server) recover(rep *journal.Replay) {
 	for _, rec := range rep.Records {
 		switch rec.Op {
 		case journal.OpSubmit:
+			if _, dup := jobs[rec.ID]; dup {
+				// Belt and braces: the journal's compaction-root handling
+				// should make a duplicate submit impossible; if one slips
+				// through anyway, requeueing the same ID twice would
+				// double-execute the job and double-book its admission.
+				s.metrics.Inc("rapidd.journal.duplicate_submits", 1)
+				continue
+			}
 			rj := &replayedJob{
 				seq: rec.Seq, id: rec.ID, tenant: rec.Tenant,
 				priority: rec.Priority, spec: rec.Spec,
