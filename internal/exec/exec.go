@@ -13,11 +13,19 @@
 // liveness watchdog. The executor is used both as a correctness harness
 // (results must equal a sequential execution; runs under -race) and as the
 // numeric engine of the examples.
+//
+// The executor is event-driven: a processor whose Advance returns Blocked
+// parks on its wake channel instead of spinning. Every remote deposit —
+// data Put, control signal, address-package deposit, slot consumption —
+// posts the destination processor's wake token at the deposit site, and
+// retransmission/fault timers registered through the Backend's WakeAfter
+// contract land on a single timer wheel. A parked processor therefore
+// costs no CPU, which is what keeps oversubscribed runs (more emulated
+// processors than cores) from collapsing.
 package exec
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,6 +63,12 @@ type Config struct {
 	// process. 0 means the 30-second default; raise it when a single
 	// kernel invocation may legitimately run longer than that.
 	BlockTimeout time.Duration
+	// OnStall, if set, is called exactly once, just before the first
+	// watchdog timeout error is reported. Tests use it as an event hook to
+	// release deliberately wedged kernels the moment the watchdog has
+	// observed the stall, instead of sleeping for a fixed multiple of
+	// BlockTimeout and hoping the schedules interleave.
+	OnStall func()
 	// Faults injects deterministic protocol perturbations (delayed address
 	// packages and data messages); see proto.Faults. The zero value
 	// disables injection.
@@ -85,6 +99,14 @@ type Result struct {
 	// Reliability is the per-processor ack/retransmit summary (sender-side
 	// counters plus the duplicate deliveries that processor discarded).
 	Reliability []proto.Reliability
+	// BlockedAdvances is the per-processor count of Advance calls that
+	// returned Blocked — the executor's spin metric. Parked processors are
+	// re-examined only after a wake token or timer, so the count stays
+	// within a small multiple of the machine's event count; a busy-polling
+	// executor shows counts proportional to wall time instead. The value is
+	// timing-dependent and is NOT part of the backend-equivalence
+	// comparison.
+	BlockedAdvances []int
 }
 
 // procProbe is one processor's watchdog-visible gauge set. It is written
@@ -96,20 +118,36 @@ type procProbe struct {
 	pos     atomic.Int32 // position in the task order
 	susp    atomic.Int32 // suspended-send queue depth
 	retrans atomic.Int32 // queued messages awaiting a retransmission timer
+	wait    atomic.Int32 // proto.WaitKind of the last Blocked verdict
+	parked  atomic.Bool  // true while sleeping on the wake channel
 	done    atomic.Bool
-	// The probes are updated on every Advance of a busy-polling goroutine;
-	// pad to a cache line so neighbouring processors' stores do not
-	// false-share.
-	_ [64 - 17]byte
+	// The probes are updated on every Advance; pad to a cache line so
+	// neighbouring processors' stores do not false-share.
+	_ [64 - 22]byte
 }
 
-// storeChanged stores v only on change: the common case (spinning in one protocol
-// state) then costs four plain loads of an uncontended cache line instead
-// of four locked stores.
+// storeChanged stores v only on change: the common case (re-entering one
+// protocol state) then costs plain loads of an uncontended cache line
+// instead of locked stores.
 func storeChanged(g *atomic.Int32, v int32) {
 	if g.Load() != v {
 		g.Store(v)
 	}
+}
+
+// waker is one processor's wake signal: a one-token channel. Deposit sites
+// post the token with a non-blocking send; the owning processor consumes
+// it when parking. The token is permission to re-examine the protocol
+// state, not a message: posting to an awake processor leaves the token for
+// its next park, so a deposit racing with the park decision is never lost
+// — the deposit's store happens before the post, and a token posted after
+// the processor's last Poll makes its park return immediately. A stale
+// token costs one spurious Advance, which is harmless. Padded to a cache
+// line so neighbouring processors' wakes do not false-share (the same fix
+// the probe array needed; see EXPERIMENTS.md).
+type waker struct {
+	ch chan struct{}
+	_  [64 - 8]byte
 }
 
 type engine struct {
@@ -124,16 +162,54 @@ type engine struct {
 	// goroutine, hence the atomics.
 	dupDropped []atomic.Int64
 	probes     []procProbe
+	wakers     []waker
+	wheel      *timerWheel
 
 	numeric bool
 	start   time.Time
 
-	abort  atomic.Bool
-	errMu  sync.Mutex
-	runErr error
+	abort atomic.Bool
+	// stop is closed when the run aborts or completes: parked processors
+	// and the timer wheel unblock on it.
+	stop      chan struct{}
+	stopOnce  sync.Once
+	stallOnce sync.Once
+	errMu     sync.Mutex
+	runErr    error
 }
 
-// dumpAll renders every processor's probe for watchdog escalation.
+// wake posts p's wake token. Non-blocking: if a token is already pending,
+// p will re-examine everything anyway.
+func (e *engine) wake(p graph.Proc) {
+	select {
+	case e.wakers[p].ch <- struct{}{}:
+	default:
+	}
+}
+
+// halt unblocks every parked processor and the timer wheel. Idempotent.
+func (e *engine) halt() { e.stopOnce.Do(func() { close(e.stop) }) }
+
+func (e *engine) fail(err error) {
+	e.errMu.Lock()
+	if e.runErr == nil {
+		e.runErr = err
+	}
+	e.errMu.Unlock()
+	e.abort.Store(true)
+	e.halt()
+}
+
+// stalled fires the OnStall hook (once) when a watchdog timeout is about
+// to be reported.
+func (e *engine) stalled() {
+	if e.cfg.OnStall != nil {
+		e.stallOnce.Do(e.cfg.OnStall)
+	}
+}
+
+// dumpAll renders every processor's probe for watchdog escalation,
+// including why a parked processor is parked.
 func (e *engine) dumpAll() string {
 	var sb strings.Builder
 	for p := range e.probes {
@@ -144,17 +220,15 @@ func (e *engine) dumpAll() string {
 		}
 		fmt.Fprintf(&sb, "\n  proc %d: state %s, position %d, %d suspended sends (%d awaiting retransmission)",
 			p, proto.State(pr.state.Load()), pr.pos.Load(), pr.susp.Load(), pr.retrans.Load())
+		if k := proto.WaitKind(pr.wait.Load()); k != proto.WaitNone {
+			verb := "waiting on"
+			if pr.parked.Load() {
+				verb = "parked on"
+			}
+			fmt.Fprintf(&sb, ", %s %s", verb, k)
+		}
 	}
 	return sb.String()
-}
-
-func (e *engine) fail(err error) {
-	e.errMu.Lock()
-	if e.runErr == nil {
-		e.runErr = err
-	}
-	e.errMu.Unlock()
-	e.abort.Store(true)
 }
 
 // clock is the wall clock passed to the protocol core (seconds since the
@@ -178,14 +252,24 @@ func Run(s *sched.Schedule, plan *mem.Plan, cfg Config) (*Result, error) {
 		ctlRecv:    make([]atomic.Int32, s.G.NumTasks()),
 		dupDropped: make([]atomic.Int64, s.P),
 		probes:     make([]procProbe, s.P),
+		wakers:     make([]waker, s.P),
+		stop:       make(chan struct{}),
 		numeric:    cfg.Kernel != nil,
 		start:      time.Now(),
 	}
+	for i := range e.wakers {
+		e.wakers[i].ch = make(chan struct{}, 1)
+	}
+	e.wheel = newTimerWheel(e)
+	go e.wheel.run()
+	defer e.halt()
+
 	res := &Result{
-		MAPsExecuted:   make([]int, s.P),
-		PeakUnits:      make([]int64, s.P),
-		Occupancy:      make([]proto.Occupancy, s.P),
-		SuspendedSends: make([]int, s.P),
+		MAPsExecuted:    make([]int, s.P),
+		PeakUnits:       make([]int64, s.P),
+		Occupancy:       make([]proto.Occupancy, s.P),
+		SuspendedSends:  make([]int, s.P),
+		BlockedAdvances: make([]int, s.P),
 	}
 	permBufs := make([]map[graph.ObjID][]float64, s.P)
 	stats := make([]proto.Stats, s.P)
@@ -209,6 +293,7 @@ func Run(s *sched.Schedule, plan *mem.Plan, cfg Config) (*Result, error) {
 			res.PeakUnits[p] = out.peak
 			res.Occupancy[p] = out.occ
 			res.SuspendedSends[p] = out.stats.DataSuspended
+			res.BlockedAdvances[p] = out.stats.BlockedAdvances
 			stats[p] = out.stats
 			permBufs[p] = out.perm
 		}(p)
@@ -243,6 +328,9 @@ type procOut struct {
 }
 
 // runProc drives one processor: a proto.Core over the wall-clock backend.
+// The loop has no spin path — a Blocked verdict Polls once and, if nothing
+// moved, parks until a wake token (peer deposit, timer wheel, abort) or
+// the watchdog deadline.
 func (e *engine) runProc(p graph.Proc) (*procOut, error) {
 	ps, err := newProcState(e, p)
 	if err != nil {
@@ -250,8 +338,11 @@ func (e *engine) runProc(p graph.Proc) (*procOut, error) {
 	}
 	core := e.eng.NewCore(p, ps)
 	probe := &e.probes[p]
+	parkTimer := time.NewTimer(time.Hour)
+	defer parkTimer.Stop()
 	for {
-		st, err := core.Advance(e.clock())
+		now := e.clock()
+		st, err := core.Advance(now)
 		if err != nil {
 			return nil, err
 		}
@@ -264,27 +355,33 @@ func (e *engine) runProc(p graph.Proc) (*procOut, error) {
 			// Wall-clock MAPs charge no artificial cost: the real work
 			// (frees, allocations, package deposits) already happened in
 			// the backend. Loop straight into the next Advance.
+			storeChanged(&probe.wait, int32(proto.WaitNone))
 			ps.touch()
 		case proto.RunTask:
+			storeChanged(&probe.wait, int32(proto.WaitNone))
 			if e.numeric {
 				if kerr := e.cfg.Kernel(st.Task, ps.get); kerr != nil {
 					return nil, fmt.Errorf("exec: proc %d task %q: %w", p, e.eng.S.G.Tasks[st.Task].Name, kerr)
 				}
+				// Re-read the clock after the kernel so SND occupancy does
+				// not absorb the EXE time.
+				now = e.clock()
 			}
-			core.TaskDone(e.clock())
+			core.TaskDone(now)
 			// Poll between tasks so peers' address packages are consumed
 			// promptly even on processors that never block.
-			core.Poll(e.clock())
+			core.Poll(now)
 			ps.touch()
-			runtime.Gosched()
 		case proto.Blocked:
+			storeChanged(&probe.wait, int32(st.Wait.Kind))
 			if err := ps.blockCheck(st.State, core); err != nil {
 				return nil, err
 			}
-			if core.Poll(e.clock()) {
+			if core.Poll(now) {
 				ps.touch()
+				continue
 			}
-			runtime.Gosched()
+			ps.park(probe, parkTimer)
 		case proto.Finished:
 			probe.done.Store(true)
 			return &procOut{stats: core.Stats, peak: ps.peak, occ: core.Occupancy(), perm: ps.perm}, nil
@@ -308,7 +405,10 @@ type procState struct {
 	// addrSeen is the highest address-package sequence number consumed from
 	// each source processor; packages at or below it are duplicates.
 	addrSeen []int32
-	peak     int64
+	// scratch is the reusable consume buffer of ReadAddresses — the RA poll
+	// runs in every blocking state and must not allocate in steady state.
+	scratch []*rma.AddrPackage
+	peak    int64
 	// lastProgress stamps the watchdog.
 	lastProgress time.Time
 }
@@ -359,16 +459,45 @@ func (e *engine) bufLen(o graph.ObjID) int64 {
 
 func (ps *procState) touch() { ps.lastProgress = time.Now() }
 
+// park sleeps until a wake token arrives, the engine stops, or the
+// watchdog deadline passes (the caller's next blockCheck then reports the
+// timeout). Correctness of the token protocol: every deposit posts the
+// destination's token after its stores, so any state change that happened
+// after this processor's last Poll leaves a token and the select returns
+// immediately; a token left over from a change already observed costs one
+// spurious Advance.
+func (ps *procState) park(probe *procProbe, t *time.Timer) {
+	remain := ps.e.cfg.BlockTimeout - time.Since(ps.lastProgress)
+	t.Reset(remain)
+	probe.parked.Store(true)
+	select {
+	case <-ps.e.wakers[ps.p].ch:
+	case <-ps.e.stop:
+	case <-t.C:
+		probe.parked.Store(false)
+		return
+	}
+	probe.parked.Store(false)
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
 // blockCheck aborts on engine failure or watchdog expiry. The timeout
 // error names the blocked processor, its protocol state and the task or
 // object it is waiting on, then dumps every processor's protocol state,
-// suspended-send queue depth and retransmit queue depth, so a stall caused
-// by a lost message elsewhere in the machine is diagnosable from the report.
+// suspended-send queue depth, retransmit queue depth and park reason, so a
+// stall caused by a lost message elsewhere in the machine is diagnosable
+// from the report.
 func (ps *procState) blockCheck(st proto.State, core *proto.Core) error {
 	if ps.e.abort.Load() {
 		return fmt.Errorf("exec: proc %d aborted in %s state", ps.p, st)
 	}
 	if time.Since(ps.lastProgress) > ps.e.cfg.BlockTimeout {
+		ps.e.stalled()
 		return fmt.Errorf("exec: proc %d made no progress for %v — %s (possible deadlock; see Config.BlockTimeout)\nmachine state at timeout:%s",
 			ps.p, ps.e.cfg.BlockTimeout, core.BlockedInfo(), ps.e.dumpAll())
 	}
@@ -411,7 +540,9 @@ func (ps *procState) ApplyMAP(m *mem.MAP) error {
 }
 
 // TryNotify deposits the address package for dst through the single-slot
-// mesh; false means dst has not consumed the previous package yet.
+// mesh; false means dst has not consumed the previous package yet. A
+// successful deposit wakes dst: it may be parked waiting for these very
+// addresses (its suspended sends) or for the arrivals they unlock.
 func (ps *procState) TryNotify(dst graph.Proc, objs []graph.ObjID, seq int32) bool {
 	pkg := ps.pkg[dst]
 	if pkg == nil || pkg.Seq != seq {
@@ -431,15 +562,20 @@ func (ps *procState) TryNotify(dst graph.Proc, objs []graph.ObjID, seq int32) bo
 	}
 	delete(ps.pkg, dst)
 	ps.touch()
+	ps.e.wake(dst)
 	return true
 }
 
 // ReadAddresses is RA: consume pending address packages into the handle
 // map. Duplicated deliveries (sequence number at or below the highest
 // consumed from that source) are discarded without being counted.
+// Consuming a slot frees it, so each package's sender is woken: it may be
+// MAP-blocked retrying a deposit into that slot.
 func (ps *procState) ReadAddresses() int {
+	ps.scratch = ps.e.slots.ConsumeAppend(ps.p, ps.scratch[:0])
 	n := 0
-	for _, pkg := range ps.e.slots.Consume(ps.p) {
+	for _, pkg := range ps.scratch {
+		ps.e.wake(pkg.From)
 		if pkg.Seq <= ps.addrSeen[pkg.From] {
 			ps.e.dupDropped[ps.p].Add(1)
 			continue
@@ -461,9 +597,11 @@ func (ps *procState) AddrKnown(snd proto.Send) bool {
 	return ok
 }
 
-// SendData deposits one data message into the remote buffer (RMA Put). A
-// deposit the receiver's sequence check rejects was a duplicate delivery;
-// it is charged to the receiving processor's dedup counter.
+// SendData deposits one data message into the remote buffer (RMA Put) and
+// wakes the receiver, which may be parked on the object's arrival
+// threshold. A deposit the receiver's sequence check rejects was a
+// duplicate delivery; it is charged to the receiving processor's dedup
+// counter.
 func (ps *procState) SendData(snd proto.Send) {
 	b := ps.addr[[2]int32{int32(snd.Obj), int32(snd.Dst)}]
 	var delivered bool
@@ -480,9 +618,15 @@ func (ps *procState) SendData(snd proto.Send) {
 		ps.e.dupDropped[snd.Dst].Add(1)
 	}
 	ps.touch()
+	ps.e.wake(snd.Dst)
 }
 
-func (ps *procState) SendCtl(t graph.TaskID) { ps.e.ctlRecv[t].Add(1) }
+// SendCtl delivers one control signal and wakes the task's processor,
+// which may be parked in REC on the signal count.
+func (ps *procState) SendCtl(t graph.TaskID) {
+	ps.e.ctlRecv[t].Add(1)
+	ps.e.wake(ps.e.eng.S.Assign[t])
+}
 
 func (ps *procState) CtlCount(t graph.TaskID) int32 { return ps.e.ctlRecv[t].Load() }
 
@@ -494,7 +638,15 @@ func (ps *procState) Arrived(o graph.ObjID) (int32, bool) {
 	return b.Arrivals(), true
 }
 
-// FaultWake is a no-op: the wall-clock driver busy-polls in every blocking
-// state, so a delayed or retransmission-pending message is retried without
-// an explicit wake (real time passes on its own).
-func (ps *procState) FaultWake(delay float64) {}
+// WakeAfter is the wall-clock binding of the Backend timer contract: delay
+// 0 posts this processor's own wake token (re-examine as soon as it next
+// parks — used by fault-delayed deposits, which retry on the next
+// attempt); a positive delay registers the deadline on the engine's timer
+// wheel, which posts the token when it expires (retransmission RTOs).
+func (ps *procState) WakeAfter(delay float64) {
+	if delay <= 0 {
+		ps.e.wake(ps.p)
+		return
+	}
+	ps.e.wheel.add(ps.e.clock()+delay, ps.p)
+}

@@ -92,14 +92,13 @@ func TestKernelPanicRecovered(t *testing.T) {
 	}
 }
 
-// TestWatchdogFiresOnArtificialStall replaces a kernel with one that never
-// returns arrival-dependent data by consuming nothing: we simulate a stall
-// by making one processor sleep past the timeout inside a kernel, and
-// verify its peers abort with the watchdog rather than hanging.
+// TestWatchdogFiresOnArtificialStall wedges one processor inside a kernel
+// until the watchdog observes the stall (OnStall hook) and verifies its
+// peers abort with the watchdog rather than hanging. The time.After
+// fallback covers the run-completes path: if no peer ever needed the
+// wedged task's output early, no watchdog fires and the kernel returns on
+// its own.
 func TestWatchdogFiresOnArtificialStall(t *testing.T) {
-	if testing.Short() {
-		t.Skip("timing test")
-	}
 	g := sched.Figure2DAG()
 	assign, err := sched.OwnerComputeAssign(g, 2)
 	if err != nil {
@@ -113,15 +112,20 @@ func TestWatchdogFiresOnArtificialStall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	release := make(chan struct{})
 	_, err = Run(s, plan, Config{
 		Kernel: func(tk graph.TaskID, get func(graph.ObjID) []float64) error {
 			if tk == 0 {
-				time.Sleep(1200 * time.Millisecond)
+				select {
+				case <-release:
+				case <-time.After(2 * time.Second):
+				}
 			}
 			return nil
 		},
 		Init:         func(graph.ObjID, []float64) {},
 		BlockTimeout: 300 * time.Millisecond,
+		OnStall:      func() { close(release) },
 	})
 	// Either a peer times out waiting for task 0's output, or (if the
 	// sleeping task's output was not needed early) the run completes.

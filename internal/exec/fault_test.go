@@ -88,16 +88,15 @@ func TestCholeskyUnderFaultInjection(t *testing.T) {
 }
 
 // TestWatchdogReportsBlockedDetail forces a deterministic stall — the only
-// producer of a cross-processor object sleeps past the timeout — and
-// checks the watchdog error identifies the blocked processor, its protocol
-// state, and the task/object it is waiting on, then dumps every
-// processor's protocol state, suspended-send queue depth and retransmit
-// queue depth (watchdog escalation, so loss-induced stalls are diagnosable
+// producer of a cross-processor object holds its kernel until the watchdog
+// observes the stall (the OnStall hook, so the test waits on the event
+// instead of sleeping a fixed multiple of the timeout) — and checks the
+// watchdog error identifies the blocked processor, its protocol state, and
+// the task/object it is waiting on, then dumps every processor's protocol
+// state, suspended-send queue depth, retransmit queue depth and wait
+// reason (watchdog escalation, so loss-induced stalls are diagnosable
 // machine-wide).
 func TestWatchdogReportsBlockedDetail(t *testing.T) {
-	if testing.Short() {
-		t.Skip("timing test")
-	}
 	b := graph.NewBuilder()
 	a := b.Object("a", 4)
 	bb := b.Object("b", 4)
@@ -120,15 +119,17 @@ func TestWatchdogReportsBlockedDetail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	release := make(chan struct{})
 	_, err = Run(s, plan, Config{
 		Kernel: func(tk graph.TaskID, get func(graph.ObjID) []float64) error {
 			if tk == t0 {
-				time.Sleep(1500 * time.Millisecond)
+				<-release // held exactly until the watchdog fires
 			}
 			return nil
 		},
 		Init:         func(graph.ObjID, []float64) {},
 		BlockTimeout: 250 * time.Millisecond,
+		OnStall:      func() { close(release) },
 	})
 	if err == nil {
 		t.Fatal("expected a watchdog timeout, got success")
@@ -137,12 +138,14 @@ func TestWatchdogReportsBlockedDetail(t *testing.T) {
 	for _, want := range []string{
 		"no progress", "state", "t1",
 		// Escalation: the dump must cover BOTH processors, not just the
-		// blocked one, and report queue depths.
+		// blocked one, and report queue depths plus the reporter's own
+		// wait reason (proc 1 is REC-blocked on a's arrival).
 		"machine state at timeout:",
 		"proc 0: state",
 		"proc 1: state",
 		"suspended sends",
 		"awaiting retransmission",
+		"waiting on arrival",
 	} {
 		if !strings.Contains(msg, want) {
 			t.Errorf("watchdog error missing %q: %v", want, err)

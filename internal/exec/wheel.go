@@ -1,0 +1,146 @@
+package exec
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// timerWheel is the executor's single timer goroutine: WakeAfter
+// registrations from every processor (retransmission RTOs, fault-delay
+// deadlines) land in one min-heap ordered by due time in clock seconds,
+// and the wheel sleeps until the earliest deadline, then posts the due
+// processors' wake tokens. Before the event-driven rework these deadlines
+// were rediscovered by every processor's busy-poll loop; one goroutine
+// replacing p pollers is what "retransmit RTOs move onto a timer wheel"
+// means. Duplicate registrations of the same deadline are harmless — each
+// fires at most one spurious wake — so callers re-arming a still-pending
+// timer (Poll does, on every pass over a waiting retransmission) need no
+// dedup handshake.
+type timerWheel struct {
+	e    *engine
+	mu   sync.Mutex
+	h    wheelHeap
+	kick chan struct{} // posted when a new earliest deadline needs re-arming
+}
+
+func newTimerWheel(e *engine) *timerWheel {
+	return &timerWheel{e: e, kick: make(chan struct{}, 1)}
+}
+
+// add registers a wake for p at the absolute clock time due. If due
+// precedes everything pending, the wheel goroutine is kicked to re-arm.
+func (w *timerWheel) add(due float64, p graph.Proc) {
+	w.mu.Lock()
+	w.h.push(wheelEntry{due: due, p: p})
+	first := w.h[0].due == due && w.h[0].p == p
+	w.mu.Unlock()
+	if first {
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// run is the wheel goroutine: fire everything due, sleep until the next
+// deadline (or until kicked with an earlier one), exit when the engine
+// stops.
+func (w *timerWheel) run() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		w.mu.Lock()
+		now := w.e.clock()
+		for len(w.h) > 0 && w.h[0].due <= now {
+			p := w.h.pop().p
+			w.mu.Unlock()
+			w.e.wake(p)
+			w.mu.Lock()
+			now = w.e.clock()
+		}
+		wait := time.Duration(-1)
+		if len(w.h) > 0 {
+			wait = time.Duration((w.h[0].due - now) * float64(time.Second))
+			if wait <= 0 {
+				wait = time.Nanosecond
+			}
+		}
+		w.mu.Unlock()
+		if wait < 0 {
+			// Nothing pending: sleep until a registration or shutdown.
+			select {
+			case <-w.kick:
+			case <-w.e.stop:
+				return
+			}
+			continue
+		}
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+		case <-w.kick:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		case <-w.e.stop:
+			return
+		}
+	}
+}
+
+// wheelEntry is one registered deadline.
+type wheelEntry struct {
+	due float64
+	p   graph.Proc
+}
+
+// wheelHeap is a hand-rolled min-heap on due time. container/heap would
+// box every Push through its interface; the wheel sits on the
+// retransmission hot path of faulted runs, so pushes must not allocate.
+type wheelHeap []wheelEntry
+
+func (h *wheelHeap) push(e wheelEntry) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if s[parent].due <= s[i].due {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *wheelHeap) pop() wheelEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && s[l].due < s[min].due {
+			min = l
+		}
+		if r < len(s) && s[r].due < s[min].due {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}

@@ -466,12 +466,13 @@ func (be *simBackend) Arrived(o graph.ObjID) (int32, bool) {
 	return be.arrivals[o], true
 }
 
-// FaultWake schedules a future wake: unlike the busy-polling executor,
-// nothing else is guaranteed to re-examine this processor after fault
-// injection delayed one of its messages or the reliability layer armed a
-// retransmission timer. delay 0 (a plain delay fault) wakes one address
-// latency later; a positive delay wakes exactly when the timer expires.
-func (be *simBackend) FaultWake(delay float64) {
+// WakeAfter schedules a future wake event: the simulator's binding of the
+// Backend timer contract. Nothing else is guaranteed to re-examine this
+// processor after fault injection delayed one of its messages or the
+// reliability layer armed a retransmission timer. delay 0 (a plain delay
+// fault) wakes one address latency later; a positive delay wakes exactly
+// when the timer expires.
+func (be *simBackend) WakeAfter(delay float64) {
 	if delay <= 0 {
 		delay = be.m.model.AddrLatency
 	}

@@ -25,6 +25,7 @@ package proto
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/mem"
@@ -222,13 +223,16 @@ type Backend interface {
 	// Arrived returns the arrival counter of local object o and whether o
 	// is currently allocated.
 	Arrived(o graph.ObjID) (int32, bool)
-	// FaultWake guarantees a Poll on this processor at least delay clock
-	// seconds from now (delay 0: as soon as convenient), after fault
-	// injection delayed a message or the reliability layer armed a
-	// retransmission timer. The wall-clock backend busy-polls anyway
-	// (no-op); the virtual-clock backend schedules a wake event, since
-	// nothing else might re-examine the processor.
-	FaultWake(delay float64)
+	// WakeAfter registers a wake timer: the backend must guarantee this
+	// processor's driver runs Poll and Advance again no later than delay
+	// clock seconds from now (delay 0: as soon as possible). The Core arms
+	// it whenever its next step depends on time rather than on a peer's
+	// deposit — fault-delayed messages and retransmission timers (RTO with
+	// backoff) — so a driver may park the processor between events without
+	// losing liveness. The contract is binding for both backends: the
+	// wall-clock executor schedules the wake on its timer wheel, the
+	// virtual-clock simulator pushes a wake event.
+	WakeAfter(delay float64)
 }
 
 // Engine is the immutable shared state of one protocol run: the schedule,
@@ -241,21 +245,118 @@ type Engine struct {
 	Faults Faults
 }
 
-// NewEngine derives the protocol tables for the schedule. The plan must be
-// executable (use mem.NewPlan and check Executable first).
+// deriveMemo caches Derive results by schedule identity. Tables are pure
+// functions of the schedule and are never written after Derive, so every
+// engine over the same *Schedule — repeated executor runs of a cached
+// plan, the two backends of an equivalence check — can share one set. The
+// ring is small and overwritten FIFO; the memo exists to amortize the
+// inspector phase across executions of one schedule, not to be a cache of
+// record. Callers must treat schedules as immutable once built (every
+// schedule in this repository is).
+var (
+	deriveMu   sync.Mutex
+	deriveMemo [8]struct {
+		s *sched.Schedule
+		t *Tables
+	}
+	deriveNext int
+)
+
+func deriveCached(s *sched.Schedule) *Tables {
+	deriveMu.Lock()
+	for i := range deriveMemo {
+		if deriveMemo[i].s == s {
+			t := deriveMemo[i].t
+			deriveMu.Unlock()
+			return t
+		}
+	}
+	deriveMu.Unlock()
+	t := Derive(s)
+	deriveMu.Lock()
+	deriveMemo[deriveNext] = struct {
+		s *sched.Schedule
+		t *Tables
+	}{s, t}
+	deriveNext = (deriveNext + 1) % len(deriveMemo)
+	deriveMu.Unlock()
+	return t
+}
+
+// NewEngine derives the protocol tables for the schedule (memoized by
+// schedule identity — the inspector runs once per schedule, not once per
+// execution). The plan must be executable (use mem.NewPlan and check
+// Executable first).
 func NewEngine(s *sched.Schedule, plan *mem.Plan, f Faults) (*Engine, error) {
 	if !plan.Executable {
 		return nil, fmt.Errorf("proto: plan is not executable under capacity %d", plan.Capacity)
 	}
-	return &Engine{S: s, Plan: plan, Tables: Derive(s), Faults: f}, nil
+	return &Engine{S: s, Plan: plan, Tables: deriveCached(s), Faults: f}, nil
+}
+
+// WaitKind classifies what a Blocked processor is waiting on. Drivers use
+// it to decide what event can unblock the processor (and watchdogs report
+// it, so a stall dump says not just *that* a processor is parked but *why*).
+type WaitKind int8
+
+const (
+	// WaitNone: the processor is not blocked.
+	WaitNone WaitKind = iota
+	// WaitArrival: REC — a volatile input's arrival counter is below its
+	// threshold; a peer's data deposit unblocks.
+	WaitArrival
+	// WaitCtl: REC — cross-processor control signals outstanding; a peer's
+	// task completion unblocks.
+	WaitCtl
+	// WaitAddrSlot: MAP — a destination has not consumed the previous
+	// address package; the destination's next RA unblocks.
+	WaitAddrSlot
+	// WaitAddr: SND/END — a queued data message's remote buffer address has
+	// not been learned yet; the consumer's address package unblocks.
+	WaitAddr
+	// WaitTimer: a retransmission (or fault-delay) timer must expire before
+	// the next transmission attempt; only time unblocks.
+	WaitTimer
+)
+
+var waitNames = [...]string{"none", "arrival", "ctl", "addr-slot", "addr", "timer"}
+
+func (k WaitKind) String() string {
+	if k < 0 || int(k) >= len(waitNames) {
+		return fmt.Sprintf("WaitKind(%d)", int(k))
+	}
+	return waitNames[k]
+}
+
+// Wait describes what a Blocked processor is waiting on: the reason plus
+// the identity of the thing being waited for. It is diagnostic AND
+// operational: an event-driven driver may park the processor until the
+// matching event (or Due, when a timer is armed) instead of polling.
+type Wait struct {
+	Kind WaitKind
+	// Obj is the waited-on object (WaitArrival, WaitAddr).
+	Obj graph.ObjID
+	// Task is the gated task (WaitArrival, WaitCtl).
+	Task graph.TaskID
+	// Dst is the peer processor involved (WaitAddrSlot, WaitAddr).
+	Dst graph.Proc
+	// Have/Want are counter progress for WaitArrival and WaitCtl.
+	Have, Want int32
+	// Due is the earliest armed retransmission deadline among this
+	// processor's queued messages, in clock seconds (0: no timer armed).
+	// The driver's WakeAfter timer already covers it; Due makes the
+	// deadline visible to watchdogs and tests.
+	Due float64
 }
 
 // StatusKind classifies what a Core needs from its driver next.
 type StatusKind int8
 
 const (
-	// Blocked: the processor cannot advance. The driver must Poll (RA/CQ)
-	// and call Advance again once something may have changed.
+	// Blocked: the processor cannot advance. Status.Wait says what it is
+	// waiting on. The driver must Poll (RA/CQ) and call Advance again once
+	// something may have changed — for an event-driven driver, after the
+	// next wake signal or WakeAfter timer.
 	Blocked StatusKind = iota
 	// RunTask: the driver runs (executor) or charges (simulator) the
 	// kernel of Status.Task, then calls TaskDone.
@@ -273,6 +374,8 @@ type Status struct {
 	Kind StatusKind
 	// State is the blocking protocol state when Kind == Blocked.
 	State State
+	// Wait is what the processor is waiting on when Kind == Blocked.
+	Wait Wait
 	// Task is the task to run when Kind == RunTask.
 	Task graph.TaskID
 	// MAP is the executed allocation point when Kind == RunMAP.
@@ -310,6 +413,13 @@ type Stats struct {
 	// Acked is the number of transmissions confirmed delivered exactly
 	// once (data messages plus address packages).
 	Acked int
+	// BlockedAdvances counts the Advance calls that returned Blocked — the
+	// driver-visible spin count. An event-driven driver advances a blocked
+	// processor only when something changed, so this stays within a small
+	// factor of the machine's message count; a busy-polling driver shows
+	// orders of magnitude more. It is timing-dependent and deliberately NOT
+	// part of the backend-equivalence comparison.
+	BlockedAdvances int
 }
 
 // Reliability summarizes the ack/retransmit layer for one processor.
@@ -498,7 +608,8 @@ func (c *Core) Advance(now float64) (Status, error) {
 				return Status{}, c.err
 			}
 			c.enter(StateMAP, now)
-			return Status{Kind: Blocked, State: StateMAP}, nil
+			c.Stats.BlockedAdvances++
+			return Status{Kind: Blocked, State: StateMAP, Wait: c.pendWait(now)}, nil
 		}
 	}
 	// MAP state: at most one allocation point per order position.
@@ -517,7 +628,8 @@ func (c *Core) Advance(now float64) (Status, error) {
 	if int(c.pos) >= len(c.order) {
 		if len(c.outq) > 0 {
 			c.enter(StateEND, now)
-			return Status{Kind: Blocked, State: StateEND}, nil
+			c.Stats.BlockedAdvances++
+			return Status{Kind: Blocked, State: StateEND, Wait: c.outWait(now)}, nil
 		}
 		c.closeOcc(now)
 		return Status{Kind: Finished}, nil
@@ -531,11 +643,66 @@ func (c *Core) Advance(now float64) (Status, error) {
 	}
 	if !ok {
 		c.enter(StateREC, now)
-		return Status{Kind: Blocked, State: StateREC, Task: t}, nil
+		c.Stats.BlockedAdvances++
+		return Status{Kind: Blocked, State: StateREC, Task: t, Wait: c.recWait(t)}, nil
 	}
 	// EXE state: hand the task to the driver.
 	c.enter(StateEXE, now)
 	return Status{Kind: RunTask, Task: t}, nil
+}
+
+// pendWait derives the Wait of a MAP-blocked processor from its pending
+// address packages: an occupied destination slot if any package could go
+// out now, otherwise the earliest retransmission deadline.
+func (c *Core) pendWait(now float64) Wait {
+	w := Wait{Kind: WaitTimer}
+	for i := range c.pend {
+		pk := &c.pend[i]
+		if pk.due > now {
+			if w.Due == 0 || pk.due < w.Due {
+				w.Due = pk.due
+			}
+			continue
+		}
+		if w.Kind != WaitAddrSlot {
+			w.Kind, w.Dst = WaitAddrSlot, pk.dst
+		}
+	}
+	return w
+}
+
+// outWait derives the Wait of an END-blocked processor from the outbound
+// queue's head: an unlearned remote address, or a running retransmission
+// timer. Due is the earliest deadline across the whole queue.
+func (c *Core) outWait(now float64) Wait {
+	w := Wait{Kind: WaitAddr, Obj: c.outq[0].snd.Obj, Dst: c.outq[0].snd.Dst}
+	if c.be.AddrKnown(c.outq[0].snd) {
+		w.Kind = WaitTimer
+	}
+	for i := range c.outq {
+		if due := c.outq[i].due; due > now && (w.Due == 0 || due < w.Due) {
+			w.Due = due
+		}
+	}
+	return w
+}
+
+// recWait derives the Wait of a REC-blocked processor: the first unmet
+// control-signal or arrival requirement of the gating task. Counters are
+// re-read from the backend, so a deposit racing with the blocked verdict
+// may leave no unmet requirement; the generic fallback is harmless — the
+// driver's next Advance will see the task ready.
+func (c *Core) recWait(t graph.TaskID) Wait {
+	if have, want := c.be.CtlCount(t), c.eng.Tables.CtlNeed[t]; have < want {
+		return Wait{Kind: WaitCtl, Task: t, Have: have, Want: want}
+	}
+	for _, need := range c.eng.Tables.Needs[t] {
+		got, ok := c.be.Arrived(need.Obj)
+		if !ok || got < need.MinArrivals {
+			return Wait{Kind: WaitArrival, Task: t, Obj: need.Obj, Have: got, Want: need.MinArrivals}
+		}
+	}
+	return Wait{Kind: WaitArrival, Task: t}
 }
 
 // queueNotify stages the MAP's address packages in deterministic
@@ -545,7 +712,7 @@ func (c *Core) queueNotify(m *mem.MAP) {
 		return
 	}
 	dsts := make([]graph.Proc, 0, len(m.Notify))
-	for dst := range m.Notify {
+	for dst := range m.Notify { //det:ok collected and sorted below
 		dsts = append(dsts, dst)
 	}
 	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
@@ -573,12 +740,12 @@ func (c *Core) flushNotify(now float64) bool {
 		if pk.delayed {
 			pk.delayed = false
 			c.Stats.FaultsInjected++
-			c.be.FaultWake(0)
+			c.be.WakeAfter(0)
 			kept = append(kept, pk)
 			continue
 		}
 		if pk.due > now {
-			c.be.FaultWake(pk.due - now)
+			c.be.WakeAfter(pk.due - now)
 			kept = append(kept, pk)
 			continue
 		}
@@ -597,7 +764,7 @@ func (c *Core) flushNotify(now float64) bool {
 				continue
 			}
 			pk.due = now + c.eng.Faults.rto(pk.attempt)
-			c.be.FaultWake(pk.due - now)
+			c.be.WakeAfter(pk.due - now)
 			kept = append(kept, pk)
 			continue
 		}
@@ -650,7 +817,7 @@ func (c *Core) transmit(m *outSend, now float64) bool {
 			return false
 		}
 		m.due = now + c.eng.Faults.rto(m.attempt)
-		c.be.FaultWake(m.due - now)
+		c.be.WakeAfter(m.due - now)
 		return false
 	}
 	c.be.SendData(m.snd)
@@ -700,7 +867,7 @@ func (c *Core) TaskDone(now float64) {
 			c.Stats.FaultsInjected++
 			c.Stats.DataSuspended++
 			c.pushOut(outSend{snd: snd})
-			c.be.FaultWake(0)
+			c.be.WakeAfter(0)
 			continue
 		}
 		if (len(c.outq) > 0 && c.outKeys[sendKey(snd)] > 0) || !c.be.AddrKnown(snd) {
@@ -747,7 +914,7 @@ func (c *Core) Poll(now float64) bool {
 				// same key must wait behind it to keep versions in order.
 				blocked[k] = true
 				kept = append(kept, m)
-				c.be.FaultWake(m.due - now)
+				c.be.WakeAfter(m.due - now)
 				continue
 			}
 			if !c.transmit(&m, now) {

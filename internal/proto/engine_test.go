@@ -182,7 +182,7 @@ func (be *loopBackend) Arrived(o graph.ObjID) (int32, bool) {
 	return be.arrivals[o], true
 }
 
-func (be *loopBackend) FaultWake(delay float64) {} // round-robin re-examines everyone
+func (be *loopBackend) WakeAfter(delay float64) {} // round-robin re-examines everyone
 
 func planFor(t *testing.T, s *sched.Schedule) *mem.Plan {
 	t.Helper()

@@ -100,7 +100,7 @@ func Derive(s *sched.Schedule) *Tables {
 				perObj[e.Obj] = e.From
 			}
 		}
-		for o, u := range perObj {
+		for o, u := range perObj { //det:ok each key writes distinct map entries; no order dependence
 			k := key{o, vp}
 			m, ok := versionProducers[k]
 			if !ok {
@@ -113,10 +113,10 @@ func Derive(s *sched.Schedule) *Tables {
 	}
 
 	// Assign sequence numbers per (obj, dst) by producer schedule position.
-	seqOf := make(map[[3]int32]int32) // (producer, obj, dst) -> seq
-	for k, prods := range versionProducers {
+	seqOf := make(map[[3]int32]int32)        // (producer, obj, dst) -> seq
+	for k, prods := range versionProducers { //det:ok per-key results independent; Sends re-sorted below
 		us := make([]graph.TaskID, 0, len(prods))
-		for u := range prods {
+		for u := range prods { //det:ok collected and sorted below
 			us = append(us, u)
 		}
 		sort.Slice(us, func(a, b int) bool { return s.Pos[us[a]] < s.Pos[us[b]] })

@@ -37,6 +37,12 @@ type admission struct {
 	defaultQuota int64
 	tenantUse    map[string]int64
 	tenantPeak   map[string]int64
+
+	// onHeadroom, when set, fires after any state change that can give a
+	// previously-stuck tenant admission headroom (a release, or a waiter
+	// leaving the queue). The dispatch queue uses it to re-examine tasks
+	// it skipped for lack of headroom. Called with mu NOT held.
+	onHeadroom func()
 }
 
 type waiter struct {
@@ -120,6 +126,7 @@ func (a *admission) acquireCtx(ctx context.Context, tenant string, demand int64,
 			a.queue = append(a.queue[:i], a.queue[i+1:]...)
 			a.pump()
 			a.mu.Unlock()
+			a.notifyHeadroom()
 			return ctx.Err()
 		}
 	}
@@ -153,6 +160,40 @@ func (a *admission) release(tenant string, demand int64) {
 	}
 	a.pump()
 	a.mu.Unlock()
+	a.notifyHeadroom()
+}
+
+// notifyHeadroom invokes the headroom hook outside the lock (the hook
+// broadcasts on the dispatch queue's condition variable, whose lock must
+// never nest inside a.mu — the queue's pop path holds its own lock while
+// calling dispatchable, which takes a.mu).
+func (a *admission) notifyHeadroom() {
+	if a.onHeadroom != nil {
+		a.onHeadroom()
+	}
+}
+
+// dispatchable reports whether handing another of the tenant's jobs to a
+// worker can make progress now: the tenant must have queue-free admission
+// (no waiter of its own already parked — per-tenant FIFO means a new job
+// would just park behind it) and quota headroom (a tenant sitting exactly
+// at its cap cannot admit anything more until it releases). The check is a
+// heuristic, not a reservation: a job's demand is only known after
+// compilation, so a dispatched job may still park at admission briefly —
+// but a tenant this predicate rejects would park its job with certainty,
+// wedging a pool slot for no gain.
+func (a *admission) dispatchable(tenant string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, w := range a.queue {
+		if w.tenant == tenant {
+			return false
+		}
+	}
+	if q := a.quota(tenant); q > 0 && a.tenantUse[tenant] >= q {
+		return false
+	}
+	return true
 }
 
 // pump admits queued waiters while budgets allow. A waiter blocked only

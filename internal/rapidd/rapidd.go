@@ -379,6 +379,14 @@ func Open(cfg Config) (*Server, error) {
 		tenants:   make(map[string]*tenantStats),
 		verified:  make(map[string]bool),
 	}
+	// Quota-aware dispatch: the WFQ pop consults the admission ledgers so
+	// workers skip tenants with no headroom (their jobs would only park at
+	// admission, wedging pool slots), and admission wakes the queue when
+	// headroom reappears. This keeps tenant isolation intact at any pool
+	// size — a small-Workers deployment cannot have its whole pool wedged
+	// behind one tenant's quota.
+	s.queue.dispatchable = s.adm.dispatchable
+	s.adm.onHeadroom = s.queue.wake
 	if cfg.JournalDir != "" {
 		jnl, rep, err := journal.Open(cfg.JournalDir, journal.Options{NoSync: cfg.JournalNoSync})
 		if err != nil {

@@ -114,20 +114,21 @@ func TestTenantQuotaIsolation(t *testing.T) {
 	waitStatus(t, ts, j1.ID, StatusRunning, StatusDone)
 
 	// Second greedy job: same structure (same demand), different hold so
-	// it cannot coalesce. The tenant is at its quota, so it must park at
-	// admission even though 2×demand of machine budget is free.
+	// it cannot coalesce. The tenant is at its quota, so quota-aware
+	// dispatch keeps the job in the ready queue — no worker picks it up
+	// only to park at admission — even though 2×demand of machine budget
+	// is free.
 	g2 := spec
 	g2.Tenant = "greedy"
 	g2.HoldMS = 1
 	j2 := solveAsync(t, ts, g2)
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		_, queued := srv.adm.tenantSnapshot()
-		if queued["greedy"] >= 1 {
+		if d := srv.queue.depths(); d["greedy"] >= 1 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("greedy job 2 never queued at its quota")
+			t.Fatal("greedy job 2 never held back at its quota")
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -139,8 +140,11 @@ func TestTenantQuotaIsolation(t *testing.T) {
 	if jo.Status != StatusDone {
 		t.Fatalf("other tenant blocked behind greedy quota: %s (%s)", jo.Status, jo.Error)
 	}
-	if _, queued := srv.adm.tenantSnapshot(); queued["greedy"] != 1 {
-		t.Fatalf("greedy waiters %d while other completed, want 1", queued["greedy"])
+	if d := srv.queue.depths(); d["greedy"] != 1 {
+		t.Fatalf("greedy queue depth %d while other completed, want 1", d["greedy"])
+	}
+	if _, queued := srv.adm.tenantSnapshot(); queued["greedy"] != 0 {
+		t.Fatalf("greedy parked %d waiters at admission; dispatch should have held them in the queue", queued["greedy"])
 	}
 
 	// The stats endpoint exposes the per-tenant ledgers while they hold.
@@ -160,6 +164,84 @@ func TestTenantQuotaIsolation(t *testing.T) {
 	}
 	if inUse, _ := srv.adm.tenantSnapshot(); len(inUse) != 0 {
 		t.Fatalf("tenant ledger leaked: %v", inUse)
+	}
+}
+
+// TestQuotaAwareDispatchSmallPool is the small-pool hog/victim regression
+// for quota-aware dispatch: with only two workers and a hog tenant whose
+// quota fits exactly one job, the hog's backlog must stay in the ready
+// queue — not be handed to the second worker, which would park at
+// admission and wedge the whole pool — so a victim tenant's job completes
+// while the hog still holds. Pre-fix, worker dispatch ignored admission
+// headroom and tenant isolation silently required Workers to exceed the
+// quota-blocked backlog.
+func TestQuotaAwareDispatchSmallPool(t *testing.T) {
+	spec := JobSpec{Kind: "chol", N: 100, Seed: 7, Procs: 3}
+	probe := New(Config{})
+	tsProbe := httptest.NewServer(probe)
+	ref := solveSync(t, tsProbe, spec)
+	tsProbe.Close()
+	if ref.Status != StatusDone || ref.DemandUnits <= 0 {
+		t.Fatalf("probe job: %s demand=%d", ref.Status, ref.DemandUnits)
+	}
+	demand := ref.DemandUnits
+
+	srv := New(Config{
+		AvailMem:     demand * 4,
+		TenantQuotas: map[string]int64{"hog": demand}, // fits exactly one job
+		Workers:      2,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Job A books the hog's whole quota and holds it; wait for Running so
+	// the quota is provably booked before the backlog exists.
+	a := spec
+	a.Tenant = "hog"
+	a.HoldMS = 2500
+	ja := solveAsync(t, ts, a)
+	waitStatus(t, ts, ja.ID, StatusRunning, StatusDone)
+
+	var backlog []Job
+	for i := 0; i < 3; i++ {
+		b := spec
+		b.Tenant = "hog"
+		b.Seed = uint64(200 + i) // distinct specs: no in-flight coalescing
+		backlog = append(backlog, solveAsync(t, ts, b))
+	}
+
+	// The victim sails past the hog backlog on the free worker.
+	v := spec
+	v.Tenant = "victim"
+	jv := solveSync(t, ts, v)
+	if jv.Status != StatusDone {
+		t.Fatalf("victim wedged behind hog backlog on a 2-worker pool: %s (%s)", jv.Status, jv.Error)
+	}
+	if j := getJob(t, ts, ja.ID, false); j.Status != StatusRunning {
+		t.Fatalf("hog job A already %s — victim completion proves nothing, raise its hold", j.Status)
+	}
+	// The old failure signature is a hog job parked AT ADMISSION (a worker
+	// picked it up and wedged); quota-aware dispatch keeps the backlog in
+	// the WFQ instead.
+	if _, queued := srv.adm.tenantSnapshot(); queued["hog"] != 0 {
+		t.Fatalf("%d hog jobs parked at admission: dispatch handed out non-dispatchable work", queued["hog"])
+	}
+	if d := srv.queue.depths(); d["hog"] != 3 {
+		t.Fatalf("hog ready-queue depth %d, want 3 (backlog waits in the queue)", d["hog"])
+	}
+
+	// Once A releases, the headroom wake drains the backlog under the
+	// quota; nothing is stranded by the dispatch filter.
+	for _, j := range backlog {
+		if got := getJob(t, ts, j.ID, true); got.Status != StatusDone {
+			t.Fatalf("backlog job %s: %s (%s)", j.ID, got.Status, got.Error)
+		}
+	}
+	if got := getJob(t, ts, ja.ID, true); got.Status != StatusDone {
+		t.Fatalf("hog job A: %s (%s)", got.Status, got.Error)
+	}
+	if _, inUse, _, queuedN := srv.adm.snapshot(); inUse != 0 || queuedN != 0 {
+		t.Fatalf("ledgers leaked: inUse=%d queued=%d", inUse, queuedN)
 	}
 }
 

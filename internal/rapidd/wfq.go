@@ -63,6 +63,16 @@ type wfqueue struct {
 	vtime   float64
 	tenants map[string]*tenantQ
 	weight  func(tenant string) float64
+
+	// dispatchable, when set, gates the pop: a tenant for which it reports
+	// false is skipped, so workers never pick up a job that would only park
+	// at admission and wedge a pool slot (tenant isolation must hold at any
+	// Workers size, not just Workers > quota-blocked backlog). The filter
+	// is bypassed once the queue is closed: drain must pop every remaining
+	// task so its job can terminate (cancelled or run), not strand it.
+	// Whoever opens headroom must wake() the queue, or skipped tasks sleep
+	// until the next unrelated signal.
+	dispatchable func(tenant string) bool
 }
 
 type tenantQ struct {
@@ -198,6 +208,9 @@ func (q *wfqueue) popLocked() *task {
 		if len(tq.tasks) == 0 {
 			continue
 		}
+		if !q.closed && q.dispatchable != nil && !q.dispatchable(name) {
+			continue
+		}
 		if best == nil || tq.tasks[0].vfinish < best.tasks[0].vfinish ||
 			(tq.tasks[0].vfinish == best.tasks[0].vfinish && name < bestName) {
 			best, bestName = tq, name
@@ -213,6 +226,13 @@ func (q *wfqueue) popLocked() *task {
 		q.vtime = tk.vstart
 	}
 	return tk
+}
+
+// wake re-runs every parked worker's pop. Admission calls it (via the
+// headroom hook) when a release or a departing waiter may have turned a
+// skipped tenant dispatchable again.
+func (q *wfqueue) wake() {
+	q.cond.Broadcast()
 }
 
 // close stops intake (reserve still succeeds only for forced recovery

@@ -23,6 +23,7 @@ package rma
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -148,32 +149,84 @@ func (m *Memory) Lookup(o graph.ObjID) (*Buffer, bool) {
 }
 
 // AddrSlots is the mesh of single-slot address buffers: slot (dst, src)
-// holds at most one in-flight package from src to dst.
+// holds at most one in-flight package from src to dst. Each destination
+// additionally has a pending bitmask (one bit per source, in 64-bit
+// words): a sender raises its bit after filling the slot, and the RA
+// operation swaps out whole mask words and visits only flagged slots —
+// O(p/64) atomic operations when idle instead of O(p) slot swaps per poll,
+// which is what keeps the executor's per-blocking-state RA cheap at high
+// processor counts.
 type AddrSlots struct {
 	p     int
+	words int // mask words per destination
 	slots []atomic.Pointer[AddrPackage]
+	masks []paddedMask // dst-major, words per dst on their own cache lines
+}
+
+// paddedMask is one 64-source pending word, padded so different
+// destinations' masks (written by senders, swapped by the consumer) do not
+// false-share.
+type paddedMask struct {
+	w atomic.Uint64
+	_ [56]byte
 }
 
 // NewAddrSlots returns the slot mesh for p processors.
 func NewAddrSlots(p int) *AddrSlots {
-	return &AddrSlots{p: p, slots: make([]atomic.Pointer[AddrPackage], p*p)}
+	words := (p + 63) / 64
+	return &AddrSlots{
+		p:     p,
+		words: words,
+		slots: make([]atomic.Pointer[AddrPackage], p*p),
+		masks: make([]paddedMask, p*words),
+	}
 }
 
 // TrySend attempts to deposit a package from src into dst's slot. It
-// reports false if the previous package has not been consumed yet.
+// reports false if the previous package has not been consumed yet. The
+// pending bit is raised only after the slot is filled, so a consumer that
+// observes the bit always finds the package.
 func (a *AddrSlots) TrySend(dst, src graph.Proc, pkg *AddrPackage) bool {
-	return a.slots[int(dst)*a.p+int(src)].CompareAndSwap(nil, pkg)
+	if !a.slots[int(dst)*a.p+int(src)].CompareAndSwap(nil, pkg) {
+		return false
+	}
+	// CAS loop rather than atomic.Uint64.Or: the module targets go1.22,
+	// which predates the atomic bitwise ops. Contention is bounded by the
+	// senders of one destination racing the consumer's Swap(0).
+	m := &a.masks[int(dst)*a.words+int(src)/64].w
+	bit := uint64(1) << (uint(src) % 64)
+	for {
+		old := m.Load()
+		if old&bit != 0 || m.CompareAndSwap(old, old|bit) {
+			return true
+		}
+	}
 }
 
 // Consume removes and returns all pending packages addressed to dst (the RA
 // operation). It returns nil when nothing is pending.
 func (a *AddrSlots) Consume(dst graph.Proc) []*AddrPackage {
-	var out []*AddrPackage
+	return a.ConsumeAppend(dst, nil)
+}
+
+// ConsumeAppend is Consume with a caller-supplied buffer: pending packages
+// are appended to buf and the extended slice returned. The RA operation
+// runs in every blocking state of the protocol, so the executor reuses one
+// scratch slice per processor to keep the steady-state poll allocation-free.
+// A bit whose sender raced the mask swap stays set for the next poll; the
+// package is simply consumed then (the wake token the executor posts after
+// TrySend guarantees that next poll happens).
+func (a *AddrSlots) ConsumeAppend(dst graph.Proc, buf []*AddrPackage) []*AddrPackage {
 	base := int(dst) * a.p
-	for src := 0; src < a.p; src++ {
-		if pkg := a.slots[base+src].Swap(nil); pkg != nil {
-			out = append(out, pkg)
+	for w := 0; w < a.words; w++ {
+		mask := a.masks[int(dst)*a.words+w].w.Swap(0)
+		for mask != 0 {
+			src := w*64 + bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			if pkg := a.slots[base+src].Swap(nil); pkg != nil {
+				buf = append(buf, pkg)
+			}
 		}
 	}
-	return out
+	return buf
 }

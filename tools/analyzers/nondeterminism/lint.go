@@ -121,8 +121,15 @@ func lintFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Im
 				}
 				switch pkgName.Imported().Path() {
 				case "time":
-					if sel.Sel.Name == "Now" {
+					switch sel.Sel.Name {
+					case "Now":
 						report(n, "time.Now in a plan-producing package: wall-clock input makes plan bytes unstable")
+					case "Sleep":
+						report(n, "bare time.Sleep: a fixed delay in protocol code hides a missing event (wait on a wake token or register a timer via WakeAfter, or mark %s with a reason)", suppressComment)
+					}
+				case "runtime":
+					if sel.Sel.Name == "Gosched" {
+						report(n, "runtime.Gosched: yield-and-respin is busy-polling; a blocked processor must park on an event, not spin (mark %s only with a reason)", suppressComment)
 					}
 				case "math/rand", "math/rand/v2":
 					// Package-level calls draw from the shared, implicitly

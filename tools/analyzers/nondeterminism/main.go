@@ -7,13 +7,18 @@
 // cross-backend equivalence suites.
 //
 // It flags, in the packages named on the command line (default: the three
-// plan-producing packages internal/plan, internal/sched, internal/mem):
+// plan-producing packages internal/plan, internal/sched, internal/mem,
+// plus the protocol engine internal/proto):
 //
 //   - `range` over a map value, unless the line carries a //det:ok comment
 //     (for collect-then-sort and commutative-fold idioms);
 //   - calls to time.Now;
 //   - package-level math/rand calls (the shared source), while explicitly
-//     seeded sources via rand.New(rand.NewSource(seed)) pass.
+//     seeded sources via rand.New(rand.NewSource(seed)) pass;
+//   - calls to runtime.Gosched and bare time.Sleep — the event-driven
+//     executor's liveness rules: a blocked processor parks on a wake
+//     token or a registered timer (Backend.WakeAfter), never by spinning
+//     through yields or sleeping a guessed duration.
 //
 // The implementation is standard-library only (go/ast + go/types, with gc
 // export data located through `go list -export -deps`), so it runs in CI
@@ -27,11 +32,14 @@ import (
 	"os"
 )
 
-// defaultPackages are the packages whose output feeds plan bytes.
+// defaultPackages are the packages whose output feeds plan bytes, plus
+// the protocol engine, whose determinism the equivalence suites depend on
+// and whose liveness depends on never spinning or sleeping blind.
 var defaultPackages = []string{
 	"repro/internal/plan",
 	"repro/internal/sched",
 	"repro/internal/mem",
+	"repro/internal/proto",
 }
 
 func main() {

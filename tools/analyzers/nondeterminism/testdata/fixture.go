@@ -5,6 +5,7 @@ package fixture
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 )
@@ -49,4 +50,22 @@ func sharedSource() int {
 func seededSource(seed int64) int {
 	r := rand.New(rand.NewSource(seed)) // fine: explicit seeded source
 	return r.Intn(10)                   // fine: method on *rand.Rand
+}
+
+func spinYield(done *bool) {
+	for !*done {
+		runtime.Gosched() // want: flagged
+	}
+}
+
+func blindDelay() {
+	time.Sleep(10 * time.Millisecond) // want: flagged
+}
+
+func backoffSuppressed(d time.Duration) {
+	time.Sleep(d) //det:ok test-only fault-injection backoff
+}
+
+func timerIsFine(d time.Duration) <-chan time.Time {
+	return time.After(d) // fine: a registered timer, not a blind sleep
 }
