@@ -10,7 +10,8 @@
 //	rapidd [-addr :8437] [-cache-dir DIR] [-cache-mem BYTES] [-avail-mem UNITS]
 //	       [-job-timeout 30s] [-job-retries 2]
 //	       [-workers N] [-queue-depth N] [-deadline DUR] [-retry-after 1s]
-//	       [-journal-dir DIR] [-tenant-quotas gold=48,bronze=16]
+//	       [-journal-dir DIR] [-degraded-mode reject|serve] [-rearm-backoff 50ms]
+//	       [-tenant-quotas gold=48,bronze=16]
 //	       [-default-tenant-quota UNITS] [-tenant-weights gold=3,bronze=1]
 //
 // Submit a job and wait for the result:
@@ -31,7 +32,13 @@
 // With -journal-dir set every accepted job is journaled (fsync'd) before the
 // submit is acknowledged; on restart the daemon replays the journal, requeues
 // jobs that never ran and explicitly fails the ones it was executing when it
-// died. Tenants (X-Tenant header or "tenant" spec field) get per-tenant
+// died. If the journal's disk fails mid-run the daemon degrades instead of
+// wedging: -degraded-mode picks whether new submits are refused with 503
+// (reject, the default) or accepted with "durable": false (serve), while a
+// background loop retries re-arming the journal every -rearm-backoff
+// (doubling). GET /healthz is a readiness probe: 200 while durable, 503 +
+// JSON state while degraded. Tenants (X-Tenant header or "tenant" spec
+// field) get per-tenant
 // -avail-mem sub-quotas, weighted-fair queueing and priority-aware shedding;
 // GET /metrics exposes the counters in Prometheus text format.
 package main
@@ -90,6 +97,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	journalDir := flag.String("journal-dir", "", "write-ahead job journal directory (empty: no durability)")
 	journalNoSync := flag.Bool("journal-nosync", false, "skip per-record journal fsync (benchmarks only; crashes can lose acknowledged jobs)")
+	degradedMode := flag.String("degraded-mode", "", "submit policy while the journal is degraded: reject (default: 503 new submits) or serve (accept with durable:false)")
+	rearmBackoff := flag.Duration("rearm-backoff", 0, "initial delay between journal re-arm attempts while degraded (0: 50ms), doubled per failure")
 	tenantQuotas := flag.String("tenant-quotas", "", "per-tenant avail-mem sub-quotas, e.g. gold=48,bronze=16")
 	defaultTenantQuota := flag.Int64("default-tenant-quota", 0, "avail-mem sub-quota for tenants not in -tenant-quotas (0: uncapped)")
 	tenantWeights := flag.String("tenant-weights", "", "fair-queueing weights, e.g. gold=3,bronze=1 (default 1 each)")
@@ -128,6 +137,8 @@ func main() {
 		RetryAfter:         *retryAfter,
 		JournalDir:         *journalDir,
 		JournalNoSync:      *journalNoSync,
+		DegradedMode:       *degradedMode,
+		RearmBackoff:       *rearmBackoff,
 		TenantQuotas:       quotas,
 		DefaultTenantQuota: *defaultTenantQuota,
 		TenantWeights:      weights,

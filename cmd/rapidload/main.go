@@ -10,6 +10,7 @@
 //	          [-keys 8] [-skew 1.2] [-fault-frac 0.1] [-seed 1]
 //	rapidload -config load.json
 //	rapidload -inproc [-workers 4] [-queue-depth 16] [-avail-mem U]
+//	          [-journal-dir DIR] [-degraded-mode reject|serve]
 //	rapidload -tenants gold:3:high,bronze:1:low ...
 //
 // -inproc starts a rapidd server inside the process on a loopback listener
@@ -85,6 +86,8 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "in-process server queue depth (0: default)")
 	availMem := flag.Int64("avail-mem", 0, "in-process server AVAIL_MEM (0: unlimited)")
 	defaultQuota := flag.Int64("default-tenant-quota", 0, "in-process server per-tenant AVAIL_MEM sub-quota (0: uncapped)")
+	journalDir := flag.String("journal-dir", "", "in-process server write-ahead journal directory (empty: no durability)")
+	degradedMode := flag.String("degraded-mode", "", "in-process server policy while the journal is degraded: reject or serve")
 	flag.Parse()
 
 	if *tenants != "" {
@@ -144,13 +147,18 @@ func main() {
 	}
 
 	if *inproc {
-		srv := rapidd.New(rapidd.Config{
+		srv, err := rapidd.Open(rapidd.Config{
 			Workers:            *workers,
 			QueueDepth:         *queueDepth,
 			AvailMem:           *availMem,
 			DefaultTenantQuota: *defaultQuota,
+			JournalDir:         *journalDir,
+			DegradedMode:       *degradedMode,
 			Metrics:            trace.NewMetrics(),
 		})
+		if err != nil {
+			log.Fatalf("rapidload: -inproc server: %v", err)
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,332 @@
+package iofault
+
+import (
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/util"
+)
+
+// ClassMask selects operation classes for fault plans and breakers.
+type ClassMask uint32
+
+const (
+	ClassWrite ClassMask = 1 << iota
+	ClassSync
+	ClassClose
+	ClassOpen
+	ClassCreate
+	ClassRename
+	ClassRemove
+	ClassTruncate
+	ClassSyncDir
+	ClassRead
+
+	// ClassDurability covers everything a disk outage takes down: the ops
+	// whose failure the journal must survive.
+	ClassDurability = ClassWrite | ClassSync | ClassClose | ClassOpen |
+		ClassCreate | ClassRename | ClassRemove | ClassTruncate | ClassSyncDir
+	// ClassAll is every op class, reads included.
+	ClassAll = ClassDurability | ClassRead
+)
+
+// Per-class hash tags: the op-key domain separator, one per class, in the
+// style of proto.Faults. Verdicts are Hash64(seed, tag, opIndex).
+const (
+	tagWrite   = 0xF1A0
+	tagSync    = 0xF1A1
+	tagClose   = 0xF1A2
+	tagShort   = 0xF1A3
+	tagLatency = 0xF1A4
+	tagRename  = 0xF1A5
+)
+
+// Plan is a deterministic fault schedule. All fractions are in [0,1];
+// a fraction of 0 disables that fault class. Verdicts are pure functions
+// of (Seed, class, opIndex) — replaying the same op sequence against the
+// same plan yields the same failures.
+type Plan struct {
+	Seed uint64
+
+	WriteErrFrac   float64 // fail this fraction of writes
+	SyncErrFrac    float64 // fail this fraction of fsyncs
+	CloseErrFrac   float64 // fail this fraction of closes
+	RenameErrFrac  float64 // fail this fraction of renames
+	ShortWriteFrac float64 // persist only a prefix, then error
+
+	// Err is the error injected for failed ops; nil means syscall.EIO.
+	// Use syscall.ENOSPC for disk-full plans.
+	Err error
+
+	// Latency is added to LatencyFrac of write-side ops (deterministically
+	// chosen; the sleep itself is wall-clock, so keep it small in tests).
+	Latency     time.Duration
+	LatencyFrac float64
+
+	// Outage fails every durability-class op with index in
+	// [OutageFrom, OutageFrom+OutageLen) — a whole disk dying and coming
+	// back, keyed to the shared op counter.
+	OutageFrom, OutageLen uint64
+}
+
+func (p *Plan) err() error {
+	if p.Err != nil {
+		return p.Err
+	}
+	return syscall.EIO
+}
+
+func hit(h uint64, frac float64) bool {
+	if frac <= 0 {
+		return false
+	}
+	if frac >= 1 {
+		return true
+	}
+	return float64(h%1_000_000) < frac*1_000_000
+}
+
+// FaultFS wraps an inner FS and injects faults per a Plan, plus a manual
+// breaker (Break/Heal) for scripted outage windows. It also counts
+// per-path writes and syncs, which lets tests assert that a poisoned
+// segment fd was never written again.
+type FaultFS struct {
+	inner FS
+	plan  Plan
+
+	mu       sync.Mutex
+	op       uint64 // shared op index across write-side classes
+	broken   ClassMask
+	breakErr error
+	writes   map[string]int // successful writes per path
+	syncs    map[string]int // sync attempts per path
+	injected int            // total injected faults
+}
+
+// NewFaultFS wraps inner (nil means the real OS) with the given plan.
+func NewFaultFS(inner FS, plan Plan) *FaultFS {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &FaultFS{
+		inner:  inner,
+		plan:   plan,
+		writes: make(map[string]int),
+		syncs:  make(map[string]int),
+	}
+}
+
+// Break trips the manual breaker: every op in mask fails with err (nil
+// means the plan's error) until Heal. This is the scripted-outage knob
+// for chaos tests: Break(ClassDurability, syscall.EIO) is the disk dying.
+func (f *FaultFS) Break(mask ClassMask, err error) {
+	f.mu.Lock()
+	f.broken = mask
+	f.breakErr = err
+	f.mu.Unlock()
+}
+
+// Heal clears the manual breaker.
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	f.broken = 0
+	f.breakErr = nil
+	f.mu.Unlock()
+}
+
+// Writes returns the number of successful writes issued to the named
+// path through this FS.
+func (f *FaultFS) Writes(name string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes[name]
+}
+
+// Syncs returns the number of sync attempts issued to the named path.
+func (f *FaultFS) Syncs(name string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs[name]
+}
+
+// Injected returns the total number of faults injected so far.
+func (f *FaultFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// fail decides whether op class `class` with hash tag `tag` and fraction
+// `frac` fails at this op index. Caller holds no locks.
+func (f *FaultFS) fail(class ClassMask, tag uint64, frac float64, op string, name string) error {
+	f.mu.Lock()
+	n := f.op
+	f.op++
+	broken := f.broken&class != 0
+	berr := f.breakErr
+	f.mu.Unlock()
+
+	if f.plan.Latency > 0 && hit(util.Hash64(f.plan.Seed, tagLatency, n), f.plan.LatencyFrac) {
+		time.Sleep(f.plan.Latency)
+	}
+
+	var err error
+	switch {
+	case broken:
+		err = berr
+		if err == nil {
+			err = f.plan.err()
+		}
+	case f.plan.OutageLen > 0 && n >= f.plan.OutageFrom && n < f.plan.OutageFrom+f.plan.OutageLen && class&ClassDurability != 0:
+		err = f.plan.err()
+	case hit(util.Hash64(f.plan.Seed, tag, n), frac):
+		err = f.plan.err()
+	}
+	if err == nil {
+		return nil
+	}
+	f.mu.Lock()
+	f.injected++
+	f.mu.Unlock()
+	return &os.PathError{Op: op, Path: name, Err: err}
+}
+
+// shortWrite decides whether this write is torn; returns true and the
+// prefix length to persist.
+func (f *FaultFS) shortWrite(n uint64, total int) (int, bool) {
+	if total < 2 || !hit(util.Hash64(f.plan.Seed, tagShort, n), f.plan.ShortWriteFrac) {
+		return 0, false
+	}
+	return total / 2, true
+}
+
+var _ FS = (*FaultFS)(nil)
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.fail(ClassOpen, tagWrite, 0, "open", name); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.fail(ClassCreate, tagWrite, 0, "createtemp", dir); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.fail(ClassRead, tagWrite, 0, "read", name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.fail(ClassRead, tagWrite, 0, "readdir", name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.fail(ClassCreate, tagWrite, 0, "mkdir", path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.fail(ClassRemove, tagWrite, 0, "remove", name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.fail(ClassRename, tagRename, f.plan.RenameErrFrac, "rename", oldpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.fail(ClassTruncate, tagWrite, 0, "truncate", name); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.fail(ClassSyncDir, tagSync, f.plan.SyncErrFrac, "syncdir", dir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile wraps a File, routing write/sync/close through the plan.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Name() string { return ff.inner.Name() }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	n := f.op
+	f.mu.Unlock()
+	if pre, torn := f.shortWrite(n, len(p)); torn {
+		// A torn write persists a prefix and then fails: the frame is
+		// half on disk, exactly the shape replay's torn-tail truncation
+		// must absorb. fail() with frac=1 advances the shared op counter
+		// and routes through the breaker/outage machinery.
+		err := f.fail(ClassWrite, tagWrite, 1, "write", ff.inner.Name())
+		if wrote, werr := ff.inner.Write(p[:pre]); werr != nil {
+			return wrote, werr
+		}
+		return pre, err
+	}
+	if err := f.fail(ClassWrite, tagWrite, f.plan.WriteErrFrac, "write", ff.inner.Name()); err != nil {
+		return 0, err
+	}
+	wrote, err := ff.inner.Write(p)
+	if err == nil {
+		f.mu.Lock()
+		f.writes[ff.inner.Name()]++
+		f.mu.Unlock()
+	}
+	return wrote, err
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	f.syncs[ff.inner.Name()]++
+	f.mu.Unlock()
+	if err := f.fail(ClassSync, tagSync, f.plan.SyncErrFrac, "sync", ff.inner.Name()); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	f := ff.fs
+	if err := f.fail(ClassClose, tagClose, f.plan.CloseErrFrac, "close", ff.inner.Name()); err != nil {
+		ff.inner.Close() // the fd itself is released either way
+		return err
+	}
+	return ff.inner.Close()
+}

@@ -1,0 +1,89 @@
+// Package iofault is a thin filesystem seam with deterministic fault
+// injection. The durable layers of the daemon — the write-ahead journal
+// and the plan cache's disk tier — do their I/O through the FS/File
+// interfaces here instead of calling the os package directly, so tests
+// can interpose a FaultFS that fails exactly the operations a fault plan
+// selects: EIO or ENOSPC on write/fsync/close, short writes, latency,
+// whole outage windows, or a manually thrown breaker.
+//
+// The production path is OS, a zero-state passthrough to the os package:
+// one interface dispatch per call, no allocation, no locks. Fault
+// verdicts in FaultFS follow the style of proto.Faults: each write-side
+// operation gets a monotonically increasing op index, and whether op k of
+// class c fails is a pure function of (seed, c, k) — the same plan
+// replays the same failures on every run and platform, so a crash window
+// found once is a regression test forever.
+package iofault
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the handle surface the durable layers need: append-style
+// writes, fsync, close. (Reads go through FS.ReadFile; nothing seeks.)
+type File interface {
+	io.Writer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	Close() error
+	// Name returns the path the file was opened under.
+	Name() string
+}
+
+// FS is the filesystem surface of the journal and the plan-cache disk
+// tier. Every method mirrors the os function of the same shape.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	MkdirAll(path string, perm os.FileMode) error
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory, making renames and removals inside it
+	// durable (where the filesystem supports directory fsync).
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: a stateless passthrough to the os package.
+type OS struct{}
+
+var _ FS = OS{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

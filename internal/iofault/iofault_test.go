@@ -1,0 +1,218 @@
+package iofault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOSPassthrough exercises the production FS end to end: create, write,
+// sync, close, read back, rename, dir sync, truncate, remove.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	var fs FS = OS{}
+
+	f, err := fs.OpenFile(filepath.Join(dir, "a.log"), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	b, err := fs.ReadFile(filepath.Join(dir, "a.log"))
+	if err != nil || string(b) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if err := fs.Truncate(filepath.Join(dir, "a.log"), 5); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "a.log"), filepath.Join(dir, "b.log")); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b.log" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, "x", "y"), 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	tf, err := fs.CreateTemp(dir, "t*.tmp")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	tf.Close()
+	if err := fs.Remove(tf.Name()); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := fs.Remove(filepath.Join(dir, "b.log")); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+// TestPlanDeterminism runs the same op sequence against two FaultFS with
+// the same plan and asserts identical failure patterns, and that a
+// different seed yields a different pattern.
+func TestPlanDeterminism(t *testing.T) {
+	run := func(seed uint64) []bool {
+		dir := t.TempDir()
+		f := NewFaultFS(OS{}, Plan{Seed: seed, WriteErrFrac: 0.3, SyncErrFrac: 0.3})
+		fh, err := f.OpenFile(filepath.Join(dir, "w.log"), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatalf("OpenFile: %v", err)
+		}
+		defer fh.Close()
+		var pattern []bool
+		for i := 0; i < 64; i++ {
+			_, werr := fh.Write([]byte("x"))
+			serr := fh.Sync()
+			pattern = append(pattern, werr != nil, serr != nil)
+		}
+		return pattern
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical 128-op failure pattern")
+	}
+	any := false
+	for _, v := range a {
+		any = any || v
+	}
+	if !any {
+		t.Fatalf("0.3 fault fraction injected nothing in 128 ops")
+	}
+}
+
+// TestBreakHeal verifies the manual breaker fails masked classes with the
+// given error (errors.Is-visible through the PathError wrap) and that
+// Heal restores service.
+func TestBreakHeal(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultFS(OS{}, Plan{})
+	fh, err := f.OpenFile(filepath.Join(dir, "w.log"), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer fh.Close()
+
+	if _, err := fh.Write([]byte("a")); err != nil {
+		t.Fatalf("healthy write failed: %v", err)
+	}
+	f.Break(ClassDurability, syscall.ENOSPC)
+	if _, err := fh.Write([]byte("b")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("broken write = %v, want ENOSPC", err)
+	}
+	if err := fh.Sync(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("broken sync = %v, want ENOSPC", err)
+	}
+	if _, err := f.OpenFile(filepath.Join(dir, "w2.log"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("broken open = %v, want ENOSPC", err)
+	}
+	// Reads are outside ClassDurability: still served.
+	if _, err := f.ReadDir(dir); err != nil {
+		t.Fatalf("read during durability outage: %v", err)
+	}
+	if f.Injected() == 0 {
+		t.Fatalf("Injected() = 0 after breaker faults")
+	}
+	f.Heal()
+	if _, err := fh.Write([]byte("c")); err != nil {
+		t.Fatalf("post-heal write failed: %v", err)
+	}
+	if err := fh.Sync(); err != nil {
+		t.Fatalf("post-heal sync failed: %v", err)
+	}
+	if got := f.Writes(fh.Name()); got != 2 {
+		t.Fatalf("Writes(%q) = %d, want 2 successful", fh.Name(), got)
+	}
+	if f.Syncs(fh.Name()) != 2 {
+		t.Fatalf("Syncs = %d, want 2 attempts", f.Syncs(fh.Name()))
+	}
+}
+
+// TestShortWrite asserts a torn write persists a strict prefix and
+// reports an error.
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultFS(OS{}, Plan{Seed: 3, ShortWriteFrac: 1})
+	fh, err := f.OpenFile(filepath.Join(dir, "w.log"), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	n, werr := fh.Write([]byte("0123456789"))
+	if werr == nil {
+		t.Fatalf("torn write returned nil error")
+	}
+	if n != 5 {
+		t.Fatalf("torn write persisted %d bytes, want 5", n)
+	}
+	fh.Close()
+	b, _ := os.ReadFile(filepath.Join(dir, "w.log"))
+	if string(b) != "01234" {
+		t.Fatalf("on-disk prefix = %q, want %q", b, "01234")
+	}
+}
+
+// TestOutageWindow checks the [From, From+Len) op-indexed outage.
+func TestOutageWindow(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultFS(OS{}, Plan{Seed: 1, OutageFrom: 2, OutageLen: 3})
+	fh, err := f.OpenFile(filepath.Join(dir, "w.log"), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644) // op 0
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer fh.Close()
+	var got []bool
+	for i := 0; i < 6; i++ { // ops 1..6
+		_, werr := fh.Write([]byte("x"))
+		got = append(got, werr != nil)
+	}
+	want := []bool{false, true, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("outage pattern = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDefaultErrIsEIO verifies the default injected error class.
+func TestDefaultErrIsEIO(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultFS(nil, Plan{Seed: 1, WriteErrFrac: 1})
+	fh, err := f.OpenFile(filepath.Join(dir, "w.log"), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer fh.Close()
+	if _, err := fh.Write([]byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("default fault = %v, want EIO", err)
+	}
+	var pe *os.PathError
+	_, err = fh.Write([]byte("x"))
+	if !errors.As(err, &pe) {
+		t.Fatalf("injected error not an *os.PathError: %v", err)
+	}
+}

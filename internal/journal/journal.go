@@ -29,6 +29,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
+
+	"repro/internal/iofault"
 )
 
 // Op enumerates record types.
@@ -50,9 +53,17 @@ const (
 	// OpMark carries the job-sequence high-water mark into compacted
 	// segments so restarted daemons never reuse an ID.
 	OpMark Op = 5
+	// OpGap is the first record of a segment opened by a degraded-mode
+	// re-arm. It tells replay the extent of the fault window it closes:
+	// Demand holds the durable (acknowledged) byte length of the
+	// immediately preceding segment — everything past that offset was
+	// written to a poisoned fd whose fsync failed and must be discarded —
+	// Seq carries the high-water mark across the gap, and Error records
+	// the fault that opened the window.
+	OpGap Op = 6
 )
 
-func (op Op) valid() bool { return op >= OpSubmit && op <= OpMark }
+func (op Op) valid() bool { return op >= OpSubmit && op <= OpGap }
 
 // String names the op for logs and tests.
 func (op Op) String() string {
@@ -67,6 +78,8 @@ func (op Op) String() string {
 		return "cancel"
 	case OpMark:
 		return "mark"
+	case OpGap:
+		return "gap"
 	}
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
@@ -113,6 +126,14 @@ var (
 	ErrTruncated = errors.New("journal: truncated record")
 	ErrCorrupt   = errors.New("journal: corrupt record")
 )
+
+// ErrDegraded wraps every Append error after an I/O fault has poisoned
+// the active segment. A failed fsync says nothing about which earlier
+// pages reached disk (the kernel may mark dirty pages clean on error), so
+// the journal never writes to that fd again; it stays degraded — every
+// Append failing fast with this error — until Rearm rotates onto a fresh
+// segment. Callers match it with errors.Is.
+var ErrDegraded = errors.New("journal: degraded")
 
 func putStr(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
@@ -250,6 +271,9 @@ type Options struct {
 	// production journal without fsync can acknowledge records a crash
 	// then loses.
 	NoSync bool
+	// FS is the filesystem seam; nil means the real OS. Fault-injection
+	// tests pass an iofault.FaultFS here.
+	FS iofault.FS
 }
 
 // Stats reports journal health.
@@ -260,6 +284,15 @@ type Stats struct {
 	Compactions    int64 // segment compactions this session
 	LiveJobs       int   // non-terminal jobs currently tracked
 	ActiveBytes    int64 // size of the active segment
+
+	Degraded        bool   // an I/O fault poisoned the active segment
+	DegradedCause   string // fault that opened the current/last window
+	Rearms          int64  // successful degraded→durable recoveries
+	RearmFailures   int64  // failed Rearm attempts
+	CompactFailures int64  // compactions aborted by I/O errors
+	CleanupErrors   int64  // post-publish close/remove errors (non-fatal)
+	GapRecords      int64  // OpGap records written this session
+	SuspectBytes    int64  // unacknowledged bytes discarded at Open
 }
 
 // liveJob retains the encoded frames needed to re-materialize one
@@ -274,9 +307,10 @@ type liveJob struct {
 type Journal struct {
 	dir  string
 	opts Options
+	fs   iofault.FS
 
 	mu       sync.Mutex
-	f        *os.File
+	f        iofault.File
 	seg      int
 	segBytes int64
 	highSeq  uint64
@@ -284,6 +318,17 @@ type Journal struct {
 	liveByte int64
 	stats    Stats
 	closed   bool
+
+	// Degraded-mode state. ackedBytes is the durable prefix of the active
+	// segment: it advances only after a successful write+fsync, so when a
+	// fault poisons the segment it is exactly the offset past which bytes
+	// are suspect — the extent the re-arm's OpGap record carries.
+	degraded      bool
+	degradedCause error
+	ackedBytes    int64
+	// compactAfter backs off compaction retries after an I/O failure:
+	// no new attempt until the active segment grows past it.
+	compactAfter int64
 }
 
 // segName formats a segment file name; the zero-padded number keeps
@@ -305,11 +350,74 @@ type Replay struct {
 	// TruncatedBytes counts torn-tail bytes discarded from the newest
 	// segment (zero on a clean shutdown).
 	TruncatedBytes int64
+	// SuspectBytes counts bytes discarded because an OpGap record capped a
+	// poisoned segment at its acknowledged extent: they were written to an
+	// fd whose fsync later failed, so no client was ever told they were
+	// durable.
+	SuspectBytes int64
+}
+
+// loadedSeg is one segment read into memory during replay, after gap caps
+// have been applied.
+type loadedSeg struct {
+	n    int
+	data []byte
+}
+
+// loadSegments reads every segment and applies OpGap caps: a segment
+// whose first record is OpGap was opened by a re-arm after the fd of the
+// segment named in the record's ID field was poisoned, and the record's
+// Demand field is that segment's durable byte extent. Bytes past that
+// offset were never acknowledged — discard them (and, when persist is
+// set, truncate them off on disk so a later replay sees the same log). A
+// poisoned segment SHORTER than its acknowledged extent means durable
+// data vanished: fail loudly.
+func loadSegments(fs iofault.FS, dir string, segs []int, persist bool) ([]loadedSeg, int64, error) {
+	loaded := make([]loadedSeg, 0, len(segs))
+	byName := make(map[string]int, len(segs))
+	for _, seg := range segs {
+		data, err := fs.ReadFile(filepath.Join(dir, segName(seg)))
+		if err != nil {
+			return nil, 0, fmt.Errorf("journal: %w", err)
+		}
+		byName[segName(seg)] = len(loaded)
+		loaded = append(loaded, loadedSeg{n: seg, data: data})
+	}
+	var suspect int64
+	for i := 1; i < len(loaded); i++ {
+		rec0, _, err0 := DecodeRecord(loaded[i].data)
+		if err0 != nil || rec0.Op != OpGap {
+			continue
+		}
+		target, ok := byName[rec0.ID]
+		if !ok || target >= i {
+			// The poisoned segment is gone — an emergency compaction or a
+			// later compaction root already superseded it.
+			continue
+		}
+		acked := rec0.Demand
+		if int64(len(loaded[target].data)) < acked {
+			return nil, 0, fmt.Errorf("journal: segment %s is %d bytes but %d were acknowledged durable before the fault window; refusing to replay a log that lost acknowledged records",
+				rec0.ID, len(loaded[target].data), acked)
+		}
+		if int64(len(loaded[target].data)) == acked {
+			continue
+		}
+		suspect += int64(len(loaded[target].data)) - acked
+		loaded[target].data = loaded[target].data[:acked]
+		if persist {
+			if err := fs.Truncate(filepath.Join(dir, rec0.ID), acked); err != nil {
+				return nil, 0, fmt.Errorf("journal: truncating fault window: %w", err)
+			}
+		}
+	}
+	return loaded, suspect, nil
 }
 
 // Open replays the journal in dir (creating it if absent) and opens it
-// for appending. Damage anywhere but the newest segment's tail is an
-// error — the caller must not come up on a silently incomplete log.
+// for appending. Damage anywhere but the newest segment's tail or a
+// gap-capped fault window is an error — the caller must not come up on a
+// silently incomplete log.
 func Open(dir string, opts Options) (*Journal, *Replay, error) {
 	if opts.MaxSegmentBytes == 0 {
 		opts.MaxSegmentBytes = 1 << 20
@@ -317,28 +425,37 @@ func Open(dir string, opts Options) (*Journal, *Replay, error) {
 	if opts.MaxSegmentBytes < 4<<10 {
 		opts.MaxSegmentBytes = 4 << 10
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = iofault.OS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
 	// A compaction interrupted before its fsync+rename leaves a .tmp file;
 	// it is incomplete by construction (the rename is what publishes it),
 	// so discard it and keep replaying from the segments it would have
 	// replaced.
-	if err := removeTempSegments(dir); err != nil {
+	if err := removeTempSegments(fs, dir); err != nil {
 		return nil, nil, err
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	j := &Journal{dir: dir, opts: opts, live: make(map[string]*liveJob)}
+	j := &Journal{dir: dir, opts: opts, fs: fs, live: make(map[string]*liveJob)}
 	rep := &Replay{}
-	for i, seg := range segs {
-		last := i == len(segs)-1
-		data, err := os.ReadFile(filepath.Join(dir, segName(seg)))
-		if err != nil {
-			return nil, nil, fmt.Errorf("journal: %w", err)
-		}
+	loaded, suspect, err := loadSegments(fs, dir, segs, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	if suspect > 0 {
+		rep.SuspectBytes = suspect
+		j.stats.SuspectBytes = suspect
+	}
+	for i, ls := range loaded {
+		seg, data := ls.n, ls.data
+		last := i == len(loaded)-1
 		// A segment that BEGINS with an OpMark is a compaction root: it
 		// was published (renamed into place) only after holding a complete,
 		// fsync'd copy of every live job, so any older segment is a
@@ -349,8 +466,8 @@ func Open(dir string, opts Options) (*Journal, *Replay, error) {
 		// high-water record and does not reset anything.)
 		if i > 0 {
 			if rec0, _, err0 := DecodeRecord(data); err0 == nil && rec0.Op == OpMark {
-				for _, old := range segs[:i] {
-					if err := os.Remove(filepath.Join(dir, segName(old))); err != nil {
+				for _, old := range loaded[:i] {
+					if err := fs.Remove(filepath.Join(dir, segName(old.n))); err != nil {
 						return nil, nil, fmt.Errorf("journal: removing stale pre-compaction segment: %w", err)
 					}
 				}
@@ -372,7 +489,7 @@ func Open(dir string, opts Options) (*Journal, *Replay, error) {
 				// append. Truncate to the last whole record and carry on.
 				rep.TruncatedBytes = int64(len(data) - off)
 				j.stats.TruncatedBytes = rep.TruncatedBytes
-				if err := os.Truncate(filepath.Join(dir, segName(seg)), int64(off)); err != nil {
+				if err := fs.Truncate(filepath.Join(dir, segName(seg)), int64(off)); err != nil {
 					return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
 				}
 				data = data[:off]
@@ -388,19 +505,20 @@ func Open(dir string, opts Options) (*Journal, *Replay, error) {
 			j.segBytes = int64(len(data))
 		}
 	}
-	if len(segs) == 0 {
+	if len(loaded) == 0 {
 		j.seg = 1
 	}
 	path := filepath.Join(dir, segName(j.seg))
-	j.f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	j.f, err = fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
+	j.ackedBytes = j.segBytes
 	return j, rep, nil
 }
 
-func listSegments(dir string) ([]int, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fs iofault.FS, dir string) ([]int, error) {
+	ents, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
@@ -419,8 +537,8 @@ func listSegments(dir string) ([]int, error) {
 const tmpSuffix = ".tmp"
 
 // removeTempSegments deletes half-written compaction outputs.
-func removeTempSegments(dir string) error {
-	ents, err := os.ReadDir(dir)
+func removeTempSegments(fs iofault.FS, dir string) error {
+	ents, err := fs.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -432,7 +550,7 @@ func removeTempSegments(dir string) error {
 		if _, ok := parseSegName(strings.TrimSuffix(name, tmpSuffix)); !ok {
 			continue
 		}
-		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+		if err := fs.Remove(filepath.Join(dir, name)); err != nil {
 			return fmt.Errorf("journal: removing interrupted compaction %s: %w", name, err)
 		}
 	}
@@ -473,7 +591,11 @@ func (j *Journal) applyLocked(rec Record, frame []byte) {
 
 // Append encodes, writes and (unless NoSync) fsyncs one record, then
 // compacts if the active segment outgrew its bound. The record is durable
-// when Append returns.
+// when Append returns nil. Any I/O failure on the append path poisons the
+// active segment — the fd is closed and never written again (a failed
+// fsync may have silently dropped earlier dirty pages) — and Append
+// returns an error matching ErrDegraded, as does every subsequent Append
+// until Rearm succeeds.
 func (j *Journal) Append(rec Record) error {
 	frame, err := EncodeRecord(rec)
 	if err != nil {
@@ -484,24 +606,168 @@ func (j *Journal) Append(rec Record) error {
 	if j.closed {
 		return errors.New("journal: closed")
 	}
+	if j.degraded {
+		return fmt.Errorf("%w: %v", ErrDegraded, j.degradedCause)
+	}
 	if _, err := j.f.Write(frame); err != nil {
-		return fmt.Errorf("journal: append: %w", err)
+		j.poisonLocked(fmt.Errorf("append: %w", err))
+		return fmt.Errorf("%w: %v", ErrDegraded, j.degradedCause)
 	}
 	if !j.opts.NoSync {
 		if err := j.f.Sync(); err != nil {
-			return fmt.Errorf("journal: fsync: %w", err)
+			j.poisonLocked(fmt.Errorf("fsync: %w", err))
+			return fmt.Errorf("%w: %v", ErrDegraded, j.degradedCause)
 		}
 	}
 	j.segBytes += int64(len(frame))
+	j.ackedBytes = j.segBytes
 	j.stats.Records++
 	j.applyLocked(rec, frame)
 	// Compact when the segment is oversized and mostly dead weight —
-	// compacting a segment that is all live jobs would thrash.
-	if j.segBytes >= j.opts.MaxSegmentBytes && j.liveByte < j.segBytes/2 {
+	// compacting a segment that is all live jobs would thrash. A failed
+	// compaction never fails the append (the record above is already
+	// durable); it is retried once the segment grows past the backoff
+	// watermark.
+	if j.segBytes >= j.opts.MaxSegmentBytes && j.liveByte < j.segBytes/2 && j.segBytes >= j.compactAfter {
 		if err := j.compactLocked(); err != nil {
-			return err
+			j.stats.CompactFailures++
+			j.compactAfter = j.segBytes + j.opts.MaxSegmentBytes/4
+		} else {
+			j.compactAfter = 0
 		}
 	}
+	return nil
+}
+
+// poisonLocked moves the journal into degraded mode: the active segment's
+// fd is closed immediately and never reused. ackedBytes is left at the
+// last acknowledged extent — the value a re-arm's OpGap record publishes
+// so replay discards everything past it.
+func (j *Journal) poisonLocked(cause error) {
+	if j.degraded {
+		return
+	}
+	j.degraded = true
+	j.degradedCause = cause
+	j.stats.Degraded = true
+	j.stats.DegradedCause = cause.Error()
+	if j.f != nil {
+		j.f.Close() // fd is suspect; release it regardless of the result
+		j.f = nil
+	}
+}
+
+// Degraded reports whether the journal is refusing appends, and why.
+func (j *Journal) Degraded() (bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded, j.degradedCause
+}
+
+// Rearm attempts to leave degraded mode. For ENOSPC it first tries an
+// emergency compaction — the live set is small, and publishing a
+// compaction root deletes every older segment, reclaiming the dead weight
+// that filled the disk. Otherwise (or if that fails) it rotates onto a
+// fresh segment whose first record is an OpGap marker carrying the
+// poisoned segment's durable extent, so replay knows exactly where the
+// fault window starts. Returns nil when the journal is durable again;
+// callers own the retry/backoff policy.
+func (j *Journal) Rearm() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	if !j.degraded {
+		return nil
+	}
+	if errors.Is(j.degradedCause, syscall.ENOSPC) {
+		if err := j.compactLocked(); err == nil {
+			j.rearmedLocked()
+			return nil
+		}
+	}
+	if err := j.rotateGapLocked(); err != nil {
+		j.stats.RearmFailures++
+		return err
+	}
+	j.rearmedLocked()
+	return nil
+}
+
+func (j *Journal) rearmedLocked() {
+	j.degraded = false
+	j.degradedCause = nil
+	j.stats.Degraded = false
+	j.stats.Rearms++
+}
+
+// rotateGapLocked opens a fresh segment and makes its first record an
+// OpGap marker: Seq carries the high-water mark, Demand the poisoned
+// predecessor's durable extent, Error the fault. Only a fully written and
+// fsync'd gap segment is adopted; any failure leaves the journal degraded
+// with no state change.
+func (j *Journal) rotateGapLocked() error {
+	cause := ""
+	if j.degradedCause != nil {
+		cause = j.degradedCause.Error()
+		if len(cause) > MaxFieldBytes {
+			cause = cause[:MaxFieldBytes]
+		}
+	}
+	gap, err := EncodeRecord(Record{
+		Op:     OpGap,
+		Seq:    j.highSeq,
+		ID:     segName(j.seg), // the poisoned segment this gap caps
+		Demand: j.ackedBytes,
+		Error:  cause,
+	})
+	if err != nil {
+		return err
+	}
+	// O_EXCL: if a crashed compaction left a published root at the next
+	// number, appending the gap there would corrupt its first-record
+	// semantics — skip to an unused name instead.
+	next := j.seg
+	var f iofault.File
+	for try := 0; try < 4; try++ {
+		next++
+		path := filepath.Join(j.dir, segName(next))
+		f, err = j.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return fmt.Errorf("journal: rearm: %w", err)
+		}
+		f = nil
+	}
+	if f == nil {
+		return fmt.Errorf("journal: rearm: no free segment name after %s", segName(j.seg))
+	}
+	path := filepath.Join(j.dir, segName(next))
+	abort := func(err error) error {
+		f.Close()
+		j.fs.Remove(path)
+		return err
+	}
+	if _, err := f.Write(gap); err != nil {
+		return abort(fmt.Errorf("journal: rearm: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return abort(fmt.Errorf("journal: rearm fsync: %w", err))
+	}
+	// Make the new segment's dir entry durable before acknowledging
+	// anything into it.
+	if err := j.fs.SyncDir(j.dir); err != nil {
+		return abort(fmt.Errorf("journal: rearm dir fsync: %w", err))
+	}
+	j.f = f
+	j.seg = next
+	j.segBytes = int64(len(gap))
+	j.ackedBytes = j.segBytes
+	j.stats.GapRecords++
+	j.stats.Records++
 	return nil
 }
 
@@ -516,13 +782,13 @@ func (j *Journal) compactLocked() error {
 	next := j.seg + 1
 	path := filepath.Join(j.dir, segName(next))
 	tmp := path + tmpSuffix
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := j.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: compact: %w", err)
 	}
 	fail := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		j.fs.Remove(tmp)
 		return err
 	}
 	var size int64
@@ -554,23 +820,58 @@ func (j *Journal) compactLocked() error {
 	}
 	// Publish. The open fd survives the rename (same inode), so f becomes
 	// the active segment file.
-	if err := os.Rename(tmp, path); err != nil {
+	if err := j.fs.Rename(tmp, path); err != nil {
 		return fail(fmt.Errorf("journal: compact publish: %w", err))
 	}
-	old, oldSeg := j.f, j.seg
-	j.f, j.seg, j.segBytes = f, next, size
-	j.stats.Compactions++
-	old.Close()
-	if err := os.Remove(filepath.Join(j.dir, segName(oldSeg))); err != nil {
-		return fmt.Errorf("journal: compact: removing old segment: %w", err)
+	// The rename is not durable until the directory is fsync'd; until then
+	// a crash could resurrect the .tmp name, and Open deletes .tmp files —
+	// so nothing may be acknowledged into the new segment yet. A failed
+	// dir fsync therefore rolls the publish back and keeps the old
+	// segment. If even the rollback fails, the directory holds a
+	// compaction root we are not writing to next to a segment we are —
+	// replaying that after more appends would drop them — so the only safe
+	// exit is to poison the journal and let Rearm rebuild on fresh state.
+	if err := j.fs.SyncDir(j.dir); err != nil {
+		f.Close()
+		if rerr := j.fs.Remove(path); rerr != nil {
+			j.poisonLocked(fmt.Errorf("compact publish fsync: %v; rollback: %w", err, rerr))
+			return fmt.Errorf("%w: %v", ErrDegraded, j.degradedCause)
+		}
+		return fmt.Errorf("journal: compact publish fsync: %w", err)
 	}
-	// Make the rename+delete durable so a crash cannot resurrect the old
-	// segment next to the new one (best effort: not all filesystems
-	// support directory fsync; if the old segment does survive, Open's
-	// compaction-root handling discards it).
-	if d, err := os.Open(j.dir); err == nil {
-		d.Sync()
-		d.Close()
+	old := j.f
+	j.f, j.seg, j.segBytes = f, next, size
+	j.ackedBytes = size
+	j.stats.Compactions++
+	// Post-publish cleanup. The root is durable, so these failures cannot
+	// lose records — Open's compaction-root handling deletes any stragglers
+	// — but they are counted, not swallowed: a close error on the old
+	// segment or an undeletable file is an early sign of the same disk
+	// faults that poison appends.
+	if old != nil {
+		if err := old.Close(); err != nil {
+			j.stats.CleanupErrors++
+		}
+	}
+	// Remove every older segment, not just the immediate predecessor:
+	// degraded-mode rotations can leave several capped segments behind,
+	// and the root supersedes them all.
+	if segs, err := listSegments(j.fs, j.dir); err == nil {
+		for _, s := range segs {
+			if s >= next {
+				continue
+			}
+			if err := j.fs.Remove(filepath.Join(j.dir, segName(s))); err != nil {
+				j.stats.CleanupErrors++
+			}
+		}
+	} else {
+		j.stats.CleanupErrors++
+	}
+	// Make the deletions durable (best effort: if the old segments do
+	// survive a crash, Open's compaction-root handling discards them).
+	if err := j.fs.SyncDir(j.dir); err != nil {
+		j.stats.CleanupErrors++
 	}
 	return nil
 }
@@ -590,7 +891,7 @@ func (j *Journal) Stats() Stats {
 	st := j.stats
 	st.LiveJobs = len(j.live)
 	st.ActiveBytes = j.segBytes
-	segs, err := listSegments(j.dir)
+	segs, err := listSegments(j.fs, j.dir)
 	if err == nil {
 		st.Segments = len(segs)
 	}
@@ -598,6 +899,8 @@ func (j *Journal) Stats() Stats {
 }
 
 // Close fsyncs and closes the active segment. Appends after Close fail.
+// Closing a degraded journal is a no-op on the fd (poisoning already
+// closed it) but still latches the closed state.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -605,6 +908,9 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
+	if j.f == nil {
+		return nil
+	}
 	if !j.opts.NoSync {
 		if err := j.f.Sync(); err != nil {
 			j.f.Close()
@@ -619,16 +925,18 @@ func (j *Journal) Close() error {
 // (e.g. asserting what a crashed daemon had acknowledged). Unlike Open it
 // modifies nothing: a torn tail is reported, not truncated.
 func ReplayDir(dir string) (*Replay, error) {
-	segs, err := listSegments(dir)
+	fs := iofault.FS(iofault.OS{})
+	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return nil, err
 	}
-	rep := &Replay{}
-	for i, seg := range segs {
-		data, err := os.ReadFile(filepath.Join(dir, segName(seg)))
-		if err != nil {
-			return nil, fmt.Errorf("journal: %w", err)
-		}
+	loaded, suspect, err := loadSegments(fs, dir, segs, false)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Replay{SuspectBytes: suspect}
+	for i, ls := range loaded {
+		data := ls.data
 		// Same compaction-root rule as Open, minus the cleanup: a segment
 		// beginning with OpMark supersedes everything before it.
 		if i > 0 {
@@ -640,8 +948,8 @@ func ReplayDir(dir string) (*Replay, error) {
 		for off < len(data) {
 			rec, n, err := DecodeRecord(data[off:])
 			if err != nil {
-				if i != len(segs)-1 {
-					return nil, fmt.Errorf("journal: segment %s damaged at offset %d (%v)", segName(seg), off, err)
+				if i != len(loaded)-1 {
+					return nil, fmt.Errorf("journal: segment %s damaged at offset %d (%v)", segName(ls.n), off, err)
 				}
 				rep.TruncatedBytes = int64(len(data) - off)
 				break

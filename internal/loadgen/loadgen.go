@@ -71,6 +71,12 @@ type Config struct {
 	// Empty: every client submits as the daemon's default tenant (the
 	// single-tenant behaviour).
 	Tenants []TenantMix `json:"tenants"`
+	// Observe, when set, is called with every successfully decoded job
+	// response, concurrently from the client goroutines. Chaos harnesses
+	// use it to record which acknowledgements carried Durable:true before
+	// killing the daemon's disk out from under it. Not part of the JSON
+	// config surface.
+	Observe func(job rapidd.Job) `json:"-"`
 }
 
 // TenantMix is one tenant's slice of the generated load.
@@ -285,6 +291,11 @@ type Result struct {
 	Errors    int64
 	Coalesced int64
 	CacheHits int64
+	// Refused counts 503 responses (daemon draining, or degraded with
+	// -degraded-mode=reject); Durable counts served requests whose
+	// acknowledgement carried Durable:true.
+	Refused int64
+	Durable int64
 
 	// Latency is in microseconds per served request.
 	Latency *trace.Histogram
@@ -300,9 +311,11 @@ func (r *Result) merge(c *Result) {
 	r.Done += c.Done
 	r.Failed += c.Failed
 	r.Shed += c.Shed
+	r.Refused += c.Refused
 	r.Errors += c.Errors
 	r.Coalesced += c.Coalesced
 	r.CacheHits += c.CacheHits
+	r.Durable += c.Durable
 	r.Latency.Merge(c.Latency)
 }
 
@@ -339,6 +352,8 @@ func (r *Result) Report() string {
 		{"done", fmt.Sprintf("%d (%s)", r.Done, pct(r.Done))},
 		{"failed", fmt.Sprintf("%d (%s)", r.Failed, pct(r.Failed))},
 		{"shed", fmt.Sprintf("%d (%s)", r.Shed, pct(r.Shed))},
+		{"refused", fmt.Sprintf("%d (%s)", r.Refused, pct(r.Refused))},
+		{"durable", fmt.Sprintf("%d (%s)", r.Durable, pct(r.Durable))},
 		{"errors", fmt.Sprint(r.Errors)},
 		{"coalesced", fmt.Sprint(r.Coalesced)},
 		{"cache_hits", fmt.Sprint(r.CacheHits)},
@@ -470,11 +485,19 @@ func runClient(cfg Config, hc *http.Client, pk *picker, client, n int, mix *Tena
 			if job.Coalesced {
 				res.Coalesced++
 			}
+			if job.Durable {
+				res.Durable++
+			}
 			if job.PlanSource == "memory" || job.PlanSource == "disk" {
 				res.CacheHits++
 			}
+			if cfg.Observe != nil {
+				cfg.Observe(job)
+			}
 		case http.StatusTooManyRequests:
 			res.Shed++
+		case http.StatusServiceUnavailable:
+			res.Refused++
 		default:
 			res.Errors++
 		}

@@ -34,6 +34,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/iofault"
 	"repro/internal/plan"
 	"repro/internal/trace"
 	"repro/internal/verify"
@@ -65,6 +66,9 @@ type Config struct {
 	// Metrics receives the counters listed in the package comment (nil:
 	// counters are discarded).
 	Metrics *trace.Metrics
+	// FS is the filesystem seam for the disk tier; nil means the real OS.
+	// Fault-injection tests pass an iofault.FaultFS here.
+	FS iofault.FS
 }
 
 // Cache is a two-tier plan cache. It is safe for concurrent use.
@@ -72,6 +76,7 @@ type Cache struct {
 	dir     string
 	budget  int64
 	metrics *trace.Metrics
+	fs      iofault.FS
 	group   Group // single-flight over fills (disk load or compile)
 
 	mu      sync.Mutex
@@ -100,10 +105,15 @@ func New(cfg Config) *Cache {
 	if budget == 0 {
 		budget = DefaultMemBudget
 	}
+	fs := cfg.FS
+	if fs == nil {
+		fs = iofault.OS{}
+	}
 	return &Cache{
 		dir:     cfg.Dir,
 		budget:  budget,
 		metrics: cfg.Metrics,
+		fs:      fs,
 		entries: make(map[string]*list.Element),
 		lru:     list.New(),
 	}
@@ -237,11 +247,11 @@ func (c *Cache) loadDisk(key string) (*plan.Artifact, []byte) {
 		return nil, nil
 	}
 	path := c.path(key)
-	enc, err := os.ReadFile(path)
+	enc, err := c.fs.ReadFile(path)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			c.metrics.Inc("plancache.corrupt", 1)
-			os.Remove(path)
+			c.fs.Remove(path)
 		}
 		return nil, nil
 	}
@@ -250,17 +260,17 @@ func (c *Cache) loadDisk(key string) (*plan.Artifact, []byte) {
 	art, err := plan.DecodeLenient(enc)
 	if err != nil {
 		c.metrics.Inc("plancache.corrupt", 1)
-		os.Remove(path)
+		c.fs.Remove(path)
 		return nil, nil
 	}
 	if art.Fingerprint != key {
 		c.metrics.Inc("plancache.rejected", 1)
-		os.Remove(path)
+		c.fs.Remove(path)
 		return nil, nil
 	}
 	if res := verify.CheckArtifact(art); !res.OK() {
 		c.metrics.Inc("plancache.rejected", 1)
-		os.Remove(path)
+		c.fs.Remove(path)
 		return nil, nil
 	}
 	return art, enc
@@ -272,23 +282,23 @@ func (c *Cache) storeDisk(key string, enc []byte) error {
 	if c.dir == "" {
 		return nil
 	}
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+	if err := c.fs.MkdirAll(c.dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	tmp, err := c.fs.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(enc); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		c.fs.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		c.fs.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), c.path(key))
+	return c.fs.Rename(tmp.Name(), c.path(key))
 }
 
 func (c *Cache) path(key string) string {

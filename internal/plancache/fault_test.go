@@ -1,0 +1,82 @@
+package plancache
+
+import (
+	"syscall"
+	"testing"
+
+	"repro/internal/iofault"
+	"repro/internal/plan"
+	"repro/internal/trace"
+)
+
+// TestDiskTierFaultsNeverFailComputation drives the disk tier through an
+// injected-EIO filesystem: stores fail, loads fail, the tier is
+// effectively dead — and every lookup must still return a correct
+// artifact via compilation, with the failures counted, not surfaced.
+func TestDiskTierFaultsNeverFailComputation(t *testing.T) {
+	dir := t.TempDir()
+	ffs := iofault.NewFaultFS(nil, iofault.Plan{})
+	ffs.Break(iofault.ClassDurability, syscall.EIO)
+	m := trace.NewMetrics()
+	c := New(Config{Dir: dir, Metrics: m, FS: ffs})
+
+	key, want := compileArtifact(t, 0)
+	got, src, err := c.GetOrCompile(key, func() (*plan.Artifact, error) { return want, nil })
+	if err != nil || got != want || src != SourceCompiled {
+		t.Fatalf("GetOrCompile under dead disk = %v, %v, %v", got, src, err)
+	}
+	if m.Get("plancache.diskerror") == 0 {
+		t.Fatalf("disk store failure not counted")
+	}
+	// The artifact still landed in the memory tier.
+	if _, src, err := c.GetOrCompile(key, func() (*plan.Artifact, error) {
+		t.Fatalf("recompiled despite memory hit")
+		return nil, nil
+	}); err != nil || src != SourceMemory {
+		t.Fatalf("memory tier lookup = %v, %v", src, err)
+	}
+
+	// Disk comes back: a fresh cache instance (cold memory tier) stores
+	// and loads from disk again.
+	ffs.Heal()
+	c2 := New(Config{Dir: dir, Metrics: m, FS: ffs})
+	if _, src, err := c2.GetOrCompile(key, func() (*plan.Artifact, error) { return want, nil }); err != nil || src != SourceCompiled {
+		t.Fatalf("post-heal fill = %v, %v", src, err)
+	}
+	c3 := New(Config{Dir: dir, Metrics: m, FS: ffs})
+	if _, src, err := c3.GetOrCompile(key, func() (*plan.Artifact, error) {
+		t.Fatalf("recompiled despite disk entry")
+		return nil, nil
+	}); err != nil || src != SourceDisk {
+		t.Fatalf("post-heal disk lookup = %v, %v", src, err)
+	}
+}
+
+// TestDiskTierReadFaultFallsBack: an EIO on read (not a missing file)
+// counts as corruption and falls back to compilation.
+func TestDiskTierReadFaultFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	ffs := iofault.NewFaultFS(nil, iofault.Plan{})
+	m := trace.NewMetrics()
+	key, want := compileArtifact(t, 1)
+
+	// Populate the disk entry with a healthy FS.
+	warm := New(Config{Dir: dir, Metrics: m, FS: ffs})
+	if _, _, err := warm.GetOrCompile(key, func() (*plan.Artifact, error) { return want, nil }); err != nil {
+		t.Fatalf("warm fill: %v", err)
+	}
+
+	ffs.Break(iofault.ClassRead, syscall.EIO)
+	cold := New(Config{Dir: dir, Metrics: m, FS: ffs})
+	recompiled := false
+	got, src, err := cold.GetOrCompile(key, func() (*plan.Artifact, error) {
+		recompiled = true
+		return want, nil
+	})
+	if err != nil || got != want || src != SourceCompiled || !recompiled {
+		t.Fatalf("read-fault lookup = %v, %v, recompiled=%v, err=%v", got, src, recompiled, err)
+	}
+	if m.Get("plancache.corrupt") == 0 {
+		t.Fatalf("read fault not counted as corruption")
+	}
+}

@@ -257,6 +257,9 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.queue.close()
 	}
 	s.mu.Unlock()
+	// Stop the health plane's re-arm loop (it is wg-tracked, so the wait
+	// below covers it); a drained daemon no longer promises durability.
+	s.stopHealth()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

@@ -97,8 +97,8 @@ func TestServerShedsWhenQueueFull(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overload response HTTP %d, want 429", resp.StatusCode)
 	}
-	if got := resp.Header.Get("Retry-After"); got != "2" {
-		t.Fatalf("Retry-After %q, want %q (1.5s rounded up)", got, "2")
+	if got := resp.Header.Get("Retry-After"); got != "2" && got != "3" && got != "4" {
+		t.Fatalf("Retry-After %q, want in [2, 4] (1.5s rounded up, plus up to one base of jitter)", got)
 	}
 	if metrics.Get("rapidd.jobs.shed") != 1 {
 		t.Fatalf("shed counter %d, want 1", metrics.Get("rapidd.jobs.shed"))

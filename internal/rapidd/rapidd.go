@@ -16,7 +16,9 @@
 //	GET  /v1/stats      cache counters, pool and admission state
 //	GET  /metrics       Prometheus text format: counters, per-tenant
 //	                    gauges, latency summaries
-//	GET  /healthz       liveness
+//	GET  /healthz       readiness: 200 while every acknowledged submit is
+//	                    durable, 503 + JSON state while the journal is
+//	                    degraded (see health.go)
 //
 // Scale-out serving (see pool.go, wfq.go): Workers jobs execute
 // concurrently; a bounded queue absorbs bursts, drains weighted-fair
@@ -46,6 +48,7 @@ package rapidd
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -55,10 +58,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blas"
 	"repro/internal/chol"
+	"repro/internal/iofault"
 	"repro/internal/journal"
 	"repro/internal/lu"
 	"repro/internal/plancache"
@@ -132,6 +137,23 @@ type Config struct {
 	TenantWeights map[string]float64
 	// Metrics receives cache and job counters (nil: a fresh registry).
 	Metrics *trace.Metrics
+	// DegradedMode selects the submit policy while the journal is degraded
+	// (an I/O fault poisoned the active segment, see internal/journal):
+	// "reject" (default) refuses new submits with 503 — durability
+	// required; "serve" keeps accepting with Durable:false stamped on the
+	// job record. See health.go.
+	DegradedMode string
+	// RearmBackoff is the initial delay between journal re-arm attempts
+	// while degraded (default 50ms), doubled per failure up to 32× this.
+	RearmBackoff time.Duration
+	// ShedJitterSeed seeds the deterministic Retry-After jitter on shed
+	// and degraded-reject responses (0: seed 1). Equal seeds produce
+	// identical jitter sequences — load tests stay reproducible.
+	ShedJitterSeed uint64
+	// JournalFS is the filesystem seam the journal runs on (nil: the real
+	// OS). Chaos tests inject an iofault.FaultFS here to kill and revive
+	// the disk under the daemon.
+	JournalFS iofault.FS
 }
 
 // JobSpec is a solve request.
@@ -209,6 +231,11 @@ type Job struct {
 	// restart — re-queued if it had not started, failed explicitly if it
 	// was executing when the previous daemon died.
 	Recovered bool `json:"recovered,omitempty"`
+	// Durable is true when the submit record is fsync'd in the journal: a
+	// crash cannot lose this job. False when durability is disabled
+	// (no -journal-dir) or the job was accepted while the journal was
+	// degraded under -degraded-mode=serve.
+	Durable bool `json:"durable"`
 
 	// PlanSource says where the plan came from: compiled, memory, disk.
 	PlanSource string `json:"plan_source,omitempty"`
@@ -287,6 +314,12 @@ type Server struct {
 	wg      sync.WaitGroup
 	flights plancache.Group
 
+	// health is the failure-domain state machine: durable → degraded →
+	// recovering → durable, following the journal (see health.go).
+	health health
+	// shedSeq sequences the deterministic Retry-After jitter.
+	shedSeq atomic.Uint64
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	done     map[string]chan struct{}
@@ -355,6 +388,20 @@ func Open(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	switch cfg.DegradedMode {
+	case "":
+		cfg.DegradedMode = DegradedReject
+	case DegradedReject, DegradedServe:
+	default:
+		return nil, fmt.Errorf("rapidd: unknown degraded mode %q (want %q or %q)",
+			cfg.DegradedMode, DegradedReject, DegradedServe)
+	}
+	if cfg.RearmBackoff <= 0 {
+		cfg.RearmBackoff = 50 * time.Millisecond
+	}
+	if cfg.ShedJitterSeed == 0 {
+		cfg.ShedJitterSeed = 1
+	}
 	weight := func(tenant string) float64 {
 		if w, ok := cfg.TenantWeights[tenant]; ok && w > 0 {
 			return w
@@ -379,6 +426,9 @@ func Open(cfg Config) (*Server, error) {
 		tenants:   make(map[string]*tenantStats),
 		verified:  make(map[string]bool),
 	}
+	s.health.stop = make(chan struct{})
+	s.health.since = time.Now()
+	s.metrics.Set("rapidd.health.state", int64(HealthDurable))
 	// Quota-aware dispatch: the WFQ pop consults the admission ledgers so
 	// workers skip tenants with no headroom (their jobs would only park at
 	// admission, wedging pool slots), and admission wakes the queue when
@@ -388,7 +438,7 @@ func Open(cfg Config) (*Server, error) {
 	s.queue.dispatchable = s.adm.dispatchable
 	s.adm.onHeadroom = s.queue.wake
 	if cfg.JournalDir != "" {
-		jnl, rep, err := journal.Open(cfg.JournalDir, journal.Options{NoSync: cfg.JournalNoSync})
+		jnl, rep, err := journal.Open(cfg.JournalDir, journal.Options{NoSync: cfg.JournalNoSync, FS: cfg.JournalFS})
 		if err != nil {
 			return nil, err
 		}
@@ -407,9 +457,7 @@ func Open(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil
 }
 
@@ -486,6 +534,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(context.Background(), deadline)
 	}
 
+	// Degraded-reject gate: while the journal cannot make a submit
+	// durable, an honest 503 beats a silently weaker acknowledgement.
+	// (The journalSubmit error path below catches the race where the
+	// journal degrades between this check and the append.)
+	if s.cfg.DegradedMode == DegradedReject && s.jnl != nil && s.healthState() != HealthDurable {
+		cancel()
+		s.refuseDegraded(w, prio)
+		return
+	}
+
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -521,18 +579,37 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Write-ahead: the submit record is durable before a worker can see
 	// the task (commit below), so the journal can never hold an admit or
 	// completion for a job it never saw submitted.
+	durable := s.jnl != nil
 	if err := s.journalSubmit(seq, id, spec, body); err != nil {
-		s.queue.abort(slot)
-		s.mu.Lock()
-		delete(s.jobs, id)
-		delete(s.done, id)
-		delete(s.cancels, id)
-		s.tenantStatLocked(spec.Tenant).submitted--
-		s.mu.Unlock()
-		cancel()
 		s.metrics.Inc("rapidd.journal.errors", 1)
-		http.Error(w, "rapidd: journal write failed: "+err.Error(), http.StatusInternalServerError)
-		return
+		s.noteJournalError(err)
+		if errors.Is(err, journal.ErrDegraded) && s.cfg.DegradedMode == DegradedServe {
+			// Availability-first policy: accept the job with the weaker
+			// guarantee made visible — Durable:false on the record, a
+			// counter on the board. A crash before re-arm loses it.
+			durable = false
+			s.metrics.Inc("rapidd.jobs.nondurable", 1)
+		} else {
+			s.queue.abort(slot)
+			s.mu.Lock()
+			delete(s.jobs, id)
+			delete(s.done, id)
+			delete(s.cancels, id)
+			s.tenantStatLocked(spec.Tenant).submitted--
+			s.mu.Unlock()
+			cancel()
+			if errors.Is(err, journal.ErrDegraded) {
+				s.refuseDegraded(w, prio)
+				return
+			}
+			http.Error(w, "rapidd: journal write failed: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	if durable {
+		s.mu.Lock()
+		s.jobs[id].Durable = true
+		s.mu.Unlock()
 	}
 	s.queue.commit(slot, tk)
 	s.metrics.Inc("rapidd.jobs.submitted", 1)
@@ -563,7 +640,14 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		ch := s.done[id]
 		s.mu.Unlock()
-		<-ch
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			// The waiting client went away; release the handler goroutine
+			// instead of parking it until the job (maybe hours later)
+			// finishes. The job itself keeps running — only this watch
+			// ends — and the response writes into a dead connection.
+		}
 	}
 	s.writeJob(w, id)
 }
@@ -571,14 +655,26 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // shed refuses one request in O(1) — no job record, no journal write, no
 // goroutine — and tells the client when to come back. The Retry-After
 // hint scales with how early the class sheds: low-priority traffic backs
-// off 2× the base, normal 1×, high ½×, so retries return in priority
-// order instead of re-stampeding at once.
+// off 2× the base, normal 1×, high ½× (see retryAfterSecs), so retries
+// return in priority order instead of re-stampeding at once.
 func (s *Server) shed(w http.ResponseWriter, tenant string, prio int) {
 	s.metrics.Inc("rapidd.jobs.shed", 1)
 	s.metrics.Inc("rapidd.jobs.shed_"+priorityName(prio), 1)
 	s.mu.Lock()
 	s.tenantStatLocked(tenant).shed++
 	s.mu.Unlock()
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs(prio)))
+	http.Error(w, "rapidd: queue full, retry later", http.StatusTooManyRequests)
+}
+
+// retryAfterSecs computes the Retry-After hint for refused requests: the
+// priority-scaled base (low 2×, normal 1×, high ½×, rounded up to whole
+// seconds) plus a seeded jitter of up to one base, spreading backed-off
+// clients over [base, 2×base] instead of re-stampeding at one instant.
+// The jitter is a hash of (ShedJitterSeed, priority, refusal#) — a pure
+// function of the request sequence, so identically seeded and identically
+// driven servers emit identical hints and load tests stay reproducible.
+func (s *Server) retryAfterSecs(prio int) int {
 	after := s.cfg.RetryAfter
 	switch prio {
 	case prioLow:
@@ -587,8 +683,9 @@ func (s *Server) shed(w http.ResponseWriter, tenant string, prio int) {
 		after /= 2
 	}
 	secs := int((after + time.Second - 1) / time.Second)
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	http.Error(w, "rapidd: queue full, retry later", http.StatusTooManyRequests)
+	n := s.shedSeq.Add(1)
+	jitter := int(util.Hash64(s.cfg.ShedJitterSeed, uint64(prio), n) % uint64(secs+1))
+	return secs + jitter
 }
 
 // journalSubmit appends the write-ahead submit record (no-op without a
@@ -605,8 +702,9 @@ func (s *Server) journalSubmit(seq uint64, id string, spec JobSpec, body []byte)
 }
 
 // journalAppend writes a non-submit record, surfacing failures as a
-// counter — the job proceeds (the daemon must not wedge on a full disk),
-// but the gap is visible. Free-form fields are truncated to the journal's
+// counter and to the health plane — the job proceeds (the daemon must not
+// wedge on a full disk), but the gap is visible and the re-arm loop
+// starts working on it. Free-form fields are truncated to the journal's
 // per-field cap first: dropping a completion record because a job's error
 // string was long would resurrect an already-terminal job at replay.
 func (s *Server) journalAppend(rec journal.Record) {
@@ -617,6 +715,7 @@ func (s *Server) journalAppend(rec journal.Record) {
 	rec.Error = truncateJournalField(rec.Error)
 	if err := s.jnl.Append(rec); err != nil {
 		s.metrics.Inc("rapidd.journal.errors", 1)
+		s.noteJournalError(err)
 	}
 }
 
@@ -671,6 +770,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := map[string]any{
 		"verified_plans": verified,
 		"counters":       s.metrics.Snapshot(),
+		"gauges":         s.metrics.Gauges(),
+		"health":         s.healthState().String(),
 		"avail_mem":      avail,
 		"mem_in_use":     inUse,
 		"mem_peak":       peak,
@@ -737,12 +838,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	pw.Summary("rapidd_job_latency_us", "submission-to-terminal latency", s.latency)
 	pw.Summary("rapidd_queue_wait_us", "submission-to-worker-pickup wait", s.queueWait)
+	pw.Gauge("rapidd_health_state", "0 durable, 1 degraded, 2 recovering", nil, float64(s.healthState()))
 	if s.jnl != nil {
 		st := s.jnl.Stats()
+		degraded := 0.0
+		if st.Degraded {
+			degraded = 1
+		}
 		pw.Gauge("rapidd_journal_segments", "journal segment files", nil, float64(st.Segments))
 		pw.Gauge("rapidd_journal_live_jobs", "non-terminal jobs in the journal", nil, float64(st.LiveJobs))
+		pw.Gauge("rapidd_journal_degraded", "1 while the active segment is poisoned", nil, degraded)
 		pw.Counter("rapidd_journal_records_total", "journal records this session", nil, float64(st.Records))
 		pw.Counter("rapidd_journal_compactions_total", "journal compactions this session", nil, float64(st.Compactions))
+		pw.Counter("rapidd_journal_rearms_total", "successful re-arms after degradation", nil, float64(st.Rearms))
+		pw.Counter("rapidd_journal_gap_records_total", "gap markers written by re-arms", nil, float64(st.GapRecords))
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	pw.WriteTo(w)

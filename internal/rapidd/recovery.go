@@ -114,7 +114,7 @@ func (s *Server) recoverFailed(rj *replayedJob, msg string) {
 	s.mu.Lock()
 	s.jobs[rj.id] = &Job{
 		ID: rj.id, Seq: rj.seq, Spec: spec, Status: StatusFailed,
-		Error: msg, Recovered: true,
+		Error: msg, Recovered: true, Durable: true,
 	}
 	s.done[rj.id] = done
 	s.tenantStatLocked(rj.tenant).recovered++
@@ -153,7 +153,7 @@ func (s *Server) requeue(rj *replayedJob) {
 		ctx: ctx, cancel: cancel, done: make(chan struct{}),
 	}
 	s.mu.Lock()
-	s.jobs[rj.id] = &Job{ID: rj.id, Seq: rj.seq, Spec: spec, Status: StatusPending, Recovered: true}
+	s.jobs[rj.id] = &Job{ID: rj.id, Seq: rj.seq, Spec: spec, Status: StatusPending, Recovered: true, Durable: true}
 	s.done[rj.id] = tk.done
 	s.cancels[rj.id] = cancel
 	ts := s.tenantStatLocked(spec.Tenant)

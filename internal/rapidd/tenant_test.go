@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -266,8 +267,10 @@ func TestTenantQuotaTooSmallFailsExplicitly(t *testing.T) {
 }
 
 // TestShedRetryAfterPriorityOrder: shed responses tell low-priority
-// clients to back off 2× the base hint and high-priority half of it, and
-// the per-class and per-tenant shed counters advance.
+// clients to back off 2× the base hint and high-priority half of it —
+// each jittered into [base, 2×base] by a seeded hash, so two identically
+// seeded, identically driven servers emit the same hints — and the
+// per-class and per-tenant shed counters advance.
 func TestShedRetryAfterPriorityOrder(t *testing.T) {
 	metrics := trace.NewMetrics()
 	srv := New(Config{
@@ -282,17 +285,37 @@ func TestShedRetryAfterPriorityOrder(t *testing.T) {
 	j1 := solveAsync(t, ts, JobSpec{Kind: "chol", N: 90, Seed: 71, Procs: 2, HoldMS: 900})
 	waitStatus(t, ts, j1.ID, StatusRunning, StatusDone)
 
-	for prio, want := range map[string]string{"low": "4", "normal": "2", "high": "1"} {
+	// Fixed order (not map iteration): the jitter is a pure function of
+	// the refusal sequence, so the order must be deterministic too.
+	base := map[string]int{"low": 4, "normal": 2, "high": 1}
+	var hints []string
+	for _, prio := range []string{"low", "normal", "high"} {
 		resp := postSolveBody(t, ts, `{"tenant":"shedme","priority":"`+prio+`","kind":"chol","n":90,"seed":72,"procs":2}`, "")
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusTooManyRequests {
 			t.Fatalf("%s: HTTP %d, want 429", prio, resp.StatusCode)
 		}
-		if got := resp.Header.Get("Retry-After"); got != want {
-			t.Errorf("%s: Retry-After %q, want %q", prio, got, want)
+		got := resp.Header.Get("Retry-After")
+		hints = append(hints, got)
+		secs, err := strconv.Atoi(got)
+		if err != nil || secs < base[prio] || secs > 2*base[prio] {
+			t.Errorf("%s: Retry-After %q, want in [%d, %d]", prio, got, base[prio], 2*base[prio])
 		}
 		if metrics.Get("rapidd.jobs.shed_"+prio) != 1 {
 			t.Errorf("shed_%s counter %d, want 1", prio, metrics.Get("rapidd.jobs.shed_"+prio))
+		}
+	}
+	// Same seed, same refusal sequence → identical hints on a second server.
+	srv2 := New(Config{Workers: -1, QueueDepth: -1, RetryAfter: 2 * time.Second})
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	j2 := solveAsync(t, ts2, JobSpec{Kind: "chol", N: 90, Seed: 71, Procs: 2, HoldMS: 900})
+	waitStatus(t, ts2, j2.ID, StatusRunning, StatusDone)
+	for i, prio := range []string{"low", "normal", "high"} {
+		resp := postSolveBody(t, ts2, `{"tenant":"shedme","priority":"`+prio+`","kind":"chol","n":90,"seed":72,"procs":2}`, "")
+		resp.Body.Close()
+		if got := resp.Header.Get("Retry-After"); got != hints[i] {
+			t.Errorf("%s: Retry-After %q on twin server, want %q (seeded jitter must be reproducible)", prio, got, hints[i])
 		}
 	}
 	if metrics.Get("rapidd.jobs.shed") != 3 {
