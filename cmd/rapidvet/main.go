@@ -1,0 +1,12 @@
+// Command rapidvet statically enforces the runtime's concurrency and
+// durability invariants: admission-ledger balance, store-then-wake
+// ordering, the failed-fsync gate, guarded-by lock annotations, wrapped
+// sentinel discipline, and plan-byte determinism. Run it standalone
+// (`go run ./cmd/rapidvet ./...`) or as a vettool
+// (`go vet -vettool=$(which rapidvet) ./...`); see DESIGN.md §13 for the
+// invariant-to-analyzer table.
+package main
+
+import "repro/tools/analyzers/rapidvet/checker"
+
+func main() { checker.Main() }

@@ -175,7 +175,7 @@ type engine struct {
 	stopOnce  sync.Once
 	stallOnce sync.Once
 	errMu     sync.Mutex
-	runErr    error
+	runErr    error // first failure wins; guarded-by: errMu
 }
 
 // wake posts p's wake token. Non-blocking: if a token is already pending,
@@ -299,8 +299,14 @@ func Run(s *sched.Schedule, plan *mem.Plan, cfg Config) (*Result, error) {
 		}(p)
 	}
 	wg.Wait()
-	if e.runErr != nil {
-		return nil, e.runErr
+	// The join above orders every fail() before this read, but take the
+	// lock anyway: the invariant is "runErr moves under errMu", not
+	// "runErr moves under errMu except where a barrier happens to exist".
+	e.errMu.Lock()
+	runErr := e.runErr
+	e.errMu.Unlock()
+	if runErr != nil {
+		return nil, runErr
 	}
 	res.Reliability = make([]proto.Reliability, s.P)
 	for p := 0; p < s.P; p++ {

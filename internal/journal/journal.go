@@ -310,25 +310,25 @@ type Journal struct {
 	fs   iofault.FS
 
 	mu       sync.Mutex
-	f        iofault.File
-	seg      int
-	segBytes int64
-	highSeq  uint64
-	live     map[string]*liveJob
-	liveByte int64
-	stats    Stats
-	closed   bool
+	f        iofault.File        // guarded-by: mu
+	seg      int                 // guarded-by: mu
+	segBytes int64               // guarded-by: mu
+	highSeq  uint64              // guarded-by: mu
+	live     map[string]*liveJob // guarded-by: mu
+	liveByte int64               // guarded-by: mu
+	stats    Stats               // guarded-by: mu
+	closed   bool                // guarded-by: mu
 
 	// Degraded-mode state. ackedBytes is the durable prefix of the active
 	// segment: it advances only after a successful write+fsync, so when a
 	// fault poisons the segment it is exactly the offset past which bytes
 	// are suspect — the extent the re-arm's OpGap record carries.
-	degraded      bool
-	degradedCause error
-	ackedBytes    int64
+	degraded      bool  // guarded-by: mu
+	degradedCause error // guarded-by: mu
+	ackedBytes    int64 // guarded-by: mu
 	// compactAfter backs off compaction retries after an I/O failure:
 	// no new attempt until the active segment grows past it.
-	compactAfter int64
+	compactAfter int64 // guarded-by: mu
 }
 
 // segName formats a segment file name; the zero-padded number keeps

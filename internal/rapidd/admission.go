@@ -24,19 +24,20 @@ import (
 // cannot starve. Within one tenant, order stays FIFO.
 type admission struct {
 	mu    sync.Mutex
-	avail int64 // 0 = unlimited
-	inUse int64
-	queue []*waiter
+	avail int64     // 0 = unlimited; set at construction, immutable after
+	inUse int64     // guarded-by: mu
+	queue []*waiter // guarded-by: mu
 
 	// peakInUse records the highest admitted total, for stats.
-	peakInUse int64
+	peakInUse int64 // guarded-by: mu
 
 	// quotas caps each tenant's share of AVAIL_MEM (absent/0: use
-	// defaultQuota; defaultQuota 0: uncapped).
+	// defaultQuota; defaultQuota 0: uncapped). Both immutable after
+	// construction.
 	quotas       map[string]int64
 	defaultQuota int64
-	tenantUse    map[string]int64
-	tenantPeak   map[string]int64
+	tenantUse    map[string]int64 // guarded-by: mu
+	tenantPeak   map[string]int64 // guarded-by: mu
 
 	// onHeadroom, when set, fires after any state change that can give a
 	// previously-stuck tenant admission headroom (a release, or a waiter
@@ -106,7 +107,7 @@ func (a *admission) acquireCtx(ctx context.Context, tenant string, demand int64,
 	}
 	w := &waiter{tenant: tenant, demand: demand, admitted: make(chan struct{})}
 	a.queue = append(a.queue, w)
-	a.pump()
+	a.pumpLocked()
 	if admitted(w) {
 		a.mu.Unlock()
 		return nil
@@ -124,7 +125,7 @@ func (a *admission) acquireCtx(ctx context.Context, tenant string, demand int64,
 	for i, q := range a.queue {
 		if q == w {
 			a.queue = append(a.queue[:i], a.queue[i+1:]...)
-			a.pump()
+			a.pumpLocked()
 			a.mu.Unlock()
 			a.notifyHeadroom()
 			return ctx.Err()
@@ -158,7 +159,7 @@ func (a *admission) release(tenant string, demand int64) {
 	if a.tenantUse[tenant] <= 0 {
 		delete(a.tenantUse, tenant)
 	}
-	a.pump()
+	a.pumpLocked()
 	a.mu.Unlock()
 	a.notifyHeadroom()
 }
@@ -196,17 +197,17 @@ func (a *admission) dispatchable(tenant string) bool {
 	return true
 }
 
-// pump admits queued waiters while budgets allow. A waiter blocked only
+// pumpLocked admits queued waiters while budgets allow. A waiter blocked only
 // by its tenant quota is skipped — and so is every later waiter of that
 // tenant, preserving per-tenant FIFO — so one tenant at its cap cannot
 // block the rest. A waiter blocked by the machine budget stops the scan:
 // strict FIFO against the global budget, trading utilization for no
 // starvation. Called with mu held.
-func (a *admission) pump() {
+func (a *admission) pumpLocked() {
 	var blocked map[string]bool
 	for i := 0; i < len(a.queue); {
 		w := a.queue[i]
-		if blocked[w.tenant] || !a.tenantFits(w.tenant, w.demand) {
+		if blocked[w.tenant] || !a.tenantFitsLocked(w.tenant, w.demand) {
 			if blocked == nil {
 				blocked = make(map[string]bool)
 			}
@@ -214,26 +215,26 @@ func (a *admission) pump() {
 			i++
 			continue
 		}
-		if !a.globalFits(w.demand) {
+		if !a.globalFitsLocked(w.demand) {
 			break
 		}
 		a.queue = append(a.queue[:i], a.queue[i+1:]...)
-		a.admit(w)
+		a.admitLocked(w)
 	}
 }
 
-func (a *admission) globalFits(demand int64) bool {
+func (a *admission) globalFitsLocked(demand int64) bool {
 	return a.avail <= 0 || a.inUse+demand <= a.avail
 }
 
-func (a *admission) tenantFits(tenant string, demand int64) bool {
+func (a *admission) tenantFitsLocked(tenant string, demand int64) bool {
 	q := a.quota(tenant)
 	return q <= 0 || a.tenantUse[tenant]+demand <= q
 }
 
-// admit books the waiter's demand against both ledgers. Called with mu
+// admitLocked books the waiter's demand against both ledgers. Called with mu
 // held.
-func (a *admission) admit(w *waiter) {
+func (a *admission) admitLocked(w *waiter) {
 	a.inUse += w.demand
 	if a.inUse > a.peakInUse {
 		a.peakInUse = a.inUse

@@ -71,12 +71,12 @@ const maxRearmBackoffFactor = 32
 // health is the state machine's mutable core; Server embeds one.
 type health struct {
 	mu       sync.Mutex
-	state    HealthState
-	cause    string
-	since    time.Time // when the current state was entered
-	attempts int64     // re-arm attempts in the current window
-	rearming bool      // re-arm loop goroutine running
-	stopped  bool      // Drain called; no new loops
+	state    HealthState // guarded-by: mu
+	cause    string      // guarded-by: mu
+	since    time.Time   // when the current state was entered; guarded-by: mu
+	attempts int64       // re-arm attempts in the current window; guarded-by: mu
+	rearming bool        // re-arm loop goroutine running; guarded-by: mu
+	stopped  bool        // Drain called; no new loops; guarded-by: mu
 	stop     chan struct{}
 }
 

@@ -54,14 +54,14 @@ func priorityName(p int) string {
 type wfqueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	closed bool
+	closed bool // guarded-by: mu
 
 	maxDepth int // buffered capacity; 0 = handoff to an idle worker only
-	depth    int // reserved-or-queued tasks
-	idle     int // workers parked in next()
+	depth    int // reserved-or-queued tasks; guarded-by: mu
+	idle     int // workers parked in next(); guarded-by: mu
 
-	vtime   float64
-	tenants map[string]*tenantQ
+	vtime   float64             // guarded-by: mu
+	tenants map[string]*tenantQ // guarded-by: mu
 	weight  func(tenant string) float64
 
 	// dispatchable, when set, gates the pop: a tenant for which it reports

@@ -1,0 +1,9 @@
+// Offline stand-in for golang.org/x/tools. The build environment has no
+// module proxy, so the replace directive in the root go.mod resolves the
+// pinned requirement here instead of the network. The module is
+// deliberately empty: rapidvet compiles against its own API mirror in
+// tools/analyzers/rapidvet/analysis, and this stub only keeps the pin
+// resolvable. See third_party/golang.org/x/tools/README.md.
+module golang.org/x/tools
+
+go 1.22

@@ -1,0 +1,146 @@
+// Package analysistest runs one analyzer over a testdata corpus and
+// checks its diagnostics against `// want "regexp"` expectations, the
+// same contract as golang.org/x/tools/go/analysis/analysistest: every
+// diagnostic must land on a line carrying a matching want comment, and
+// every want comment must be matched by some diagnostic. A corpus
+// therefore proves both directions — the analyzer catches each seeded
+// violation AND accepts the corrected form sitting next to it.
+//
+// Corpora live in testdata/src/<pkg>/ under each analyzer package (a
+// layout go tooling ignores but `go list` can still resolve as an
+// explicit directory pattern, which is how the checker's loader
+// type-checks them offline).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/tools/analyzers/rapidvet/analysis"
+	"repro/tools/analyzers/rapidvet/checker"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads dir as one package, applies the analyzer (package scoping is
+// ignored — corpora live outside any DefaultPackages), and diffs the
+// diagnostics against the corpus's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	if !strings.HasPrefix(dir, ".") && !filepath.IsAbs(dir) {
+		dir = "./" + dir // a bare relative dir would be misread as an import path
+	}
+	fset, pkgs, err := checker.Load([]string{dir})
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("corpus %s matched no packages", dir)
+	}
+	for _, pkg := range pkgs {
+		wants := collectWants(t, fset, pkg.Files)
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			matched := false
+			for _, w := range wants[key] {
+				if !w.matched && w.re.MatchString(d.Message) {
+					w.matched = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		}
+		for key, ws := range wants {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s: no diagnostic matching %q", key, w.re)
+				}
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses `// want "re" "re"...` comments, keyed file:line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	out := make(map[string][]*want)
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, lit := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted extracts the double-quoted string literals of a want
+// comment's payload.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		j := i + 1
+		for j < len(s) {
+			if s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			return out
+		}
+		out = append(out, s[i:j+1])
+		s = s[j+1:]
+	}
+}

@@ -1,0 +1,76 @@
+package checker_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/tools/analyzers/rapidvet/checker"
+)
+
+// findingAt reports whether some finding from the named analyzer whose
+// message contains msgSub landed on the given fixture line.
+func findingAt(fs []checker.Finding, analyzer, msgSub string, line int) bool {
+	for _, f := range fs {
+		if f.Analyzer == analyzer && f.Pos.Line == line && strings.Contains(f.Msg, msgSub) {
+			return true
+		}
+	}
+	return false
+}
+
+// Fixture line numbers (testdata/supp/supp.go).
+const (
+	lineSilenced    = 16
+	lineBareMarker  = 22
+	lineStale       = 28
+	lineWrongMarker = 35
+)
+
+func runFixture(t *testing.T, opts checker.Options) []checker.Finding {
+	t.Helper()
+	opts.Patterns = []string{"./testdata/supp"}
+	opts.ScopeOff = true
+	fs, err := checker.Run(opts)
+	if err != nil {
+		t.Fatalf("checker.Run: %v", err)
+	}
+	return fs
+}
+
+func TestSuppressionAudit(t *testing.T) {
+	fs := runFixture(t, checker.Options{})
+
+	if findingAt(fs, "nondeterminism", "time.Now", lineSilenced) {
+		t.Errorf("reasoned //det:ok did not silence the diagnostic on line %d:\n%v", lineSilenced, fs)
+	}
+	if findingAt(fs, "nondeterminism", "time.Now", lineBareMarker) {
+		t.Errorf("bare //vet:ok should still silence the diagnostic on line %d (the missing reason is its own finding):\n%v", lineBareMarker, fs)
+	}
+	if !findingAt(fs, "suppression", "without a reason", lineBareMarker) {
+		t.Errorf("bare //vet:ok on line %d was not flagged as reason-less:\n%v", lineBareMarker, fs)
+	}
+	if !findingAt(fs, "suppression", "stale", lineStale) {
+		t.Errorf("unused //vet:ok on line %d was not flagged as stale:\n%v", lineStale, fs)
+	}
+	if !findingAt(fs, "errnodiscipline", "use errors.Is", lineWrongMarker) {
+		t.Errorf("//det:ok on line %d must not silence errnodiscipline (it is the nondeterminism marker):\n%v", lineWrongMarker, fs)
+	}
+	if !findingAt(fs, "suppression", "stale", lineWrongMarker) {
+		t.Errorf("the //det:ok on line %d silenced nothing and should be stale:\n%v", lineWrongMarker, fs)
+	}
+}
+
+func TestNoStaleAudit(t *testing.T) {
+	fs := runFixture(t, checker.Options{NoStaleAudit: true})
+
+	for _, f := range fs {
+		if f.Analyzer == "suppression" && strings.Contains(f.Msg, "stale") {
+			t.Errorf("stale finding reported despite NoStaleAudit: %v", f)
+		}
+	}
+	// The reason audit is unconditional: an unexplained waiver is a hole
+	// in the invariant surface no matter which analyzers ran.
+	if !findingAt(fs, "suppression", "without a reason", lineBareMarker) {
+		t.Errorf("reason-less //vet:ok on line %d must be flagged even with the stale audit off:\n%v", lineBareMarker, fs)
+	}
+}

@@ -1,0 +1,23 @@
+package checker
+
+import (
+	"repro/tools/analyzers/rapidvet/analysis"
+	"repro/tools/analyzers/rapidvet/passes/errnodiscipline"
+	"repro/tools/analyzers/rapidvet/passes/fsyncgate"
+	"repro/tools/analyzers/rapidvet/passes/guardedby"
+	"repro/tools/analyzers/rapidvet/passes/ledgerbalance"
+	"repro/tools/analyzers/rapidvet/passes/nondeterminism"
+	"repro/tools/analyzers/rapidvet/passes/storethenwake"
+)
+
+// All is the rapidvet suite: one analyzer per hard-won runtime invariant.
+// DESIGN.md §13 maps each to the PR that established the invariant
+// dynamically before it was encoded statically here.
+var All = []*analysis.Analyzer{
+	ledgerbalance.Analyzer,
+	storethenwake.Analyzer,
+	fsyncgate.Analyzer,
+	guardedby.Analyzer,
+	errnodiscipline.Analyzer,
+	nondeterminism.Analyzer,
+}

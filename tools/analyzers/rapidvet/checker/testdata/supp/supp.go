@@ -1,0 +1,36 @@
+// Fixture for the checker's suppression audit. Each function exercises
+// one clause of the contract: a reasoned marker silences, a bare marker
+// silences but is itself flagged, a marker on a clean line is stale, and
+// //det:ok is scoped to the nondeterminism analyzer only.
+package supp
+
+import (
+	"errors"
+	"time"
+)
+
+var ErrGone = errors.New("gone")
+
+// silenced: a reasoned //det:ok fully absorbs the diagnostic.
+func silenced() int64 {
+	return time.Now().UnixNano() //det:ok fixture exercises the suppression path
+}
+
+// bareMarker: the marker silences the diagnostic, but a waiver with no
+// reason is an invariant hole nobody can audit — flagged on its own.
+func bareMarker() int64 {
+	return time.Now().UnixNano() //vet:ok
+}
+
+// stale: nothing on this line triggers anything; the leftover waiver
+// must be reported so fixed code sheds its suppressions.
+func stale() int {
+	return 42 //vet:ok fixed long ago
+}
+
+// wrongMarker: //det:ok is the nondeterminism linter's marker — it does
+// not silence errnodiscipline, so the sentinel comparison still fires
+// and the marker itself goes stale.
+func wrongMarker(err error) bool {
+	return err == ErrGone //det:ok wrong marker for this analyzer
+}

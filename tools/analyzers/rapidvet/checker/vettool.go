@@ -1,0 +1,123 @@
+package checker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// vettool is the `go vet -vettool=` protocol: the go command invokes the
+// tool once per compile unit with a single JSON config-file argument
+// (the same contract x/tools' unitchecker implements). The config names
+// the unit's Go files and maps every import to the export data the
+// compiler already produced, so no `go list` round-trips are needed —
+// the go command is the package loader.
+//
+// Protocol obligations honoured here: the -V=full handshake (Main), the
+// VetxOutput facts file (written empty — this suite is factless, every
+// analyzer is package-local by construction), VetxOnly units (depended-on
+// packages analysed only for facts: nothing to do), and
+// SucceedOnTypecheckFailure (vet must not re-report compiler errors).
+// Test variants (ImportPath "pkg.test" or "pkg [pkg.test]") are skipped:
+// rapidvet analyses shipped code only, by design — tests legitimately
+// fabricate the very shapes the analyzers forbid.
+
+// vetConfig is the subset of the go command's vet config the suite needs.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vettool runs the suite over one compile unit; the return value is the
+// process exit code (0 clean, 1 findings, 2 operational error).
+func vettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapidvet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rapidvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The go command requires the facts file to exist afterwards.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "rapidvet: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly || isTestVariant(cfg.ImportPath) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	pkg := &Package{ImportPath: cfg.ImportPath, Dir: cfg.Dir}
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rapidvet: %v\n", err)
+			return 2
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return 0
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg.Info = newTypesInfo()
+	conf := types.Config{Importer: importerFor(fset, lookup), FakeImportC: true}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "rapidvet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	pkg.Pkg = tpkg
+
+	findings, err := checkPackage(fset, pkg, Options{Analyzers: All})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapidvet: %v\n", err)
+		return 2
+	}
+	sortFindings(findings)
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func isTestVariant(importPath string) bool {
+	return strings.HasSuffix(importPath, ".test") || strings.Contains(importPath, " [")
+}

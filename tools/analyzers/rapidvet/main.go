@@ -1,0 +1,10 @@
+// Command rapidvet (tools tree entry point) statically enforces the
+// runtime's concurrency and durability invariants; see ./checker for the
+// suite and DESIGN.md §13 for the invariant table. Identical to
+// cmd/rapidvet — this path keeps `go run ./tools/analyzers/rapidvet`
+// working next to the repo's other tools.
+package main
+
+import "repro/tools/analyzers/rapidvet/checker"
+
+func main() { checker.Main() }

@@ -1,0 +1,170 @@
+// Package errnodiscipline enforces wrapped-error hygiene. The runtime
+// deliberately wraps its sentinel errors — journal.Append returns
+// fmt.Errorf("%w: ...", ErrDegraded), the iofault seam wraps injected
+// errnos in *os.PathError precisely so errors.Is can see them — which
+// means a direct == or switch comparison against a sentinel is a latent
+// bug: it compiles, passes the happy-path test, and silently stops
+// matching the moment any layer adds context. PR 8's health plane works
+// only because every ErrDegraded check goes through errors.Is; this
+// analyzer makes that discipline structural.
+//
+// Flagged:
+//
+//   - err == ErrSentinel / err != ErrSentinel where ErrSentinel is a
+//     package-level error variable (the sentinel may arrive wrapped);
+//   - err == syscall.ENOSPC and friends — an errno boxed in an error
+//     interface is almost always nested inside a *os.PathError;
+//   - switch err { case ErrSentinel: ... } — the same comparison spelled
+//     as a switch.
+//
+// Allowed: comparisons with nil, io.EOF and io.ErrUnexpectedEOF (the
+// io.Reader contract requires those to be returned unwrapped), and
+// comparing two plain variables (e.g. err == prevErr identity checks).
+package errnodiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/analyzers/rapidvet/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errnodiscipline",
+	Doc: "flag ==/!=/switch comparisons of error values against sentinel errors and errnos that the " +
+		"codebase wraps; require errors.Is so context-adding layers cannot break the match",
+	Run: run,
+}
+
+// allowedSentinels are returned unwrapped by contract and are compared
+// with == throughout the standard library itself.
+var allowedSentinels = map[string]bool{
+	"io.EOF":               true,
+	"io.ErrUnexpectedEOF":  true,
+	"context.Canceled":     false, // context.Cause wraps; errors.Is is still right
+	"sql.ErrNoRows":        true,
+	"http.ErrServerClosed": true, // Serve returns it unwrapped by contract
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				checkComparison(pass, n.X, n.Y, n.Pos())
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorExpr(info, n.Tag) {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := sentinelName(info, e); ok {
+							pass.Reportf(e.Pos(), "switch on an error value against sentinel %s: the codebase wraps its sentinels, so a case match breaks as soon as context is added — use errors.Is in an if/else chain", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkComparison flags err ==/!= sentinel in either operand order.
+func checkComparison(pass *analysis.Pass, x, y ast.Expr, pos token.Pos) {
+	info := pass.TypesInfo
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		errSide, sentSide := pair[0], pair[1]
+		if !isErrorExpr(info, errSide) {
+			continue
+		}
+		if name, ok := sentinelName(info, sentSide); ok {
+			pass.Reportf(pos, "comparison of an error value against sentinel %s: the codebase wraps its sentinels (journal.ErrDegraded, iofault's *os.PathError errnos), so == stops matching once any layer adds context — use errors.Is", name)
+			return
+		}
+	}
+}
+
+// isErrorExpr reports whether e's static type is the error interface.
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// sentinelName reports whether e denotes a sentinel worth flagging: a
+// package-level variable of type error (ErrFoo), or a constant/variable
+// of a concrete type implementing error (syscall.Errno values). Returns
+// a printable name.
+func sentinelName(info *types.Info, e ast.Expr) (string, bool) {
+	var obj types.Object
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return "", false
+	}
+	if obj == nil || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return "", false // not package-level: a local error variable is an identity check, not a sentinel
+	}
+	name := obj.Name()
+	if obj.Pkg() != nil {
+		name = obj.Pkg().Name() + "." + name
+	}
+	if allowedSentinels[name] {
+		return "", false
+	}
+	switch obj := obj.(type) {
+	case *types.Var:
+		if isErrorType(obj.Type()) {
+			return name, true
+		}
+	case *types.Const:
+		if implementsError(obj.Type()) {
+			return name, true // e.g. syscall.ENOSPC: an errno boxed into err arrives wrapped in *os.PathError
+		}
+	}
+	return "", false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// implementsError reports whether concrete type t has an Error() string
+// method (so a value of it can be boxed into an error interface).
+func implementsError(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj()
+		if m.Name() != "Error" {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		if basic, ok := sig.Results().At(0).Type().(*types.Basic); ok && basic.Kind() == types.String {
+			return true
+		}
+	}
+	return false
+}

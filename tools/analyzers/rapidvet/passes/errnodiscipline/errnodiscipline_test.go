@@ -1,0 +1,12 @@
+package errnodiscipline_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/rapidvet/analysis/analysistest"
+	"repro/tools/analyzers/rapidvet/passes/errnodiscipline"
+)
+
+func TestCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", errnodiscipline.Analyzer)
+}

@@ -1,0 +1,74 @@
+// Corpus for the errnodiscipline analyzer: == / switch comparisons
+// against error sentinels break the moment a layer wraps the error;
+// errors.Is is the only comparison that survives fmt.Errorf("%w").
+package a
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrOverBudget = errors.New("admission: over budget")
+var ErrPoisoned = errors.New("journal: poisoned")
+
+type errno int
+
+func (e errno) Error() string { return "errno" }
+
+const EAGAIN errno = 11
+
+func do() error { return nil }
+
+// badEq compares with ==: a wrapped ErrOverBudget sails past it.
+func badEq() bool {
+	err := do()
+	return err == ErrOverBudget // want "use errors.Is"
+}
+
+// badNeq is the negated form.
+func badNeq() bool {
+	err := do()
+	return err != ErrPoisoned // want "use errors.Is"
+}
+
+// badReversed puts the sentinel on the left.
+func badReversed(err error) bool {
+	return ErrOverBudget == err // want "use errors.Is"
+}
+
+// badErrno compares an error against an errno-style constant.
+func badErrno(err error) bool {
+	return err == EAGAIN // want "use errors.Is"
+}
+
+// badSwitch dispatches on sentinel identity in case clauses.
+func badSwitch(err error) int {
+	switch err {
+	case ErrOverBudget: // want "use errors.Is"
+		return 1
+	case ErrPoisoned: // want "use errors.Is"
+		return 2
+	}
+	return 0
+}
+
+// goodIs is the corrected form: survives wrapping.
+func goodIs(err error) bool {
+	return errors.Is(err, ErrOverBudget)
+}
+
+// goodNil: nil checks are not sentinel comparisons.
+func goodNil(err error) bool {
+	return err != nil
+}
+
+// goodEOF: io.EOF is an allowlisted protocol value — the io.Reader
+// contract requires returning it unwrapped, so == is the idiom.
+func goodEOF(err error) bool {
+	return err == io.EOF
+}
+
+// goodLocal: comparing two locals is not a sentinel comparison.
+func goodLocal(a, b error) bool {
+	return a == b
+}

@@ -1,0 +1,288 @@
+// Package fsyncgate enforces the PR-8 failed-fsync contract: once Sync
+// returns an error, the kernel may have dropped the dirty pages and
+// cleared the error state, so the file descriptor's durable contents are
+// unknowable. The only sound continuations are to poison the journal
+// (refuse new acks), rotate to a fresh segment (new fd), or close and
+// report. What is never sound is writing to the same fd again — the
+// write can succeed into a file whose earlier bytes silently never
+// reached the platter, which is exactly the acked-but-lost corruption
+// the PR-8 chaos soak exists to rule out.
+//
+// Flagged:
+//
+//   - a Sync call whose error is discarded (ExprStmt) — an unobserved
+//     fsync failure cannot gate anything;
+//   - a Write to the same fd inside the Sync-failure branch;
+//   - when the Sync-failure branch neither terminates (return/panic) nor
+//     replaces the fd (rotate: reassigning the receiver), any later
+//     Write or Sync on that fd in the enclosing block.
+//
+// The fd is identified textually (the receiver expression of the Sync
+// call, e.g. "j.f"), matching how the journal names its active segment
+// handle; reassigning that expression counts as rotation.
+package fsyncgate
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+
+	"repro/tools/analyzers/rapidvet/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncgate",
+	Doc: "after a failed Sync the fd's durable state is unknown: the failure branch must poison, rotate " +
+		"or terminate, and the fd must never be written again (PR-8 journal contract)",
+	DefaultPackages: []string{
+		"internal/journal",
+		"internal/iofault",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBlock(pass, fn.Body.List)
+			// Nested function literals get the same treatment.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBlock(pass, lit.Body.List)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// checkBlock scans one statement list for the three violation shapes.
+func checkBlock(pass *analysis.Pass, stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		// Shape 1: bare Sync with the error dropped on the floor.
+		if es, ok := stmt.(*ast.ExprStmt); ok {
+			if fd, ok := syncCall(es.X); ok {
+				pass.Reportf(es.Pos(), "Sync error discarded on %s: an unobserved fsync failure cannot poison the journal, so a later crash can lose acked bytes — check the error and poison/rotate on failure", fd)
+			}
+		}
+
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok {
+			// Recurse into other compound statements so nested blocks are
+			// covered (for/select/switch bodies).
+			recurse(pass, stmt)
+			continue
+		}
+		fd, ok := syncFailureCheck(ifs, prevStmt(stmts, i))
+		if !ok {
+			recurse(pass, stmt)
+			continue
+		}
+
+		// Shape 2: the failure branch itself writes the fd.
+		ast.Inspect(ifs.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if recv, name, ok := methodCall(call); ok && recv == fd && (name == "Write" || name == "Sync") {
+					pass.Reportf(call.Pos(), "%s.%s inside the Sync-failure branch: after a failed fsync the fd's durable contents are unknown — poison and rotate instead of retrying on the same fd", fd, name)
+				}
+			}
+			return true
+		})
+
+		// Shape 3: the branch lets execution continue with the same fd.
+		if branchTerminates(ifs.Body) || branchRotates(ifs.Body, fd) {
+			recurse(pass, stmt)
+			continue
+		}
+		for _, later := range stmts[i+1:] {
+			ast.Inspect(later, func(n ast.Node) bool {
+				// A rotation below the check re-legitimises the fd.
+				if as, ok := n.(*ast.AssignStmt); ok && assignsTo(as, fd) {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if recv, name, ok := methodCall(call); ok && recv == fd && (name == "Write" || name == "Sync") {
+						pass.Reportf(call.Pos(), "%s.%s reachable after a failed Sync on %s: the failure branch neither returns, poisons-and-returns, nor rotates the fd, so this write can land on a file whose acked bytes never became durable (PR-8)", fd, name, fd)
+					}
+				}
+				return true
+			})
+		}
+		recurse(pass, stmt)
+	}
+}
+
+// recurse walks into compound statements, checking each nested block.
+func recurse(pass *analysis.Pass, stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		checkBlock(pass, s.List)
+	case *ast.IfStmt:
+		checkBlock(pass, s.Body.List)
+		if s.Else != nil {
+			recurse(pass, s.Else)
+		}
+	case *ast.ForStmt:
+		checkBlock(pass, s.Body.List)
+	case *ast.RangeStmt:
+		checkBlock(pass, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkBlock(pass, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkBlock(pass, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				checkBlock(pass, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		recurse(pass, s.Stmt)
+	}
+}
+
+// syncCall matches a call to a niladic method named Sync and returns the
+// rendered receiver expression.
+func syncCall(e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false
+	}
+	recv, name, ok := methodCall(call)
+	if !ok || name != "Sync" {
+		return "", false
+	}
+	return recv, true
+}
+
+// methodCall splits a call into rendered-receiver and method name.
+func methodCall(call *ast.CallExpr) (recv, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return render(sel.X), sel.Sel.Name, true
+}
+
+// syncFailureCheck recognises the two checked-Sync idioms and returns the
+// fd expression:
+//
+//	if err := fd.Sync(); err != nil { ... }
+//	err := fd.Sync()            // prev statement
+//	if err != nil { ... }
+func syncFailureCheck(ifs *ast.IfStmt, prev ast.Stmt) (string, bool) {
+	// Inline init form.
+	if as, ok := ifs.Init.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+		if fd, ok := syncCall(as.Rhs[0]); ok && condIsErrNotNil(ifs.Cond, as) {
+			return fd, true
+		}
+	}
+	// Adjacent-statement form.
+	if ifs.Init == nil && prev != nil {
+		if as, ok := prev.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			if fd, ok := syncCall(as.Rhs[0]); ok && condIsErrNotNil(ifs.Cond, as) {
+				return fd, true
+			}
+		}
+	}
+	return "", false
+}
+
+// condIsErrNotNil reports whether cond is `v != nil` for a variable
+// assigned by as.
+func condIsErrNotNil(cond ast.Expr, as *ast.AssignStmt) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	id, ok := be.X.(*ast.Ident)
+	if !ok || !isNil(be.Y) {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if lid, ok := lhs.(*ast.Ident); ok && lid.Name == id.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// prevStmt returns the statement before index i, if any.
+func prevStmt(stmts []ast.Stmt, i int) ast.Stmt {
+	if i == 0 {
+		return nil
+	}
+	return stmts[i-1]
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// branchTerminates reports whether the block's last statement leaves the
+// function (return, panic, os.Exit, goto out of the block is treated as
+// non-terminating).
+func branchTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+			if recv, name, ok := methodCall(call); ok && recv == "os" && name == "Exit" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// branchRotates reports whether the block assigns a new value to the fd
+// expression (segment rotation hands the name a fresh descriptor).
+func branchRotates(b *ast.BlockStmt, fd string) bool {
+	rotated := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && assignsTo(as, fd) {
+			rotated = true
+			return false
+		}
+		return true
+	})
+	return rotated
+}
+
+func assignsTo(as *ast.AssignStmt, fd string) bool {
+	for _, lhs := range as.Lhs {
+		if render(lhs) == fd {
+			return true
+		}
+	}
+	return false
+}
+
+// render prints an expression compactly for textual fd identity.
+func render(e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}

@@ -1,0 +1,90 @@
+// Corpus for the fsyncgate analyzer: the PR-8 failed-fsync shapes. The
+// file type mirrors the iofault.File surface (Write/Sync/Close); each
+// seeded violation sits next to the poison-and-rotate form the journal
+// actually uses.
+package a
+
+import "errors"
+
+type file struct{}
+
+func (f *file) Write(p []byte) (int, error) { return len(p), nil }
+func (f *file) Sync() error                 { return nil }
+func (f *file) Close() error                { return nil }
+
+type jrnl struct {
+	f        *file
+	poisoned bool
+}
+
+func (j *jrnl) poison(err error) { j.poisoned = true }
+func (j *jrnl) rotate() *file    { return &file{} }
+
+var errBoom = errors.New("boom")
+
+// discardedSync drops the fsync error on the floor: the one signal that
+// acked bytes may be gone is never observed.
+func discardedSync(j *jrnl) {
+	j.f.Sync() // want "Sync error discarded"
+}
+
+// writeInFailureBranch retries on the very fd whose durable state just
+// became unknowable.
+func writeInFailureBranch(j *jrnl, frame []byte) {
+	if err := j.f.Sync(); err != nil {
+		j.f.Write(frame) // want "inside the Sync-failure branch"
+	}
+}
+
+// fdReuseAfterFailedSync is the PR-8 must-catch: the branch poisons but
+// falls through, and the next append writes the same fd — it can succeed
+// into a file whose earlier acked bytes never reached the platter.
+func fdReuseAfterFailedSync(j *jrnl, frame []byte) error {
+	if err := j.f.Sync(); err != nil {
+		j.poison(err)
+	}
+	_, err := j.f.Write(frame) // want "reachable after a failed Sync"
+	return err
+}
+
+// adjacentCheck is the same bug with the two-statement check idiom.
+func adjacentCheck(j *jrnl, frame []byte) {
+	err := j.f.Sync()
+	if err != nil {
+		j.f.Write(frame) // want "inside the Sync-failure branch"
+	}
+}
+
+// poisonAndReturn is the journal's actual contract: on fsync failure,
+// poison and stop; nothing touches the fd afterwards.
+func poisonAndReturn(j *jrnl, frame []byte) error {
+	if _, err := j.f.Write(frame); err != nil {
+		j.poison(err)
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.poison(err)
+		return err
+	}
+	_, err := j.f.Write(frame)
+	return err
+}
+
+// rotateOnFailure is the re-arm path: the failure branch hands the name
+// a fresh descriptor, so the later write is on a clean fd.
+func rotateOnFailure(j *jrnl, frame []byte) {
+	if err := j.f.Sync(); err != nil {
+		j.f = j.rotate()
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		j.poison(err)
+	}
+}
+
+// checkedSync observes the error and terminates: nothing to flag.
+func checkedSync(j *jrnl) error {
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/rapidvet/analysis/analysistest"
+	"repro/tools/analyzers/rapidvet/passes/guardedby"
+)
+
+func TestCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", guardedby.Analyzer)
+}

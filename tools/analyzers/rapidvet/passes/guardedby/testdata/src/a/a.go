@@ -1,0 +1,118 @@
+// Corpus for the guardedby analyzer. A miniature of the rapidd server:
+// annotated fields, *Locked helpers, a one-level-deep guarded sub-struct
+// (server.health), fresh-constructor and goroutine-escape shapes.
+package a
+
+import "sync"
+
+type ledger struct {
+	mu    sync.Mutex
+	inUse int64 // guarded-by: mu
+	queue []int // guarded-by: mu
+	avail int64 // immutable after construction
+}
+
+// pumpLocked is the blessed helper: callers hold l.mu.
+func (l *ledger) pumpLocked() {
+	for len(l.queue) > 0 {
+		l.queue = l.queue[1:]
+		l.inUse++
+	}
+}
+
+// unlockedTouch mutates a guarded field with no lock at all.
+func unlockedTouch(l *ledger) {
+	l.inUse++ // want "guarded-by"
+}
+
+// lockedTouch is the corrected form.
+func lockedTouch(l *ledger) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inUse++
+	l.pumpLocked()
+}
+
+// unlockTooEarly releases the lock and keeps going: the tail access
+// races with every other holder.
+func unlockTooEarly(l *ledger) {
+	l.mu.Lock()
+	l.inUse++
+	l.mu.Unlock()
+	l.queue = nil // want "guarded-by"
+}
+
+// branchJoin: one arm unlocks, so after the join the lock may or may
+// not be held — the analyzer must assume the worst.
+func branchJoin(l *ledger, bail bool) {
+	l.mu.Lock()
+	if bail {
+		l.mu.Unlock()
+	} else {
+		l.inUse++
+	}
+	l.queue = append(l.queue, 1) // want "guarded-by" "guarded-by"
+}
+
+// freshConstructor: a value no other goroutine can see yet needs no lock.
+func freshConstructor() *ledger {
+	l := &ledger{avail: 64}
+	l.inUse = 0
+	l.queue = make([]int, 0, 8)
+	return l
+}
+
+// goroutineEscape: the moment the fresh value is handed to a goroutine,
+// the single-owner exemption ends.
+func goroutineEscape() *ledger {
+	l := &ledger{avail: 64}
+	l.inUse = 0 // still fresh: fine
+	go func() {
+		l.mu.Lock()
+		l.inUse++
+		l.mu.Unlock()
+	}()
+	l.queue = nil // want "guarded-by"
+	return l
+}
+
+// goroutineBody: a go-closure starts with an empty held set even if the
+// spawner holds the lock.
+func goroutineBody(l *ledger) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	go func() {
+		l.inUse++ // want "guarded-by"
+	}()
+	l.inUse++
+}
+
+// health mirrors rapidd's degraded-mode plane: guards one level down.
+type health struct {
+	mu    sync.Mutex
+	state int    // guarded-by: mu
+	cause string // guarded-by: mu
+}
+
+type server struct {
+	health health
+}
+
+// setHealthLocked holds s.health.mu by contract, so the one-level-deep
+// accesses inside are blessed.
+func (s *server) setHealthLocked(st int, cause string) {
+	s.health.state = st
+	s.health.cause = cause
+}
+
+// setHealthUnlocked reaches the same fields with no contract and no lock.
+func setHealthUnlocked(s *server, st int) {
+	s.health.state = st // want "guarded-by"
+}
+
+// setHealth is the corrected caller shape.
+func setHealth(s *server, st int, cause string) {
+	s.health.mu.Lock()
+	defer s.health.mu.Unlock()
+	s.setHealthLocked(st, cause)
+}

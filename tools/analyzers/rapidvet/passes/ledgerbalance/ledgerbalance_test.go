@@ -1,0 +1,12 @@
+package ledgerbalance_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/rapidvet/analysis/analysistest"
+	"repro/tools/analyzers/rapidvet/passes/ledgerbalance"
+)
+
+func TestCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", ledgerbalance.Analyzer)
+}

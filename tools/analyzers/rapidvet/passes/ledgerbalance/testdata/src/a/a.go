@@ -1,0 +1,111 @@
+// Corpus for the ledgerbalance analyzer. The types mirror the daemon's
+// ledger vocabulary (acquire/acquireCtx/release; reserve/commit/abort)
+// so the analyzer's structural matching fires on them; each seeded
+// violation sits next to its corrected form.
+package a
+
+import (
+	"context"
+	"errors"
+)
+
+type ledger struct{}
+
+func (l *ledger) acquire(tenant string, demand int64, onQueue func()) error { return nil }
+func (l *ledger) acquireCtx(ctx context.Context, tenant string, demand int64, onQueue func()) error {
+	return nil
+}
+func (l *ledger) release(tenant string, demand int64) {}
+
+type wslot struct{}
+
+type queue struct{}
+
+func (q *queue) reserve(tenant string, prio int, force bool) (wslot, bool) { return wslot{}, true }
+func (q *queue) commit(sl wslot)                                           {}
+func (q *queue) abort(sl wslot)                                            {}
+
+var errShed = errors.New("shed")
+
+// leakOnJournalError is the PR-3-style leak: the happy path releases,
+// but the journal-failure return path forgets, so every I/O fault bleeds
+// admitted units until the daemon wedges shut.
+func leakOnJournalError(l *ledger, journal func() error) error {
+	err := l.acquire("t", 10, nil) // want "not released on every path"
+	if err != nil {
+		return err
+	}
+	if err := journal(); err != nil {
+		return err
+	}
+	l.release("t", 10)
+	return nil
+}
+
+// leakOnPanic: an explicit panic is an exit path too; only a deferred
+// release covers it.
+func leakOnPanic(l *ledger) {
+	_ = l.acquire("t", 1, nil) // want "not released on every path"
+	panic("boom")
+}
+
+// reserveWithoutAbort: the two-phase protocol leaks the slot when the
+// journal append fails and nobody aborts.
+func reserveWithoutAbort(q *queue, journal func() error) error {
+	sl, ok := q.reserve("t", 1, false) // want "neither committed nor aborted"
+	if !ok {
+		return errShed
+	}
+	if err := journal(); err != nil {
+		return err
+	}
+	q.commit(sl)
+	return nil
+}
+
+// deferredRelease is the corrected acquire form: the failure branch of
+// the acquire cancels the obligation, the defer covers every later exit
+// including panics.
+func deferredRelease(l *ledger, work func()) error {
+	if err := l.acquireCtx(context.Background(), "t", 5, nil); err != nil {
+		return err
+	}
+	defer l.release("t", 5)
+	work()
+	return nil
+}
+
+// explicitRelease releases on each exit by hand; both paths discharge.
+func explicitRelease(l *ledger, work func() error) error {
+	if err := l.acquire("t", 5, nil); err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		l.release("t", 5)
+		return err
+	}
+	l.release("t", 5)
+	return nil
+}
+
+// commitOrAbort is the corrected two-phase form: abort on journal
+// failure, commit on success.
+func commitOrAbort(q *queue, journal func() error) error {
+	sl, ok := q.reserve("t", 2, false)
+	if !ok {
+		return errShed
+	}
+	if err := journal(); err != nil {
+		q.abort(sl)
+		return err
+	}
+	q.commit(sl)
+	return nil
+}
+
+// forcedRequeue mirrors recovery's force-reserve: the discarded ok is
+// fine because commit follows unconditionally.
+func forcedRequeue(q *queue) {
+	sl, _ := q.reserve("t", 1, true)
+	q.commit(sl)
+}

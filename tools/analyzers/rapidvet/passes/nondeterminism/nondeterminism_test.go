@@ -1,0 +1,12 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/rapidvet/analysis/analysistest"
+	"repro/tools/analyzers/rapidvet/passes/nondeterminism"
+)
+
+func TestCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", nondeterminism.Analyzer)
+}

@@ -1,0 +1,69 @@
+// Corpus for the nondeterminism analyzer: every construct that makes
+// plan bytes depend on runtime accidents, next to its deterministic
+// replacement. No //det:ok here — the corpus exercises the raw analyzer;
+// suppression plumbing is the checker's own test.
+package a
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// mapRange leaks iteration order into whatever it builds.
+func mapRange(weights map[string]int) int {
+	total := 0
+	for _, w := range weights { // want "range over map"
+		total += w
+	}
+	return total
+}
+
+// sortedRange is the deterministic form: collect keys, sort, iterate.
+func sortedRange(weights map[string]int) []string {
+	keys := make([]string, 0, len(weights))
+	for k := range weights { // want "range over map"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// wallClock stamps plan bytes with the time of day.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// bareSleep papers over a missing event with a guessed delay.
+func bareSleep() {
+	time.Sleep(10 * time.Millisecond) // want "bare time.Sleep"
+}
+
+// spin busy-polls through the scheduler instead of parking.
+func spin(done *bool) {
+	for !*done {
+		runtime.Gosched() // want "runtime.Gosched"
+	}
+}
+
+// sharedSource draws from the implicitly seeded package-level source.
+func sharedSource() int {
+	return rand.Intn(100) // want "shared non-seeded source"
+}
+
+// seededSource is the reproducible form: an explicit seed, draws from
+// the owned *rand.Rand (method calls don't match the package pattern).
+func seededSource(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(100)
+}
+
+// sliceRange: ranging a slice is ordered — nothing to flag.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+package storethenwake_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/rapidvet/analysis/analysistest"
+	"repro/tools/analyzers/rapidvet/passes/storethenwake"
+)
+
+func TestCorpus(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", storethenwake.Analyzer)
+}
