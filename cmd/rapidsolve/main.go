@@ -7,8 +7,8 @@
 // Usage:
 //
 //	rapidsolve [-kind chol|lu] [-n 300] [-procs 4] [-block 8]
-//	           [-heuristic rcp|mpo|dts|dtsmerge] [-mem 60]
-//	           [-file matrix.mtx] [-verify]
+//	           [-heuristic rcp|mpo|dts|dtsmerge|treemem] [-mem 60]
+//	           [-file matrix.mtx] [-verify] [-exact]
 //	           [-drop 0.25] [-dup 0.1] [-addrdelay 0.3] [-datadelay 0.3]
 //	           [-faultseed 1]
 //
@@ -17,7 +17,10 @@
 // no-recycling requirement. -verify runs the static plan verifier
 // (internal/verify) on the compiled plan before execution: on findings the
 // table is printed to stderr and the process exits non-zero without
-// executing. The -drop/-dup/-addrdelay/-datadelay flags
+// executing. -exact additionally runs the branch-and-bound reference
+// solver (internal/sched/exact) on instances of at most 20 tasks and
+// reports the compiled schedule's (time, memory) optimality gap against
+// the true Pareto frontier. The -drop/-dup/-addrdelay/-datadelay flags
 // inject deterministic message faults (loss, duplication, delay) selected
 // by -faultseed; the engine's reliability layer must absorb them, the
 // residual must be unchanged, and the per-processor retransmit/dedup
@@ -35,6 +38,8 @@ import (
 	"repro/internal/blas"
 	"repro/internal/chol"
 	"repro/internal/lu"
+	"repro/internal/sched"
+	"repro/internal/sched/exact"
 	"repro/internal/sparse"
 	"repro/internal/trace"
 	"repro/internal/util"
@@ -66,7 +71,8 @@ func main() {
 	n := flag.Int("n", 300, "approximate matrix order")
 	procs := flag.Int("procs", 4, "virtual processors")
 	block := flag.Int("block", 8, "block / panel size")
-	heur := flag.String("heuristic", "mpo", "ordering: rcp, mpo, dts, dtsmerge")
+	heur := flag.String("heuristic", "mpo", "ordering: rcp, mpo, dts, dtsmerge, treemem")
+	doExact := flag.Bool("exact", false, "solve the exact (makespan, MIN_MEM) Pareto frontier (branch and bound; instances of at most 20 tasks) and report the schedule's optimality gap")
 	memPct := flag.Int("mem", 60, "memory budget, percent of the no-recycling requirement")
 	seed := flag.Uint64("seed", 1, "matrix generator seed")
 	file := flag.String("file", "", "load a MatrixMarket matrix instead of generating one")
@@ -78,6 +84,7 @@ func main() {
 	doVerify := flag.Bool("verify", false, "statically verify the compiled plan; on findings, print the table to stderr and exit non-zero without executing")
 	flag.Parse()
 	verifyPlans = *doVerify
+	exactFrontier = *doExact
 
 	faults := rapid.Faults{
 		Seed:     *faultSeed,
@@ -97,6 +104,8 @@ func main() {
 		h = rapid.DTS
 	case "dtsmerge":
 		h = rapid.DTSMerge
+	case "treemem":
+		h = rapid.TreeMem
 	default:
 		fmt.Fprintf(os.Stderr, "unknown heuristic %q\n", *heur)
 		os.Exit(2)
@@ -146,6 +155,44 @@ func main() {
 // verified and a defective one aborts the run before execution.
 var verifyPlans bool
 
+// exactFrontier mirrors the -exact flag: the branch-and-bound reference
+// solver computes the true (makespan, MIN_MEM) Pareto frontier and the
+// compiled schedule's optimality gap is reported.
+var exactFrontier bool
+
+// reportExact solves the instance exactly and prints the frontier and the
+// compiled schedule's gap against it. Instances above the solver's task cap
+// abort with a hint to shrink -n.
+func reportExact(prog *rapid.Program, procs int, plan *rapid.Plan) {
+	assign, err := sched.OwnerComputeAssign(prog.G, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exact.Frontier(prog.G, assign, procs, plan.Model, exact.Options{})
+	if err != nil {
+		log.Fatalf("exact solve: %v (use a smaller -n/-block so the graph has at most 20 tasks)", err)
+	}
+	if !res.Complete {
+		log.Fatalf("exact solve: node budget exhausted after %d nodes; frontier would be unsound", res.Nodes)
+	}
+	fmt.Printf("exact:    frontier of %d point(s) in %d nodes:", len(res.Frontier), res.Nodes)
+	for _, pt := range res.Frontier {
+		fmt.Printf(" (time %.4g, mem %d)", pt.Makespan, pt.MinMem)
+	}
+	fmt.Println()
+	s := plan.Schedule
+	if gt, ok := res.GapTime(s.Makespan, s.MinMem()); ok {
+		fmt.Printf("exact:    time gap %.4gx at this memory", gt)
+	} else {
+		fmt.Printf("exact:    no frontier point within this schedule's memory")
+	}
+	if gm, ok := res.GapMem(s.MinMem()); ok {
+		fmt.Printf(", memory gap %.4gx over the instance optimum %d\n", gm, res.BestMem())
+	} else {
+		fmt.Println()
+	}
+}
+
 func compile(prog *rapid.Program, procs int, h rapid.Heuristic, memPct int) *rapid.Plan {
 	free, err := rapid.Compile(prog, rapid.Options{Procs: procs, Heuristic: h})
 	if err != nil {
@@ -172,6 +219,9 @@ func compile(prog *rapid.Program, procs int, h rapid.Heuristic, memPct int) *rap
 			os.Exit(1)
 		}
 		fmt.Printf("verified: %d static checks passed, replayed peaks %v\n", res.Checks, res.Peaks)
+	}
+	if exactFrontier {
+		reportExact(prog, procs, plan)
 	}
 	return plan
 }

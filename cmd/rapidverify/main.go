@@ -144,7 +144,7 @@ func runBuiltin(procs, n, block int, seed uint64) int {
 
 	bad := 0
 	for _, pb := range programs {
-		for _, h := range []rapid.Heuristic{rapid.RCP, rapid.MPO, rapid.DTS, rapid.DTSMerge} {
+		for _, h := range []rapid.Heuristic{rapid.RCP, rapid.MPO, rapid.DTS, rapid.DTSMerge, rapid.TreeMem} {
 			for _, memPct := range []int{100, 60} {
 				label := fmt.Sprintf("%s/%v/mem=%d%%", pb.name, h, memPct)
 				free, err := rapid.Compile(pb.prog, rapid.Options{Procs: procs, Heuristic: h})

@@ -71,7 +71,7 @@ func taskName(k string, i, j int) string {
 }
 
 func TestRoundTripIdentity(t *testing.T) {
-	for _, h := range []sched.Heuristic{sched.RCP, sched.MPO, sched.DTS, sched.DTSMerge} {
+	for _, h := range []sched.Heuristic{sched.RCP, sched.MPO, sched.DTS, sched.DTSMerge, sched.TreeMem} {
 		a := buildArtifact(t, h, 3)
 		enc1, err := Encode(a)
 		if err != nil {

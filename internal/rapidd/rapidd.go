@@ -179,7 +179,7 @@ type JobSpec struct {
 	Procs int `json:"procs"`
 	// Block is the block/panel size (default 8).
 	Block int `json:"block"`
-	// Heuristic is rcp, mpo (default), dts or dtsmerge.
+	// Heuristic is rcp, mpo (default), dts, dtsmerge or treemem.
 	Heuristic string `json:"heuristic"`
 	// MemPercent caps each processor at this percentage of the schedule's
 	// no-recycling requirement (0: uncapped).
@@ -987,6 +987,8 @@ func parseHeuristic(name string) (rapid.Heuristic, error) {
 		return rapid.DTS, nil
 	case "dtsmerge":
 		return rapid.DTSMerge, nil
+	case "treemem":
+		return rapid.TreeMem, nil
 	}
 	return 0, fmt.Errorf("rapidd: unknown heuristic %q", name)
 }

@@ -1,0 +1,85 @@
+package bakeoff
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/plan"
+	"repro/internal/sched"
+)
+
+// FuzzGenerators drives the scenario zoo with arbitrary (generator, seed,
+// size) triples and asserts the whole-pipe contract: every emitted
+// structure builds and validates, accepts an owner-compute assignment,
+// schedules under every heuristic family, fits a MAP plan at TOT, and
+// round-trips the plan codec byte-identically after compilation.
+func FuzzGenerators(f *testing.F) {
+	f.Add(uint8(0), uint64(1), uint16(24))
+	f.Add(uint8(1), uint64(2), uint16(30))
+	f.Add(uint8(2), uint64(3), uint16(18))
+	f.Add(uint8(3), uint64(7), uint16(16))
+	f.Add(uint8(200), uint64(0), uint16(0))
+	f.Add(uint8(1), uint64(0xDEADBEEF), uint16(65535))
+	f.Fuzz(func(t *testing.T, genIdx uint8, seed uint64, rawSize uint16) {
+		zoo := graph.Scenarios()
+		sc := zoo[int(genIdx)%len(zoo)]
+		size := int(rawSize%180) + 2
+		g, err := sc.Build(seed, size)
+		if err != nil {
+			t.Fatalf("%s(seed=%d,size=%d): build: %v", sc.Name, seed, size, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s(seed=%d,size=%d): validate: %v", sc.Name, seed, size, err)
+		}
+		const procs = 2
+		if !sc.PresetOwners {
+			sched.CyclicOwners(g, procs)
+		}
+		assign, err := sched.OwnerComputeAssign(g, procs)
+		if err != nil {
+			t.Fatalf("%s(seed=%d,size=%d): assign: %v", sc.Name, seed, size, err)
+		}
+		heuristics := Heuristics()
+		h := heuristics[int(seed%uint64(len(heuristics)))]
+		model := sched.Unit()
+		s, err := sched.ScheduleWith(h, g, assign, procs, model, 1<<40)
+		if err != nil {
+			t.Fatalf("%s/%s: schedule: %v", sc.Name, h, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s/%s: schedule invalid: %v", sc.Name, h, err)
+		}
+		capacity := s.TOT() + 1
+		mp, err := mem.NewPlan(s, capacity)
+		if err != nil {
+			t.Fatalf("%s/%s: plan: %v", sc.Name, h, err)
+		}
+		if !mp.Executable {
+			t.Fatalf("%s/%s: plan not executable at TOT+1", sc.Name, h)
+		}
+		a := &plan.Artifact{
+			Fingerprint: plan.Fingerprint(g, []byte{byte(h), procs}),
+			Model:       model,
+			Capacity:    capacity,
+			Schedule:    s,
+			Mem:         mp,
+		}
+		enc, err := plan.Encode(a)
+		if err != nil {
+			t.Fatalf("%s/%s: encode: %v", sc.Name, h, err)
+		}
+		back, err := plan.Decode(enc)
+		if err != nil {
+			t.Fatalf("%s/%s: decode: %v", sc.Name, h, err)
+		}
+		enc2, err := plan.Encode(back)
+		if err != nil {
+			t.Fatalf("%s/%s: re-encode: %v", sc.Name, h, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("%s/%s: codec round-trip changed plan bytes", sc.Name, h)
+		}
+	})
+}

@@ -265,6 +265,8 @@ func ScheduleWith(h Heuristic, g *graph.DAG, assign []graph.Proc, p int, model C
 		return ScheduleDTS(g, assign, p, model, false, 0)
 	case DTSMerge:
 		return ScheduleDTS(g, assign, p, model, true, availVolatile)
+	case TreeMem:
+		return ScheduleTreeMem(g, assign, p, model)
 	}
 	return nil, fmt.Errorf("sched: unknown heuristic %d", h)
 }

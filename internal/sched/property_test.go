@@ -357,6 +357,7 @@ func TestHeuristicNamesAndPeakAlias(t *testing.T) {
 		sched.MPO:      "MPO",
 		sched.DTS:      "DTS",
 		sched.DTSMerge: "DTS+merge",
+		sched.TreeMem:  "TreeMem",
 	}
 	for h, want := range names {
 		if got := h.String(); got != want {
@@ -379,5 +380,23 @@ func TestHeuristicNamesAndPeakAlias(t *testing.T) {
 	}
 	if s.PerProcPeak() != s.MinMem() {
 		t.Errorf("PerProcPeak %d != MinMem %d", s.PerProcPeak(), s.MinMem())
+	}
+	// PerProcPeak must be derivable from the full vector: the max of
+	// PerProcPeaks, which itself maxes to MIN_MEM by Definition 5.
+	peaks := s.PerProcPeaks()
+	if len(peaks) != 3 {
+		t.Fatalf("PerProcPeaks returned %d entries for 3 procs", len(peaks))
+	}
+	var max int64
+	for _, pk := range peaks {
+		if pk > max {
+			max = pk
+		}
+	}
+	if max != s.PerProcPeak() {
+		t.Errorf("max of PerProcPeaks %d != PerProcPeak %d", max, s.PerProcPeak())
+	}
+	if imb := s.PeakImbalance(); imb < 1 || imb > 3 {
+		t.Errorf("PeakImbalance %g outside [1, procs]", imb)
 	}
 }

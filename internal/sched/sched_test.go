@@ -61,7 +61,7 @@ func taskName(i int) string { return "t" + string(rune('a'+i%26)) + string(rune(
 func TestAllHeuristicsProduceValidSchedules(t *testing.T) {
 	for _, p := range []int{2, 3, 4} {
 		g, assign := buildCholGraph(t, p)
-		for _, h := range []Heuristic{RCP, MPO, DTS, DTSMerge} {
+		for _, h := range []Heuristic{RCP, MPO, DTS, DTSMerge, TreeMem} {
 			s, err := ScheduleWith(h, g, assign, p, Unit(), 1<<30)
 			if err != nil {
 				t.Fatalf("p=%d %v: %v", p, h, err)

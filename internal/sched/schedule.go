@@ -26,6 +26,12 @@ const (
 	DTS
 	// DTSMerge is DTS followed by slice merging under AVAIL_MEM (Figure 6).
 	DTSMerge
+	// TreeMem is the tree-memory scheduler: Liu's memory-optimal traversal
+	// on tree-shaped dependence graphs (via the hill/valley segment algebra
+	// of Marchal–Sinnen–Vivien and Eyraud-Dubois et al., see PAPERS.md),
+	// generalized to arbitrary DAGs by a greedy memory sweep, and lifted to
+	// p processors as a rank-strict bounded-memory list schedule.
+	TreeMem
 )
 
 func (h Heuristic) String() string {
@@ -38,6 +44,8 @@ func (h Heuristic) String() string {
 		return "DTS"
 	case DTSMerge:
 		return "DTS+merge"
+	case TreeMem:
+		return "TreeMem"
 	}
 	return "?"
 }
@@ -240,14 +248,15 @@ func (s *Schedule) VolatileLifetimes() []map[graph.ObjID][2]int32 {
 	return lt
 }
 
-// MinMem computes MIN_MEM (Definition 5): the maximum over processors and
-// tasks of the memory requirement assuming volatile objects are freed
-// immediately after their last use and allocated at their first use, with
-// lifetimes able to share space only when disjoint.
-func (s *Schedule) MinMem() int64 {
+// PerProcPeaks computes, for each processor, the peak space requirement of
+// its order under immediate-free semantics (Definition 5 applied per
+// processor): permanent space plus the maximum overlap of volatile
+// lifetimes, S_p^A in the Figure 7 comparisons. A processor that runs no
+// tasks still holds its permanent objects.
+func (s *Schedule) PerProcPeaks() []int64 {
 	perm := s.PermSize()
 	lt := s.VolatileLifetimes()
-	var minMem int64
+	peaks := make([]int64, s.P)
 	for p := 0; p < s.P; p++ {
 		// Sweep the order accumulating alive volatile sizes.
 		allocAt := make(map[int32]int64) // position -> size allocated
@@ -256,22 +265,54 @@ func (s *Schedule) MinMem() int64 {
 			allocAt[r[0]] += s.G.Objects[o].Size
 			freeAfter[r[1]] += s.G.Objects[o].Size
 		}
+		peak := perm[p]
 		var alive int64
 		for i := range s.Order[p] {
 			alive += allocAt[int32(i)]
-			if req := perm[p] + alive; req > minMem {
-				minMem = req
+			if req := perm[p] + alive; req > peak {
+				peak = req
 			}
 			alive -= freeAfter[int32(i)]
 		}
-		if len(s.Order[p]) == 0 && perm[p] > minMem {
-			minMem = perm[p]
+		peaks[p] = peak
+	}
+	return peaks
+}
+
+// MinMem computes MIN_MEM (Definition 5): the maximum over processors and
+// tasks of the memory requirement assuming volatile objects are freed
+// immediately after their last use and allocated at their first use, with
+// lifetimes able to share space only when disjoint.
+func (s *Schedule) MinMem() int64 {
+	var minMem int64
+	for _, pk := range s.PerProcPeaks() {
+		if pk > minMem {
+			minMem = pk
 		}
 	}
 	return minMem
 }
 
-// PerProcPeak returns, for algorithm comparisons like Figure 7, the peak
-// per-processor space requirement of the schedule under immediate-free
-// semantics (i.e. the per-processor MIN_MEM), as S_p^A.
+// PerProcPeak returns the largest per-processor peak, max_p S_p^A. By
+// Definition 5 this equals MIN_MEM; callers that need the full vector (to
+// report imbalance, not just the max) use PerProcPeaks.
 func (s *Schedule) PerProcPeak() int64 { return s.MinMem() }
+
+// PeakImbalance reports how unevenly the peak space requirement is spread
+// across processors: the largest per-processor peak divided by the mean
+// peak. 1.0 means perfectly balanced; p means one processor carries
+// everything. A schedule with no processors (or all-zero peaks) reports 1.0.
+func (s *Schedule) PeakImbalance() float64 {
+	peaks := s.PerProcPeaks()
+	var sum, max int64
+	for _, pk := range peaks {
+		sum += pk
+		if pk > max {
+			max = pk
+		}
+	}
+	if sum == 0 {
+		return 1.0
+	}
+	return float64(max) * float64(len(peaks)) / float64(sum)
+}

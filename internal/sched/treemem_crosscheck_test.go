@@ -1,0 +1,164 @@
+package sched_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/sched/exact"
+	"repro/internal/util"
+	"repro/internal/verify"
+)
+
+// TestTreeMemMatchesExactOnTrees cross-checks the Liu scheduler against the
+// branch-and-bound reference: on memory-tree instances small enough to solve
+// exactly, the sequential TreeMem schedule must land on the true MIN_MEM
+// optimum — not within a factor, exactly — and the resulting MAP plan must
+// execute at that capacity and pass the symbolic verifier.
+func TestTreeMemMatchesExactOnTrees(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 5, 7, 11, 13, 17}
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			size := 8 + int(seed%11) // 8..18 tasks, under the exact cap
+			g, err := graph.GenMemoryTree(seed, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assign, err := sched.OwnerComputeAssign(g, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := sched.Unit()
+			s, err := sched.ScheduleTreeMem(g, assign, 1, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, liu, err := sched.TreeMemOrder(g, assign, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !liu {
+				t.Fatal("memory-tree instance did not take the Liu path")
+			}
+			res, err := exact.Frontier(g, assign, 1, model, exact.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Complete {
+				t.Fatalf("exact solver exhausted its budget on %d tasks", g.NumTasks())
+			}
+			if got, want := s.MinMem(), res.BestMem(); got != want {
+				t.Fatalf("TreeMem MIN_MEM %d, exact sequential optimum %d", got, want)
+			}
+			mp, err := mem.NewPlan(s, s.MinMem())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mp.Executable {
+				t.Fatalf("TreeMem plan not executable at its own MIN_MEM %d", s.MinMem())
+			}
+			if r := verify.Check(s, mp); !r.OK() {
+				t.Fatalf("verifier flagged the optimal plan: %v", r.Err())
+			}
+		})
+	}
+}
+
+// parallelMemoryTree is the multi-processor variant of the memory-tree
+// gadget: same in-forest shape, but link ownership is dealt round-robin so
+// the owner-compute rule spreads the traversal over p processors.
+func parallelMemoryTree(t *testing.T, seed uint64, size, p int) *graph.DAG {
+	t.Helper()
+	g, err := graph.GenMemoryTree(seed, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for o := range g.Objects {
+		if g.Objects[o].Owner == 0 { // the links; files stay unowned
+			g.Objects[o].Owner = graph.Proc(i % p)
+			i++
+		}
+	}
+	return g
+}
+
+// TestTreeMemParallelTreeWithinSequentialBound lifts the cross-check to
+// p > 1: the rank-strict list policy may only interleave the Liu order, so
+// every processor's peak stays within the order's sequential footprint (the
+// 2014-style bound), the plan executes at that bound, and the verifier's
+// allocator replay agrees.
+func TestTreeMemParallelTreeWithinSequentialBound(t *testing.T) {
+	for _, seed := range []uint64{3, 9, 21, 33} {
+		for _, p := range []int{2, 3} {
+			g := parallelMemoryTree(t, seed, 12+int(seed%9), p)
+			assign, err := sched.OwnerComputeAssign(g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := sched.Unit()
+			order, _, err := sched.TreeMemOrder(g, assign, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := sched.SequentialFootprint(g, assign, p, order)
+			s, err := sched.ScheduleTreeMem(g, assign, p, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if s.MinMem() > bound {
+				t.Fatalf("seed %d p %d: parallel MIN_MEM %d exceeds sequential footprint %d", seed, p, s.MinMem(), bound)
+			}
+			mp, err := mem.NewPlan(s, bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mp.Executable {
+				t.Fatalf("seed %d p %d: plan not executable at the footprint bound %d", seed, p, bound)
+			}
+			if r := verify.Check(s, mp); !r.OK() {
+				t.Fatalf("seed %d p %d: verifier flagged the plan: %v", seed, p, r.Err())
+			}
+		}
+	}
+}
+
+// TestTreeMemNeverAboveOtherHeuristicsOnTrees: on its home turf the memory
+// scheduler should be at least as frugal as every other heuristic — the
+// bake-off table's memtree column, asserted as a property over seeds.
+func TestTreeMemNeverAboveOtherHeuristicsOnTrees(t *testing.T) {
+	rng := util.NewRNG(99)
+	for trial := 0; trial < 12; trial++ {
+		seed := rng.Uint64()
+		g, err := graph.GenMemoryTree(seed, 6+trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign, err := sched.OwnerComputeAssign(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := sched.Unit()
+		tm, err := sched.ScheduleTreeMem(g, assign, 1, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range []sched.Heuristic{sched.RCP, sched.MPO, sched.DTS, sched.DTSMerge} {
+			s, err := sched.ScheduleWith(h, g, assign, 1, model, 1<<40)
+			if err != nil {
+				t.Fatalf("%s: %v", h, err)
+			}
+			if tm.MinMem() > s.MinMem() {
+				t.Fatalf("trial %d: TreeMem MIN_MEM %d above %s's %d on a tree", trial, tm.MinMem(), h, s.MinMem())
+			}
+		}
+	}
+}

@@ -46,7 +46,7 @@ func find(res *Result, cl Class) (Finding, bool) {
 }
 
 func TestCleanPlansPass(t *testing.T) {
-	for _, h := range []sched.Heuristic{sched.RCP, sched.MPO, sched.DTS, sched.DTSMerge} {
+	for _, h := range []sched.Heuristic{sched.RCP, sched.MPO, sched.DTS, sched.DTSMerge, sched.TreeMem} {
 		for _, cap := range []int64{1 << 30, 12, 9} {
 			s, pl := figure2Plan(t, h, cap)
 			res := Check(s, pl)

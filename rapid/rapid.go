@@ -65,6 +65,11 @@ const (
 	// DTSMerge is DTS with slice merging under the known memory budget:
 	// DTS's memory behaviour with most of RCP's time efficiency.
 	DTSMerge = sched.DTSMerge
+	// TreeMem is tree-memory scheduling: on tree-shaped programs it runs
+	// the provably memory-optimal sequential traversal (Liu's hill/valley
+	// algorithm) lifted to p processors by a rank-strict list policy; on
+	// general DAGs it falls back to a greedy memory-first sweep.
+	TreeMem = sched.TreeMem
 )
 
 // CostModel converts task costs and object sizes into time.

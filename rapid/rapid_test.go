@@ -40,7 +40,7 @@ func pipelineProgram(t *testing.T) *rapid.Program {
 func name(p string, i int) string { return p + string(rune('0'+i)) }
 
 func TestCompileAndExecuteAllHeuristics(t *testing.T) {
-	for _, h := range []rapid.Heuristic{rapid.RCP, rapid.MPO, rapid.DTS, rapid.DTSMerge} {
+	for _, h := range []rapid.Heuristic{rapid.RCP, rapid.MPO, rapid.DTS, rapid.DTSMerge, rapid.TreeMem} {
 		prog := pipelineProgram(t)
 		plan, err := rapid.Compile(prog, rapid.Options{
 			Procs:     2,

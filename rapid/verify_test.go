@@ -8,7 +8,7 @@ import (
 )
 
 func TestVerifyPlanCleanAcrossHeuristics(t *testing.T) {
-	for _, h := range []rapid.Heuristic{rapid.RCP, rapid.MPO, rapid.DTS, rapid.DTSMerge} {
+	for _, h := range []rapid.Heuristic{rapid.RCP, rapid.MPO, rapid.DTS, rapid.DTSMerge, rapid.TreeMem} {
 		for _, memDiv := range []int64{0, 2} {
 			prog := pipelineProgram(t)
 			opt := rapid.Options{Procs: 2, Heuristic: h, Owners: rapid.OwnersLoadBalanced}

@@ -31,6 +31,8 @@ var Analyzer = &analysis.Analyzer{
 	DefaultPackages: []string{
 		"internal/plan",
 		"internal/sched",
+		"internal/sched/exact",
+		"internal/sched/bakeoff",
 		"internal/mem",
 		"internal/proto",
 	},
